@@ -1,0 +1,36 @@
+//! F10 bench: ECC-structure capacity sweep.
+
+use ccraft_bench::{bench_cfg, bench_trace};
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let trace = bench_trace(Workload::Histogram);
+    let mut g = c.benchmark_group("f10_ecc_capacity");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for kib in [1u64, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("ecc-cache", format!("{kib}K")),
+            &kib,
+            |b, &kib| {
+                b.iter(|| {
+                    run_scheme(
+                        &cfg,
+                        SchemeKind::EccCache {
+                            coverage: 8,
+                            capacity_per_mc: kib << 10,
+                        },
+                        &trace,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! F11 bench: channel-count scaling.
+
+use ccraft_bench::bench_trace;
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_sim::config::GpuConfig;
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace(Workload::VecAdd);
+    let mut g = c.benchmark_group("f11_channels");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for channels in [1u16, 2, 4] {
+        let mut cfg = GpuConfig::tiny();
+        cfg.mem.channels = channels;
+        cfg.validate().unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("naive", channels),
+            &cfg,
+            |b, cfg| b.iter(|| run_scheme(cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! F12 bench: implicit-memory-tagging codec throughput (the zero-overhead
+//! claim is about DRAM traffic; this shows the on-chip decode cost).
+
+use ccraft_ecc::tagged::TaggedSecDed;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f12_tagged");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    let codec = TaggedSecDed::new(4).unwrap();
+    let data = *b"pointers";
+    let check = codec.encode(&data, 0x9);
+    g.throughput(Throughput::Bytes(8));
+    g.bench_function("encode-tagged", |b| {
+        b.iter(|| codec.encode(std::hint::black_box(&data), 0x9))
+    });
+    g.bench_function("decode-match", |b| {
+        b.iter(|| {
+            let mut d = data;
+            codec.decode(std::hint::black_box(&mut d), &check, 0x9)
+        })
+    });
+    g.bench_function("decode-mismatch", |b| {
+        b.iter(|| {
+            let mut d = data;
+            codec.decode(std::hint::black_box(&mut d), &check, 0x3)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! F1/F2 bench: ECC-off vs naive inline ECC on the streaming archetype.
+
+use ccraft_bench::{bench_cfg, bench_trace};
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let trace = bench_trace(Workload::VecAdd);
+    let mut g = c.benchmark_group("f1_motivation");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("ecc-off", |b| {
+        b.iter(|| run_scheme(&cfg, SchemeKind::NoProtection, &trace))
+    });
+    g.bench_function("inline-naive", |b| {
+        b.iter(|| run_scheme(&cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! F3 bench: reserved-region vs row-colocated ECC placement (C1).
+
+use ccraft_bench::{bench_cfg, bench_trace};
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let trace = bench_trace(Workload::MonteCarlo); // the row-locality-bound case
+    let mut g = c.benchmark_group("f3_rowhit");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("reserved-region", |b| {
+        b.iter(|| run_scheme(&cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace))
+    });
+    g.bench_function("colocated", |b| {
+        b.iter(|| {
+            run_scheme(
+                &cfg,
+                SchemeKind::CacheCraft(CacheCraftConfig::colocate_only()),
+                &trace,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

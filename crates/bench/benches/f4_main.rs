@@ -1,0 +1,28 @@
+//! F4/F5 bench: the four headline schemes on a stream and an irregular
+//! kernel.
+
+use ccraft_bench::{bench_cfg, bench_trace};
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("f4_main_result");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for w in [Workload::VecAdd, Workload::Spmv] {
+        let trace = bench_trace(w);
+        for kind in SchemeKind::headline(&cfg) {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), w.name()),
+                &kind,
+                |b, &kind| b.iter(|| run_scheme(&cfg, kind, &trace)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! F6 bench: dedicated ECC cache vs CacheCraft fragment store.
+
+use ccraft_bench::{bench_cfg, bench_trace};
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let trace = bench_trace(Workload::Spmv);
+    let mut g = c.benchmark_group("f6_ecchit");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("dedicated-16k", |b| {
+        b.iter(|| {
+            run_scheme(
+                &cfg,
+                SchemeKind::EccCache {
+                    coverage: 8,
+                    capacity_per_mc: 16 << 10,
+                },
+                &trace,
+            )
+        })
+    });
+    g.bench_function("fragments", |b| {
+        b.iter(|| {
+            run_scheme(
+                &cfg,
+                SchemeKind::CacheCraft(CacheCraftConfig {
+                    reconstruct: false,
+                    fragment_bytes_per_slice: 2 << 10, // scaled to the tiny L2
+                    ..CacheCraftConfig::default()
+                }),
+                &trace,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! F7 bench: CacheCraft ablation variants.
+
+use ccraft_bench::{bench_cfg, bench_trace};
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let trace = bench_trace(Workload::Saxpy);
+    let variants: Vec<(&str, CacheCraftConfig)> = vec![
+        ("c1", CacheCraftConfig::colocate_only()),
+        ("c2", CacheCraftConfig {
+            fragment_bytes_per_slice: 2 << 10,
+            ..CacheCraftConfig::fragments_only()
+        }),
+        ("c3", CacheCraftConfig::reconstruct_only()),
+        ("full", CacheCraftConfig::for_machine(&cfg)),
+    ];
+    let mut g = c.benchmark_group("f7_ablation");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (name, cc) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| run_scheme(&cfg, SchemeKind::CacheCraft(cc), &trace))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

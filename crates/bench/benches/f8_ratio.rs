@@ -1,0 +1,36 @@
+//! F8 bench: ECC coverage-ratio sensitivity.
+
+use ccraft_bench::{bench_cfg, bench_trace};
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let trace = bench_trace(Workload::Triad);
+    let mut g = c.benchmark_group("f8_coverage_ratio");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for coverage in [8u32, 16, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("ecc-cache", format!("1to{coverage}")),
+            &coverage,
+            |b, &coverage| {
+                b.iter(|| {
+                    run_scheme(
+                        &cfg,
+                        SchemeKind::EccCache {
+                            coverage,
+                            capacity_per_mc: 4 << 10,
+                        },
+                        &trace,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! F9 bench: L2 capacity sensitivity.
+
+use ccraft_bench::bench_trace;
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_sim::config::GpuConfig;
+use ccraft_workloads::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace(Workload::Stencil2D);
+    let mut g = c.benchmark_group("f9_l2_capacity");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for kib in [8u64, 16, 32] {
+        let mut cfg = GpuConfig::tiny();
+        cfg.l2.capacity_bytes = kib << 10;
+        cfg.validate().unwrap();
+        g.bench_with_input(BenchmarkId::new("naive", format!("{kib}K")), &cfg, |b, cfg| {
+            b.iter(|| run_scheme(cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! T2 bench: workload trace-generation throughput (one bench per kernel
+//! archetype family).
+
+use ccraft_workloads::{SizeClass, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_workload_generation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for w in [
+        Workload::VecAdd,
+        Workload::Gemm,
+        Workload::Transpose,
+        Workload::Spmv,
+        Workload::MonteCarlo,
+    ] {
+        g.bench_function(w.name(), |b| {
+            b.iter(|| w.generate(SizeClass::Tiny, std::hint::black_box(7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

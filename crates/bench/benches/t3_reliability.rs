@@ -1,0 +1,59 @@
+//! T3 bench: codec encode/decode throughput and fault-injection campaign
+//! rate.
+
+use ccraft_core::reliability::{Campaign, CodecKind};
+use ccraft_ecc::code::Codec;
+use ccraft_ecc::inject::ErrorPattern;
+use ccraft_ecc::rs::ReedSolomon;
+use ccraft_ecc::secded::SecDed64;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_codecs");
+    g.sample_size(30).measurement_time(Duration::from_secs(3));
+    let secded = SecDed64::new();
+    let word = *b"12345678";
+    g.throughput(Throughput::Bytes(8));
+    g.bench_function("secded64-encode", |b| {
+        b.iter(|| secded.encode(std::hint::black_box(&word)))
+    });
+    let check = secded.encode(&word);
+    g.bench_function("secded64-decode-clean", |b| {
+        b.iter(|| {
+            let mut d = word;
+            secded.decode(std::hint::black_box(&mut d), &check)
+        })
+    });
+    let rs = ReedSolomon::new(36, 32).unwrap();
+    let data: Vec<u8> = (0..32).collect();
+    g.throughput(Throughput::Bytes(32));
+    g.bench_function("rs36_32-encode", |b| {
+        b.iter(|| rs.encode(std::hint::black_box(&data)))
+    });
+    let rcheck = rs.encode(&data);
+    g.bench_function("rs36_32-decode-2err", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            d[3] ^= 0xFF;
+            d[17] ^= 0x42;
+            rs.decode(std::hint::black_box(&mut d), &rcheck)
+        })
+    });
+    g.throughput(Throughput::Elements(200));
+    g.bench_function("campaign-200-trials", |b| {
+        b.iter(|| {
+            Campaign {
+                codec: CodecKind::Rs36_32,
+                pattern: ErrorPattern::SymbolError,
+                trials: 200,
+                seed: 1,
+            }
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

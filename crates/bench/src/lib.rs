@@ -1,0 +1,39 @@
+//! # ccraft-bench — Criterion benchmark harness
+//!
+//! One benchmark group per table/figure of the reconstructed evaluation
+//! (DESIGN.md §6), in `benches/`. The benches run the same simulations as
+//! the `exp-*` binaries but at `SizeClass::Tiny` so Criterion can iterate;
+//! the *relative* timings across schemes mirror the full-size experiments.
+//! Shared fixtures live here.
+
+#![warn(missing_docs)]
+
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::trace::KernelTrace;
+use ccraft_workloads::{SizeClass, Workload};
+
+/// The machine used by all benches: the tiny preset (simulations complete
+/// in milliseconds, keeping Criterion iteration counts reasonable).
+pub fn bench_cfg() -> GpuConfig {
+    GpuConfig::tiny()
+}
+
+/// A pre-generated tiny trace for `workload` (generation is excluded from
+/// the timed region).
+pub fn bench_trace(workload: Workload) -> KernelTrace {
+    workload.generate(SizeClass::Tiny, 0xBE7C)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_usable() {
+        let cfg = bench_cfg();
+        cfg.validate().unwrap();
+        let t = bench_trace(Workload::VecAdd);
+        assert!(t.total_ops() > 0);
+        assert!(t.warps().len() <= cfg.core.sms as usize * cfg.core.warps_per_sm as usize);
+    }
+}

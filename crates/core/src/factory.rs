@@ -1,0 +1,182 @@
+//! Scheme selection and one-call simulation entry points used by the
+//! experiment harness, benches and examples.
+
+use crate::cachecraft::{CacheCraft, CacheCraftConfig};
+use crate::ecc_cache::EccCache;
+use crate::naive::InlineNaive;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::dram::MapOrder;
+use ccraft_sim::protection::{ChannelInterleave, NoProtection, ProtectionScheme};
+use ccraft_sim::stats::SimStats;
+use ccraft_sim::trace::KernelTrace;
+use std::fmt;
+
+/// The protection schemes of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// ECC disabled (performance upper bound).
+    NoProtection,
+    /// Naive inline ECC: per-access ECC fetches, per-write-back RMW.
+    InlineNaive {
+        /// Data atoms per ECC atom.
+        coverage: u32,
+    },
+    /// Dedicated per-MC ECC cache (industry practice).
+    EccCache {
+        /// Data atoms per ECC atom.
+        coverage: u32,
+        /// Dedicated capacity per memory controller, bytes.
+        capacity_per_mc: u64,
+    },
+    /// CacheCraft (configurable mechanisms).
+    CacheCraft(CacheCraftConfig),
+    /// Compression-backed inline ECC (Frugal-ECC-style baseline) with the
+    /// given compressibility percentage.
+    CompressedInline {
+        /// Data atoms per exception atom.
+        coverage: u32,
+        /// Percentage of atoms that compress below the check-bit budget.
+        compress_pct: u8,
+    },
+}
+
+impl SchemeKind {
+    /// The four headline configurations of the main figure (F4), in plot
+    /// order, with CacheCraft's fragment budget scaled to the machine.
+    pub fn headline(cfg: &GpuConfig) -> [SchemeKind; 4] {
+        [
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage: 8 },
+            SchemeKind::EccCache {
+                coverage: 8,
+                capacity_per_mc: crate::ecc_cache::DEFAULT_CAPACITY_PER_MC,
+            },
+            SchemeKind::CacheCraft(CacheCraftConfig::for_machine(cfg)),
+        ]
+    }
+
+    /// Short name matching the scheme's `ProtectionScheme::name`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::NoProtection => "no-protection",
+            SchemeKind::InlineNaive { .. } => "inline-naive",
+            SchemeKind::EccCache { .. } => "ecc-cache",
+            SchemeKind::CacheCraft(_) => "cachecraft",
+            SchemeKind::CompressedInline { .. } => "compressed-inline",
+        }
+    }
+
+    /// Instantiates the scheme for a machine.
+    pub fn build(&self, cfg: &GpuConfig) -> Box<dyn ProtectionScheme> {
+        match *self {
+            SchemeKind::NoProtection => Box::new(NoProtection::new(ChannelInterleave::new(
+                cfg.mem.channels,
+                cfg.mem.interleave_atoms,
+            ))),
+            SchemeKind::InlineNaive { coverage } => Box::new(InlineNaive::new(cfg, coverage)),
+            SchemeKind::EccCache {
+                coverage,
+                capacity_per_mc,
+            } => Box::new(EccCache::new(cfg, coverage, capacity_per_mc)),
+            SchemeKind::CacheCraft(cc) => Box::new(CacheCraft::new(cfg, cc)),
+            SchemeKind::CompressedInline {
+                coverage,
+                compress_pct,
+            } => Box::new(crate::frugal::CompressedInline::new(cfg, coverage, compress_pct)),
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `trace` under `kind` on `cfg` with the standard row-major DRAM
+/// mapping, returning the run's statistics.
+pub fn run_scheme(cfg: &GpuConfig, kind: SchemeKind, trace: &KernelTrace) -> SimStats {
+    let mut scheme = kind.build(cfg);
+    ccraft_sim::gpu::simulate(cfg, MapOrder::RoBaCo, trace, scheme.as_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccraft_sim::trace::{WarpOp, WarpTrace};
+    use ccraft_sim::types::{LogicalAtom, TrafficClass};
+
+    fn small_stream() -> KernelTrace {
+        let warps = (0..4u64)
+            .map(|w| {
+                WarpTrace::new(
+                    (0..32)
+                        .map(|i| WarpOp::Load {
+                            atoms: (0..4).map(|k| LogicalAtom(w * 512 + i * 4 + k)).collect(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        KernelTrace::new("stream", warps)
+    }
+
+    #[test]
+    fn headline_order_and_names() {
+        let cfg = GpuConfig::tiny();
+        let names: Vec<_> = SchemeKind::headline(&cfg).iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["no-protection", "inline-naive", "ecc-cache", "cachecraft"]
+        );
+    }
+
+    #[test]
+    fn all_schemes_run_the_same_trace() {
+        let cfg = GpuConfig::tiny();
+        let trace = small_stream();
+        for kind in SchemeKind::headline(&cfg) {
+            let stats = run_scheme(&cfg, kind, &trace);
+            assert!(!stats.timed_out, "{kind} timed out");
+            assert_eq!(stats.scheme, kind.name());
+            // Demand data traffic is identical across schemes.
+            assert_eq!(
+                stats.dram_count(TrafficClass::DataRead),
+                trace.footprint_atoms(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn protection_ordering_holds_on_streams() {
+        // ECC-off must be fastest; naive slowest; the two cached schemes in
+        // between (ties allowed at this tiny scale).
+        let cfg = GpuConfig::tiny();
+        let trace = small_stream();
+        let cycles: Vec<u64> = SchemeKind::headline(&cfg)
+            .iter()
+            .map(|&k| run_scheme(&cfg, k, &trace).exec_cycles)
+            .collect();
+        let (none, naive, ecc_cache, cachecraft) =
+            (cycles[0], cycles[1], cycles[2], cycles[3]);
+        assert!(none <= naive, "no-protection {none} > naive {naive}");
+        assert!(ecc_cache <= naive, "ecc-cache {ecc_cache} > naive {naive}");
+        assert!(cachecraft <= naive, "cachecraft {cachecraft} > naive {naive}");
+    }
+
+    #[test]
+    fn ecc_traffic_ordering_holds() {
+        let cfg = GpuConfig::tiny();
+        let trace = small_stream();
+        let ecc_reads: Vec<u64> = SchemeKind::headline(&cfg)
+            .iter()
+            .map(|&k| run_scheme(&cfg, k, &trace).dram_count(TrafficClass::EccRead))
+            .collect();
+        assert_eq!(ecc_reads[0], 0);
+        assert!(ecc_reads[1] >= ecc_reads[2], "naive {} < ecc-cache {}", ecc_reads[1], ecc_reads[2]);
+        assert!(ecc_reads[1] >= ecc_reads[3], "naive {} < cachecraft {}", ecc_reads[1], ecc_reads[3]);
+        // Naive fetches ECC for every data read.
+        assert_eq!(ecc_reads[1], trace.footprint_atoms());
+    }
+}

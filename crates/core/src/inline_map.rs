@@ -1,0 +1,278 @@
+//! Shared machinery for inline-ECC protection schemes: the address mapping
+//! pipeline and the on-chip ECC store used by the ECC-cache baseline and
+//! CacheCraft's fragment store.
+
+use ccraft_ecc::layout::{EccPlacement, InlineLayout};
+use ccraft_sim::cache::SectorCache;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::protection::ChannelInterleave;
+use ccraft_sim::types::{LogicalAtom, PhysLoc};
+use std::collections::{HashSet, VecDeque};
+
+/// The logical→physical pipeline of an inline-ECC GPU:
+/// channel interleave first, then the per-channel inline layout (identical
+/// across channels, as in real memory partitions).
+#[derive(Debug, Clone, Copy)]
+pub struct InlineMap {
+    interleave: ChannelInterleave,
+    layout: InlineLayout,
+}
+
+impl InlineMap {
+    /// Builds the map for a machine, with ECC `coverage` data atoms per
+    /// ECC atom and the given placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout parameters are inconsistent with the machine
+    /// geometry (see [`InlineLayout::new`]).
+    pub fn new(cfg: &GpuConfig, placement: EccPlacement, coverage: u32) -> Self {
+        let interleave =
+            ChannelInterleave::new(cfg.mem.channels, cfg.mem.interleave_atoms);
+        let layout = InlineLayout::new(placement, coverage, cfg.mem.atoms_per_channel());
+        InlineMap {
+            interleave,
+            layout,
+        }
+    }
+
+    /// The per-channel layout.
+    pub fn layout(&self) -> &InlineLayout {
+        &self.layout
+    }
+
+    /// Maps a software-visible atom to its physical location.
+    pub fn map(&self, logical: LogicalAtom) -> PhysLoc {
+        let (channel, local) = self.interleave.split(logical);
+        PhysLoc::new(channel, self.layout.logical_to_physical(local))
+    }
+
+    /// The channel-local ECC atom protecting the given physical data atom.
+    pub fn ecc_atom(&self, loc: PhysLoc) -> u64 {
+        self.layout.ecc_atom_for(loc.atom)
+    }
+
+    /// The physical data atoms sharing `loc`'s ECC atom, as
+    /// `(first, count)` in channel-local physical space.
+    pub fn ecc_group(&self, loc: PhysLoc) -> (u64, u64) {
+        self.layout.covered_data_atoms(self.ecc_atom(loc))
+    }
+}
+
+/// An on-chip store of ECC atoms (a dedicated ECC cache or CacheCraft's
+/// repurposed-L2 fragment store): set-associative at ECC-atom granularity,
+/// with in-flight-fetch merging and a dirty-eviction write queue.
+#[derive(Debug)]
+pub struct EccStore {
+    caches: Vec<SectorCache>,
+    inflight: Vec<HashSet<u64>>,
+    pending_writes: Vec<VecDeque<u64>>,
+}
+
+/// Outcome of probing the store on a demand fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreProbe {
+    /// The ECC atom is resident: no DRAM fetch needed.
+    Hit,
+    /// A fetch for this atom is already in flight: piggyback, no new fetch.
+    InFlight,
+    /// Not present: fetch required (now registered as in flight).
+    Miss,
+}
+
+impl EccStore {
+    /// Builds a store with `bytes_per_channel` capacity per channel,
+    /// `ways`-associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (capacity must give a
+    /// power-of-two set count).
+    pub fn new(channels: u16, bytes_per_channel: u64, ways: u32) -> Self {
+        EccStore {
+            caches: (0..channels)
+                .map(|_| SectorCache::with_capacity_hashed(bytes_per_channel, ways, 1))
+                .collect(),
+            inflight: (0..channels).map(|_| HashSet::new()).collect(),
+            pending_writes: (0..channels).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Capacity per channel in bytes.
+    pub fn capacity_per_channel(&self) -> u64 {
+        self.caches[0].capacity_bytes()
+    }
+
+    /// Probes for a demand fill: on a miss the atom is registered as in
+    /// flight, so concurrent misses to the same ECC atom fetch once.
+    pub fn probe_fill(&mut self, channel: u16, ecc_atom: u64) -> StoreProbe {
+        let ch = channel as usize;
+        if self.caches[ch].probe(ecc_atom) {
+            // Refresh LRU.
+            let _ = self.caches[ch].lookup_read(ecc_atom);
+            StoreProbe::Hit
+        } else if self.inflight[ch].contains(&ecc_atom) {
+            StoreProbe::InFlight
+        } else {
+            self.inflight[ch].insert(ecc_atom);
+            StoreProbe::Miss
+        }
+    }
+
+    /// Installs an ECC atom that arrived from DRAM (clears its in-flight
+    /// entry). Dirty evictions join the write queue.
+    pub fn install(&mut self, channel: u16, ecc_atom: u64, dirty: bool) {
+        let ch = channel as usize;
+        self.inflight[ch].remove(&ecc_atom);
+        if let Some(ev) = self.caches[ch].fill(ecc_atom, dirty) {
+            for atom in ev.dirty_atoms {
+                self.pending_writes[ch].push_back(atom);
+            }
+        }
+    }
+
+    /// Attempts to absorb a write-back's ECC update: returns `true` when
+    /// the atom is resident (now marked dirty) and no DRAM traffic is
+    /// needed.
+    pub fn absorb_write(&mut self, channel: u16, ecc_atom: u64) -> bool {
+        let ch = channel as usize;
+        if self.caches[ch].probe(ecc_atom) {
+            let _ = self.caches[ch].lookup_write(ecc_atom);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dirty-eviction (and flush) write queue for `channel`, up to
+    /// `budget` atoms.
+    pub fn drain_writes(&mut self, channel: u16, budget: usize) -> Vec<u64> {
+        let q = &mut self.pending_writes[channel as usize];
+        let n = budget.min(q.len());
+        q.drain(..n).collect()
+    }
+
+    /// Moves every dirty resident atom into the write queue (end of
+    /// kernel).
+    pub fn flush(&mut self) {
+        for ch in 0..self.caches.len() {
+            let dirty: Vec<u64> = self.caches[ch]
+                .iter_valid()
+                .filter(|&(_, d)| d)
+                .map(|(a, _)| a)
+                .collect();
+            for a in dirty {
+                self.caches[ch].clean(a);
+                self.pending_writes[ch].push_back(a);
+            }
+        }
+    }
+
+    /// `true` when no pending writes remain in any channel.
+    pub fn is_drained(&self) -> bool {
+        self.pending_writes.iter().all(|q| q.is_empty())
+    }
+
+    /// Number of dirty-eviction writes that have been queued but not yet
+    /// drained (diagnostics).
+    pub fn pending_write_count(&self) -> usize {
+        self.pending_writes.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(placement: EccPlacement) -> InlineMap {
+        InlineMap::new(&GpuConfig::tiny(), placement, 8)
+    }
+
+    #[test]
+    fn map_is_injective_across_channels() {
+        let m = map(EccPlacement::ReservedRegion);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..50_000u64 {
+            let loc = m.map(LogicalAtom(a));
+            assert!(seen.insert((loc.channel, loc.atom)), "collision at {a}");
+        }
+    }
+
+    #[test]
+    fn ecc_atom_is_in_same_channel_row_when_colocated() {
+        let cfg = GpuConfig::tiny();
+        let row_atoms = cfg.mem.row_atoms();
+        let m = InlineMap::new(
+            &cfg,
+            EccPlacement::RowColocated {
+                row_atoms: row_atoms as u32,
+            },
+            8,
+        );
+        for a in (0..100_000u64).step_by(997) {
+            let loc = m.map(LogicalAtom(a));
+            let ecc = m.ecc_atom(loc);
+            assert_eq!(loc.atom / row_atoms, ecc / row_atoms, "atom {a} ECC in another row");
+        }
+    }
+
+    #[test]
+    fn ecc_group_contains_self() {
+        let m = map(EccPlacement::ReservedRegion);
+        let loc = m.map(LogicalAtom(1234));
+        let (first, count) = m.ecc_group(loc);
+        assert!((first..first + count).contains(&loc.atom));
+        assert!(count <= 8);
+    }
+
+    #[test]
+    fn store_probe_transitions() {
+        let mut s = EccStore::new(2, 1024, 4);
+        assert_eq!(s.probe_fill(0, 5), StoreProbe::Miss);
+        assert_eq!(s.probe_fill(0, 5), StoreProbe::InFlight);
+        s.install(0, 5, false);
+        assert_eq!(s.probe_fill(0, 5), StoreProbe::Hit);
+        // Channels are independent.
+        assert_eq!(s.probe_fill(1, 5), StoreProbe::Miss);
+    }
+
+    #[test]
+    fn dirty_eviction_queues_write() {
+        // 1024 B, 4-way, atom granularity -> 32 entries total. Installing
+        // more dirty atoms than the capacity must evict (set indices are
+        // hashed, so overfill the whole store rather than one set).
+        let mut s = EccStore::new(1, 1024, 4);
+        for i in 0..48u64 {
+            s.install(0, i * 8, true);
+        }
+        assert!(s.pending_write_count() >= 16);
+        let w = s.drain_writes(0, 100);
+        assert!(w.len() >= 16);
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn absorb_write_requires_residency() {
+        let mut s = EccStore::new(1, 1024, 4);
+        assert!(!s.absorb_write(0, 3));
+        s.install(0, 3, false);
+        assert!(s.absorb_write(0, 3));
+        // Flushing pushes the now-dirty atom to the write queue.
+        s.flush();
+        assert_eq!(s.drain_writes(0, 10), vec![3]);
+        // Flush is idempotent.
+        s.flush();
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn drain_respects_budget() {
+        let mut s = EccStore::new(1, 256, 1); // 8 sets, direct mapped
+        for i in 0..8u64 {
+            s.install(0, i, true);
+        }
+        s.flush();
+        assert_eq!(s.drain_writes(0, 3).len(), 3);
+        assert_eq!(s.drain_writes(0, 100).len(), 5);
+    }
+}

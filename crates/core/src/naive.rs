@@ -1,0 +1,137 @@
+//! The naive inline-ECC baseline: every protected access pays for its ECC
+//! in DRAM traffic.
+//!
+//! * Demand fill → one ECC-atom read per data-atom fetch, gating the fill.
+//! * Dirty write-back → ECC read-modify-write (one ECC read + one ECC
+//!   write).
+//! * ECC atoms live in a reserved region at the top of memory (the default
+//!   firmware layout), so ECC fetches routinely conflict with data rows.
+//!
+//! This models inline ECC with no on-chip ECC caching at all — the
+//! motivation baseline of the evaluation (experiment F1/F2).
+
+use crate::inline_map::InlineMap;
+use ccraft_ecc::layout::EccPlacement;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::protection::{FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan};
+use ccraft_sim::types::{Cycle, LogicalAtom, PhysLoc};
+
+/// The naive inline-ECC scheme.
+#[derive(Debug)]
+pub struct InlineNaive {
+    map: InlineMap,
+    stats: ProtectionStats,
+}
+
+impl InlineNaive {
+    /// Builds the scheme for a machine, with one ECC atom per `coverage`
+    /// data atoms (8 → 12.5 % redundancy).
+    pub fn new(cfg: &GpuConfig, coverage: u32) -> Self {
+        InlineNaive {
+            map: InlineMap::new(cfg, EccPlacement::ReservedRegion, coverage),
+            stats: ProtectionStats::default(),
+        }
+    }
+}
+
+impl ProtectionScheme for InlineNaive {
+    fn name(&self) -> &str {
+        "inline-naive"
+    }
+
+    fn map(&self, logical: LogicalAtom) -> PhysLoc {
+        self.map.map(logical)
+    }
+
+    fn demand_fill(&mut self, loc: PhysLoc, _now: Cycle) -> FillPlan {
+        self.stats.ecc_demand_fetches += 1;
+        FillPlan {
+            ecc_fetches: vec![self.map.ecc_atom(loc)],
+        }
+    }
+
+    fn ecc_arrived(&mut self, _loc: PhysLoc, _now: Cycle) {}
+
+    fn writeback(
+        &mut self,
+        loc: PhysLoc,
+        _now: Cycle,
+        _resident: &mut dyn FnMut(u64) -> bool,
+    ) -> WritebackPlan {
+        self.stats.rmw_writebacks += 1;
+        let ecc = self.map.ecc_atom(loc);
+        WritebackPlan {
+            ecc_reads: vec![ecc],
+            ecc_writes: vec![ecc],
+        }
+    }
+
+    fn drain_ecc_writes(&mut self, _channel: u16, _now: Cycle, _budget: usize) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn flush(&mut self) {}
+
+    fn is_drained(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> ProtectionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fill_fetches_ecc() {
+        let cfg = GpuConfig::tiny();
+        let mut s = InlineNaive::new(&cfg, 8);
+        let loc = s.map(LogicalAtom(100));
+        let plan = s.demand_fill(loc, 0);
+        assert_eq!(plan.ecc_fetches.len(), 1);
+        assert_ne!(plan.ecc_fetches[0], loc.atom);
+        assert_eq!(s.stats().ecc_demand_fetches, 1);
+        // Repeated fill of the same atom fetches again (no caching).
+        let plan2 = s.demand_fill(loc, 1);
+        assert_eq!(plan2.ecc_fetches, plan.ecc_fetches);
+        assert_eq!(s.stats().ecc_demand_fetches, 2);
+    }
+
+    #[test]
+    fn every_writeback_is_rmw() {
+        let cfg = GpuConfig::tiny();
+        let mut s = InlineNaive::new(&cfg, 8);
+        let loc = s.map(LogicalAtom(7));
+        let mut resident = |_: u64| true; // residency is irrelevant to naive
+        let plan = s.writeback(loc, 0, &mut resident);
+        assert_eq!(plan.ecc_reads.len(), 1);
+        assert_eq!(plan.ecc_writes, plan.ecc_reads);
+        assert_eq!(s.stats().rmw_writebacks, 1);
+    }
+
+    #[test]
+    fn neighbours_share_an_ecc_atom() {
+        let cfg = GpuConfig::tiny();
+        let mut s = InlineNaive::new(&cfg, 8);
+        // Atoms 0..8 are one interleave block on channel 0: one ECC group.
+        let a = s.map(LogicalAtom(0));
+        let b = s.map(LogicalAtom(7));
+        assert_eq!(a.channel, b.channel);
+        let ea = s.demand_fill(a, 0).ecc_fetches[0];
+        let eb = s.demand_fill(b, 0).ecc_fetches[0];
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn trivially_drained() {
+        let cfg = GpuConfig::tiny();
+        let mut s = InlineNaive::new(&cfg, 8);
+        assert!(s.is_drained());
+        s.flush();
+        assert!(s.drain_ecc_writes(0, 0, 8).is_empty());
+        assert_eq!(s.l2_tax_bytes(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! On-chip storage and complexity accounting (experiment T4).
+//!
+//! Memory-protection schemes trade DRAM traffic for on-chip state. This
+//! module computes, per scheme, how many bytes of SRAM the mechanism adds
+//! (dedicated structures plus tag/bookkeeping overhead) and how many bytes
+//! of existing L2 it repurposes, so the evaluation can compare schemes at
+//! matched hardware budgets.
+
+use crate::cachecraft::CacheCraftConfig;
+use crate::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::types::ATOM_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Approximate tag + state overhead per cached ECC atom (tag, valid/dirty
+/// bits, replacement state), rounded to whole bytes.
+pub const TAG_BYTES_PER_ENTRY: u64 = 4;
+
+/// Storage bill of one scheme on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageBill {
+    /// New dedicated SRAM, bytes (data arrays + tags), whole GPU.
+    pub dedicated_bytes: u64,
+    /// Existing L2 capacity repurposed, bytes, whole GPU.
+    pub repurposed_l2_bytes: u64,
+    /// Small buffers (write-coalescing entries), bytes, whole GPU.
+    pub buffer_bytes: u64,
+}
+
+impl StorageBill {
+    /// Total new hardware the scheme asks for (repurposed capacity is not
+    /// *new* silicon but is lost to data caching; reported separately).
+    pub fn new_silicon_bytes(&self) -> u64 {
+        self.dedicated_bytes + self.buffer_bytes
+    }
+
+    /// Everything the scheme takes, new or repurposed.
+    pub fn total_bytes(&self) -> u64 {
+        self.dedicated_bytes + self.repurposed_l2_bytes + self.buffer_bytes
+    }
+}
+
+/// Computes the storage bill of `kind` on `cfg`.
+pub fn storage_bill(kind: SchemeKind, cfg: &GpuConfig) -> StorageBill {
+    let channels = cfg.mem.channels as u64;
+    match kind {
+        // Compression logic is combinational (no SRAM arrays); its area is
+        // not expressible in bytes and is excluded, like ECC codec logic.
+        SchemeKind::NoProtection
+        | SchemeKind::InlineNaive { .. }
+        | SchemeKind::CompressedInline { .. } => StorageBill {
+            dedicated_bytes: 0,
+            repurposed_l2_bytes: 0,
+            buffer_bytes: 0,
+        },
+        SchemeKind::EccCache {
+            capacity_per_mc, ..
+        } => {
+            let entries = capacity_per_mc / ATOM_BYTES;
+            StorageBill {
+                dedicated_bytes: channels * (capacity_per_mc + entries * TAG_BYTES_PER_ENTRY),
+                repurposed_l2_bytes: 0,
+                buffer_bytes: 0,
+            }
+        }
+        SchemeKind::CacheCraft(cc) => cachecraft_bill(cc, cfg),
+    }
+}
+
+fn cachecraft_bill(cc: CacheCraftConfig, cfg: &GpuConfig) -> StorageBill {
+    let channels = cfg.mem.channels as u64;
+    let repurposed = if cc.fragment_store {
+        channels * cc.fragment_bytes_per_slice
+    } else {
+        0
+    };
+    // Fragment entries need tags even though the data array is repurposed.
+    let frag_tags = if cc.fragment_store {
+        channels * (cc.fragment_bytes_per_slice / ATOM_BYTES) * TAG_BYTES_PER_ENTRY
+    } else {
+        0
+    };
+    let buffers = if cc.reconstruct {
+        // Each coalescing entry holds one ECC atom plus its address tag.
+        channels * cc.coalesce_entries as u64 * (ATOM_BYTES + TAG_BYTES_PER_ENTRY)
+    } else {
+        0
+    };
+    StorageBill {
+        dedicated_bytes: frag_tags,
+        repurposed_l2_bytes: repurposed,
+        buffer_bytes: buffers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecc_cache::DEFAULT_CAPACITY_PER_MC;
+
+    #[test]
+    fn baselines_cost_nothing() {
+        let cfg = GpuConfig::gddr6();
+        for kind in [
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage: 8 },
+        ] {
+            let bill = storage_bill(kind, &cfg);
+            assert_eq!(bill.total_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn ecc_cache_bill() {
+        let cfg = GpuConfig::gddr6(); // 8 channels
+        let bill = storage_bill(
+            SchemeKind::EccCache {
+                coverage: 8,
+                capacity_per_mc: DEFAULT_CAPACITY_PER_MC,
+            },
+            &cfg,
+        );
+        // 16 KiB data + 512 entries x 4 B tags, x 8 channels.
+        assert_eq!(bill.dedicated_bytes, 8 * ((16 << 10) + 512 * 4));
+        assert_eq!(bill.repurposed_l2_bytes, 0);
+        assert_eq!(bill.new_silicon_bytes(), bill.dedicated_bytes);
+    }
+
+    #[test]
+    fn cachecraft_repurposes_rather_than_adds() {
+        let cfg = GpuConfig::gddr6();
+        let bill = storage_bill(
+            SchemeKind::CacheCraft(CacheCraftConfig::full()),
+            &cfg,
+        );
+        assert_eq!(bill.repurposed_l2_bytes, 8 * (64 << 10));
+        // New silicon: only fragment tags + coalescing buffers — far less
+        // than the dedicated ECC cache.
+        let ecc = storage_bill(
+            SchemeKind::EccCache {
+                coverage: 8,
+                capacity_per_mc: DEFAULT_CAPACITY_PER_MC,
+            },
+            &cfg,
+        );
+        assert!(bill.new_silicon_bytes() < ecc.new_silicon_bytes());
+    }
+
+    #[test]
+    fn ablations_zero_out_components() {
+        let cfg = GpuConfig::gddr6();
+        let c1 = storage_bill(
+            SchemeKind::CacheCraft(CacheCraftConfig::colocate_only()),
+            &cfg,
+        );
+        assert_eq!(c1.total_bytes(), 0, "co-location is a pure layout change");
+        let c3 = storage_bill(
+            SchemeKind::CacheCraft(CacheCraftConfig::reconstruct_only()),
+            &cfg,
+        );
+        assert_eq!(c3.repurposed_l2_bytes, 0);
+        assert!(c3.buffer_bytes > 0);
+    }
+}

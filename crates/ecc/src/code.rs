@@ -1,0 +1,153 @@
+//! Common codec abstractions shared by every ECC implementation in this
+//! crate.
+//!
+//! A *codec* protects a fixed-size block of data bytes with a fixed-size
+//! block of check bytes. Codecs are **systematic**: the data bytes are
+//! stored unmodified and the check bytes are stored separately, which is how
+//! inline-ECC memory systems lay codewords out in DRAM (data atoms and ECC
+//! atoms are distinct transactions).
+//!
+//! # Examples
+//!
+//! ```
+//! use ccraft_ecc::code::{Codec, DecodeOutcome};
+//! use ccraft_ecc::secded::SecDed64;
+//!
+//! let codec = SecDed64::new();
+//! let mut data = *b"CacheCr!";
+//! let check = codec.encode(&data);
+//! data[3] ^= 0x10; // inject a single-bit error
+//! let outcome = codec.decode(&mut data, &check);
+//! assert_eq!(outcome, DecodeOutcome::Corrected { flipped_bits: 1 });
+//! assert_eq!(&data, b"CacheCr!");
+//! ```
+
+use std::fmt;
+
+/// Result of decoding one codeword.
+///
+/// A decoder can only report what its algebra allows it to see: a
+/// sufficiently large error may alias to `Clean` or to a bogus `Corrected`
+/// (silent data corruption). Distinguishing those cases from genuine
+/// success is the job of the fault-injection harness, which compares the
+/// decoded data against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// The syndrome was zero: no error observed.
+    Clean,
+    /// An error was observed and corrected in place.
+    Corrected {
+        /// Number of bits the decoder flipped in the *data* portion.
+        /// Corrections confined to the check bytes report zero.
+        flipped_bits: u32,
+    },
+    /// An error was observed that exceeds the correction capability.
+    /// The data must not be consumed (detected uncorrectable error, DUE).
+    DetectedUncorrectable,
+    /// Tagged codecs only: no data error, but the stored memory tag does
+    /// not match the expected tag (a memory-safety violation).
+    TagMismatch,
+}
+
+impl DecodeOutcome {
+    /// `true` when the data may be consumed (clean or corrected).
+    pub fn is_usable(self) -> bool {
+        matches!(self, DecodeOutcome::Clean | DecodeOutcome::Corrected { .. })
+    }
+}
+
+impl fmt::Display for DecodeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeOutcome::Clean => write!(f, "clean"),
+            DecodeOutcome::Corrected { flipped_bits } => {
+                write!(f, "corrected ({flipped_bits} data bits)")
+            }
+            DecodeOutcome::DetectedUncorrectable => write!(f, "detected uncorrectable"),
+            DecodeOutcome::TagMismatch => write!(f, "tag mismatch"),
+        }
+    }
+}
+
+/// A systematic block-ECC codec.
+///
+/// Implementations are deterministic and side-effect free; the same
+/// `(data, check)` pair always decodes to the same outcome.
+pub trait Codec: fmt::Debug + Send + Sync {
+    /// Number of data bytes per codeword.
+    fn data_len(&self) -> usize;
+
+    /// Number of check bytes per codeword.
+    fn check_len(&self) -> usize;
+
+    /// Computes the check bytes for `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_len()`.
+    fn encode(&self, data: &[u8]) -> Vec<u8>;
+
+    /// Verifies `data` against `check`, correcting `data` in place when the
+    /// observed error is within the correction capability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_len()` or
+    /// `check.len() != self.check_len()`.
+    fn decode(&self, data: &mut [u8], check: &[u8]) -> DecodeOutcome;
+
+    /// Redundancy ratio of the code, `check_len / data_len`.
+    fn redundancy(&self) -> f64 {
+        self.check_len() as f64 / self.data_len() as f64
+    }
+
+    /// Human-readable code name, e.g. `"SEC-DED(72,64)"`.
+    fn name(&self) -> String;
+}
+
+/// Asserts codec slice-length preconditions with a uniform message.
+pub(crate) fn check_lengths(codec: &dyn Codec, data: &[u8], check: Option<&[u8]>) {
+    assert_eq!(
+        data.len(),
+        codec.data_len(),
+        "{}: data length {} != {}",
+        codec.name(),
+        data.len(),
+        codec.data_len()
+    );
+    if let Some(check) = check {
+        assert_eq!(
+            check.len(),
+            codec.check_len(),
+            "{}: check length {} != {}",
+            codec.name(),
+            check.len(),
+            codec.check_len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_usability() {
+        assert!(DecodeOutcome::Clean.is_usable());
+        assert!(DecodeOutcome::Corrected { flipped_bits: 1 }.is_usable());
+        assert!(!DecodeOutcome::DetectedUncorrectable.is_usable());
+        assert!(!DecodeOutcome::TagMismatch.is_usable());
+    }
+
+    #[test]
+    fn outcome_display_nonempty() {
+        for o in [
+            DecodeOutcome::Clean,
+            DecodeOutcome::Corrected { flipped_bits: 2 },
+            DecodeOutcome::DetectedUncorrectable,
+            DecodeOutcome::TagMismatch,
+        ] {
+            assert!(!o.to_string().is_empty());
+        }
+    }
+}

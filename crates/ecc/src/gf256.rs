@@ -1,0 +1,406 @@
+//! Arithmetic over the finite field GF(2^8).
+//!
+//! All symbol-oriented codes in this crate (Reed–Solomon, chipkill-style
+//! correction) operate over GF(2^8) with the conventional primitive
+//! polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11D), the same field used by
+//! CCSDS/DVB Reed–Solomon and by most memory-ECC literature.
+//!
+//! The implementation is table-driven: log/antilog tables are computed once
+//! in a `const` context so field operations are branch-light lookups.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccraft_ecc::gf256::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! // Multiplication distributes over XOR-addition.
+//! let c = Gf256::new(0x0F);
+//! assert_eq!(a * (b + c), a * b + a * c);
+//! // Every non-zero element has a multiplicative inverse.
+//! assert_eq!((a * a.inverse().unwrap()).value(), 1);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub};
+
+/// The primitive polynomial for GF(2^8): `x^8 + x^4 + x^3 + x^2 + 1`.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Number of elements of the field.
+pub const FIELD_SIZE: usize = 256;
+
+/// Order of the multiplicative group (`FIELD_SIZE - 1`).
+pub const GROUP_ORDER: usize = 255;
+
+const fn build_exp_table() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        exp[i + GROUP_ORDER] = x as u8; // duplicated so exp[log a + log b] needs no mod
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Positions >= 2*GROUP_ORDER are never indexed; leave the last two zero.
+    exp
+}
+
+const fn build_log_table(exp: &[u8; 512]) -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+/// `EXP[i] = alpha^i` for `i in 0..510` (doubled to avoid a modulo in `mul`).
+pub(crate) static EXP: [u8; 512] = build_exp_table();
+/// `LOG[a] = log_alpha(a)` for non-zero `a`; `LOG[0]` is unused (0).
+pub(crate) static LOG: [u8; 256] = build_log_table(&EXP);
+
+/// An element of GF(2^8).
+///
+/// Addition is XOR; multiplication is polynomial multiplication modulo
+/// [`PRIMITIVE_POLY`]. The type is a transparent `u8` newtype and is free to
+/// copy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The conventional generator `alpha = x` (0x02).
+    pub const ALPHA: Gf256 = Gf256(2);
+
+    /// Wraps a raw byte as a field element.
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `alpha^i` for any exponent (reduced modulo the group order).
+    #[inline]
+    pub fn alpha_pow(i: i32) -> Self {
+        let i = i.rem_euclid(GROUP_ORDER as i32) as usize;
+        Gf256(EXP[i])
+    }
+
+    /// Discrete logarithm base alpha.
+    ///
+    /// Returns `None` for zero, which has no logarithm.
+    #[inline]
+    pub fn log(self) -> Option<u8> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(LOG[self.0 as usize])
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Returns `None` for zero.
+    #[inline]
+    pub fn inverse(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(Gf256(EXP[GROUP_ORDER - LOG[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Raises this element to an arbitrary integer power.
+    ///
+    /// `0^0` is defined as 1; `0^n` is 0 for `n > 0`; negative powers of
+    /// zero panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero and `n` is negative.
+    pub fn pow(self, n: i32) -> Self {
+        if self.is_zero() {
+            if n == 0 {
+                return Gf256::ONE;
+            }
+            assert!(n > 0, "negative power of zero in GF(256)");
+            return Gf256::ZERO;
+        }
+        let l = LOG[self.0 as usize] as i64;
+        let e = (l * n as i64).rem_euclid(GROUP_ORDER as i64) as usize;
+        Gf256(EXP[e])
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+// Subtraction equals addition in characteristic 2; provided for readability
+// of textbook decoder formulas.
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        self + rhs
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let idx = LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize;
+        Gf256(EXP[idx])
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inverse().expect("division by zero in GF(256)");
+        self * inv
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// Evaluates a polynomial with coefficients in GF(2^8) at `x` using
+/// Horner's rule. `coeffs[0]` is the highest-degree coefficient.
+#[inline]
+pub fn poly_eval(coeffs: &[Gf256], x: Gf256) -> Gf256 {
+    let mut acc = Gf256::ZERO;
+    for &c in coeffs {
+        acc = acc * x + c;
+    }
+    acc
+}
+
+/// Multiplies two polynomials over GF(2^8). `a[0]`/`b[0]` are the
+/// highest-degree coefficients; likewise for the returned product.
+pub fn poly_mul(a: &[Gf256], b: &[Gf256]) -> Vec<Gf256> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Gf256::ZERO; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai.is_zero() {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse_bijections() {
+        for v in 1..=255u8 {
+            let g = Gf256::new(v);
+            let l = g.log().unwrap();
+            assert_eq!(Gf256::alpha_pow(l as i32), g, "log/exp mismatch for {v}");
+        }
+    }
+
+    #[test]
+    fn alpha_generates_the_multiplicative_group() {
+        let mut seen = [false; 256];
+        let mut x = Gf256::ONE;
+        for _ in 0..GROUP_ORDER {
+            assert!(!seen[x.value() as usize], "alpha has order < 255");
+            seen[x.value() as usize] = true;
+            x *= Gf256::ALPHA;
+        }
+        assert_eq!(x, Gf256::ONE, "alpha^255 != 1");
+        assert!(!seen[0]);
+        assert!(seen[1..].iter().all(|&s| s));
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let a = Gf256::new(0xAB);
+        let b = Gf256::new(0x33);
+        assert_eq!((a + b).value(), 0xAB ^ 0x33);
+        assert_eq!(a + a, Gf256::ZERO);
+        assert_eq!(a - b, a + b);
+    }
+
+    #[test]
+    fn multiplication_matches_carryless_reference() {
+        // Slow bitwise reference multiply for cross-checking the tables.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut acc: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= PRIMITIVE_POLY;
+                }
+                b >>= 1;
+            }
+            acc as u8
+        }
+        for a in (0..=255u16).step_by(7) {
+            for b in (0..=255u16).step_by(5) {
+                assert_eq!(
+                    (Gf256::new(a as u8) * Gf256::new(b as u8)).value(),
+                    slow_mul(a, b),
+                    "mismatch at {a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for v in 1..=255u8 {
+            let g = Gf256::new(v);
+            assert_eq!(g * g.inverse().unwrap(), Gf256::ONE);
+            assert_eq!(g / g, Gf256::ONE);
+        }
+        assert_eq!(Gf256::ZERO.inverse(), None);
+    }
+
+    #[test]
+    fn pow_agrees_with_repeated_multiplication() {
+        let g = Gf256::new(0x1D);
+        let mut acc = Gf256::ONE;
+        for n in 0..20 {
+            assert_eq!(g.pow(n), acc);
+            acc *= g;
+        }
+        // Negative exponent: g^-1 * g = 1.
+        assert_eq!(g.pow(-1) * g, Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(3), Gf256::ZERO);
+    }
+
+    #[test]
+    fn distributivity_spot_checks() {
+        for &(a, b, c) in &[(3u8, 7u8, 250u8), (0x53, 0xCA, 0x0F), (255, 254, 253)] {
+            let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!((a + b) * c, a * c + b * c);
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner_matches_manual() {
+        // p(x) = 2x^2 + 3x + 1
+        let p = [Gf256::new(2), Gf256::new(3), Gf256::new(1)];
+        let x = Gf256::new(5);
+        let manual = Gf256::new(2) * x * x + Gf256::new(3) * x + Gf256::new(1);
+        assert_eq!(poly_eval(&p, x), manual);
+        assert_eq!(poly_eval(&p, Gf256::ZERO), Gf256::new(1));
+    }
+
+    #[test]
+    fn poly_mul_degree_and_identity() {
+        let a = [Gf256::new(1), Gf256::new(2)]; // x + 2
+        let b = [Gf256::new(1), Gf256::new(3)]; // x + 3
+        let prod = poly_mul(&a, &b); // x^2 + (2+3)x + 6
+        assert_eq!(prod.len(), 3);
+        assert_eq!(prod[0], Gf256::ONE);
+        assert_eq!(prod[1], Gf256::new(2) + Gf256::new(3));
+        assert_eq!(prod[2], Gf256::new(2) * Gf256::new(3));
+        // Multiplying by the constant polynomial [1] is identity.
+        assert_eq!(poly_mul(&a, &[Gf256::ONE]), a.to_vec());
+        assert!(poly_mul(&a, &[]).is_empty());
+    }
+}

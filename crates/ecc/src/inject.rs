@@ -1,0 +1,240 @@
+//! Fault-injection error models for reliability campaigns.
+//!
+//! Error patterns follow the taxonomy of GPU DRAM beam-testing studies
+//! (Sullivan et al., MICRO'21): independent single-bit upsets, spatially
+//! adjacent multi-bit bursts (shared bitline/sense-amp structures), and
+//! whole-symbol errors modeling a failing device, pin, or TSV.
+//!
+//! An [`ErrorPattern`] is deterministic given its RNG; campaigns seed one
+//! RNG per trial so results are reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccraft_ecc::inject::{ErrorPattern, Injector};
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let inj = Injector::new(ErrorPattern::RandomBits { count: 2 });
+//! let mut word = [0u8; 8];
+//! let flipped = inj.apply(&mut word, &mut rng);
+//! assert_eq!(flipped.len(), 2);
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A fault pattern to inject into one codeword buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorPattern {
+    /// `count` independent uniformly-placed bit flips (distinct positions).
+    RandomBits {
+        /// Number of distinct bits to flip.
+        count: u32,
+    },
+    /// A burst of `len` *adjacent* bit positions, all flipped.
+    AdjacentBurst {
+        /// Burst length in bits.
+        len: u32,
+    },
+    /// A random multi-bit error confined to one aligned 8-bit symbol
+    /// (models a chip/pin failure in a symbol-interleaved layout).
+    SymbolError,
+    /// Every bit contributed by one "chip": positions `c, c+stride,
+    /// c+2*stride, ...` for a random chip lane `c`, each flipped with
+    /// probability 1/2 (at least one guaranteed).
+    ChipLane {
+        /// Number of chip lanes the word is striped across.
+        stride: u32,
+    },
+}
+
+impl fmt::Display for ErrorPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorPattern::RandomBits { count } => write!(f, "{count} random bits"),
+            ErrorPattern::AdjacentBurst { len } => write!(f, "{len}-bit adjacent burst"),
+            ErrorPattern::SymbolError => write!(f, "single-symbol error"),
+            ErrorPattern::ChipLane { stride } => write!(f, "chip-lane error (x{stride})"),
+        }
+    }
+}
+
+/// Applies [`ErrorPattern`]s to byte buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injector {
+    pattern: ErrorPattern,
+}
+
+impl Injector {
+    /// Creates an injector for the given pattern.
+    pub fn new(pattern: ErrorPattern) -> Self {
+        Injector { pattern }
+    }
+
+    /// The configured pattern.
+    pub fn pattern(&self) -> ErrorPattern {
+        self.pattern
+    }
+
+    /// Flips bits in `buf` according to the pattern, returning the flipped
+    /// bit positions (bit `i` = byte `i / 8`, bit `i % 8`), sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is empty or smaller than the pattern requires.
+    pub fn apply<R: Rng + ?Sized>(&self, buf: &mut [u8], rng: &mut R) -> Vec<u32> {
+        assert!(!buf.is_empty(), "cannot inject into an empty buffer");
+        let nbits = (buf.len() * 8) as u32;
+        let mut positions: Vec<u32> = match self.pattern {
+            ErrorPattern::RandomBits { count } => {
+                assert!(count <= nbits, "more flips than bits");
+                let mut all: Vec<u32> = (0..nbits).collect();
+                all.partial_shuffle(rng, count as usize).0.to_vec()
+            }
+            ErrorPattern::AdjacentBurst { len } => {
+                assert!(len >= 1 && len <= nbits, "burst length out of range");
+                let start = rng.gen_range(0..=(nbits - len));
+                (start..start + len).collect()
+            }
+            ErrorPattern::SymbolError => {
+                let symbol = rng.gen_range(0..buf.len() as u32);
+                let mask: u8 = rng.gen_range(1..=255);
+                (0..8)
+                    .filter(|&b| mask >> b & 1 != 0)
+                    .map(|b| symbol * 8 + b)
+                    .collect()
+            }
+            ErrorPattern::ChipLane { stride } => {
+                assert!(stride >= 1 && stride <= nbits, "stride out of range");
+                let lane = rng.gen_range(0..stride);
+                let candidates: Vec<u32> = (lane..nbits).step_by(stride as usize).collect();
+                assert!(!candidates.is_empty());
+                let mut picked: Vec<u32> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.5))
+                    .collect();
+                if picked.is_empty() {
+                    picked.push(*candidates.choose(rng).expect("nonempty"));
+                }
+                picked
+            }
+        };
+        positions.sort_unstable();
+        positions.dedup();
+        for &p in &positions {
+            buf[(p / 8) as usize] ^= 1 << (p % 8);
+        }
+        positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_bits_flips_exact_count() {
+        let inj = Injector::new(ErrorPattern::RandomBits { count: 3 });
+        for seed in 0..50 {
+            let mut buf = [0u8; 8];
+            let pos = inj.apply(&mut buf, &mut rng(seed));
+            assert_eq!(pos.len(), 3);
+            let total: u32 = buf.iter().map(|b| b.count_ones()).sum();
+            assert_eq!(total, 3, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn burst_is_contiguous() {
+        let inj = Injector::new(ErrorPattern::AdjacentBurst { len: 5 });
+        for seed in 0..50 {
+            let mut buf = [0u8; 8];
+            let pos = inj.apply(&mut buf, &mut rng(seed));
+            assert_eq!(pos.len(), 5);
+            for w in pos.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "seed {seed}: not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_error_confined_to_one_byte() {
+        let inj = Injector::new(ErrorPattern::SymbolError);
+        for seed in 0..50 {
+            let mut buf = [0u8; 16];
+            let pos = inj.apply(&mut buf, &mut rng(seed));
+            assert!(!pos.is_empty());
+            let bytes: std::collections::HashSet<u32> = pos.iter().map(|p| p / 8).collect();
+            assert_eq!(bytes.len(), 1, "seed {seed}: spans multiple symbols");
+            assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn chip_lane_respects_stride() {
+        let inj = Injector::new(ErrorPattern::ChipLane { stride: 4 });
+        for seed in 0..50 {
+            let mut buf = [0u8; 8];
+            let pos = inj.apply(&mut buf, &mut rng(seed));
+            assert!(!pos.is_empty());
+            let lane = pos[0] % 4;
+            assert!(
+                pos.iter().all(|p| p % 4 == lane),
+                "seed {seed}: positions cross lanes"
+            );
+        }
+    }
+
+    #[test]
+    fn application_is_self_inverse() {
+        let inj = Injector::new(ErrorPattern::RandomBits { count: 4 });
+        let original: Vec<u8> = (0..32).collect();
+        let mut buf = original.clone();
+        let mut r = rng(99);
+        let pos = inj.apply(&mut buf, &mut r);
+        assert_ne!(buf, original);
+        for &p in &pos {
+            buf[(p / 8) as usize] ^= 1 << (p % 8);
+        }
+        assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inj = Injector::new(ErrorPattern::AdjacentBurst { len: 3 });
+        let mut a = [0u8; 8];
+        let mut b = [0u8; 8];
+        inj.apply(&mut a, &mut rng(5));
+        inj.apply(&mut b, &mut rng(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn rejects_empty_buffer() {
+        let inj = Injector::new(ErrorPattern::SymbolError);
+        inj.apply(&mut [], &mut rng(0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for p in [
+            ErrorPattern::RandomBits { count: 1 },
+            ErrorPattern::AdjacentBurst { len: 2 },
+            ErrorPattern::SymbolError,
+            ErrorPattern::ChipLane { stride: 4 },
+        ] {
+            assert!(!p.to_string().is_empty());
+        }
+    }
+}

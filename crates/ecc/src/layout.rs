@@ -1,0 +1,519 @@
+//! Inline-ECC memory layouts: where check bits live in DRAM.
+//!
+//! GDDR-based GPUs have no side-band ECC devices, so enabling protection
+//! carves the redundancy out of the *same* DRAM ("inline ECC"). The layout
+//! decides the cost of every protected access:
+//!
+//! * [`EccPlacement::ReservedRegion`] — the industry-default layout. All
+//!   ECC atoms live in a reserved region at the top of the address space.
+//!   An ECC fetch therefore targets a *different* DRAM row (often a
+//!   different bank) than its data, causing row-buffer interference.
+//! * [`EccPlacement::RowColocated`] — CacheCraft's **C1** mechanism: each
+//!   DRAM row reserves its last few atoms for the ECC of that row's own
+//!   data atoms, so an ECC fetch is almost always a row-buffer hit.
+//!
+//! All math is in units of 32-byte **atoms** (the DRAM access granularity
+//! of modern GPUs). One ECC atom carries the check bytes of `coverage`
+//! data atoms (`coverage = 8` ⇒ 4 check bytes per 32 B atom ⇒ 12.5 %
+//! redundancy, the SEC-DED(72,64) budget).
+//!
+//! # Examples
+//!
+//! ```
+//! use ccraft_ecc::layout::{EccPlacement, InlineLayout};
+//!
+//! // 1 GiB channel, 2 KiB rows (64 atoms), one ECC atom per 8 data atoms.
+//! let layout = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, 1 << 25);
+//! let phys = layout.logical_to_physical(0);
+//! let ecc = layout.ecc_atom_for(phys);
+//! // Co-location: the ECC atom is in the same 64-atom row as its data.
+//! assert_eq!(phys / 64, ecc / 64);
+//! ```
+
+use std::fmt;
+
+/// Size of one DRAM atom (minimum access granularity) in bytes.
+pub const ATOM_BYTES: u64 = 32;
+
+/// Placement policy for inline ECC atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccPlacement {
+    /// All ECC atoms in a reserved region at the top of physical memory
+    /// (default firmware layout on inline-ECC GPUs).
+    ReservedRegion,
+    /// ECC atoms carved out of the tail of each DRAM row, co-located with
+    /// the data they protect (`row_atoms` = atoms per DRAM row).
+    RowColocated {
+        /// Number of atoms per DRAM row (row size / 32 B).
+        row_atoms: u32,
+    },
+}
+
+impl fmt::Display for EccPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccPlacement::ReservedRegion => write!(f, "reserved-region"),
+            EccPlacement::RowColocated { row_atoms } => {
+                write!(f, "row-colocated(row={row_atoms} atoms)")
+            }
+        }
+    }
+}
+
+/// A concrete inline-ECC layout over a physical atom space.
+///
+/// Logical (software-visible) atom indices are dense `0..data_atoms()`;
+/// physical atom indices are `0..total_atoms` and include ECC atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineLayout {
+    placement: EccPlacement,
+    /// Data atoms covered by one ECC atom.
+    coverage: u32,
+    /// Total physical atoms.
+    total_atoms: u64,
+    /// Derived: usable data atoms.
+    data_atoms: u64,
+    /// Derived (row-colocated): data atoms per row.
+    row_data_atoms: u32,
+    /// Derived (row-colocated): ecc atoms per row.
+    row_ecc_atoms: u32,
+}
+
+impl InlineLayout {
+    /// Builds a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is zero or does not divide [`ATOM_BYTES`]
+    /// evenly into whole check bytes, if `total_atoms` is too small to hold
+    /// one coverage group, or (row-colocated) if `row_atoms` is zero or
+    /// `total_atoms` is not a whole number of rows.
+    pub fn new(placement: EccPlacement, coverage: u32, total_atoms: u64) -> Self {
+        assert!(coverage > 0, "coverage must be positive");
+        assert_eq!(
+            ATOM_BYTES % coverage as u64,
+            0,
+            "coverage {coverage} must divide the {ATOM_BYTES}-byte atom into whole check bytes"
+        );
+        let (data_atoms, row_data_atoms, row_ecc_atoms) = match placement {
+            EccPlacement::ReservedRegion => {
+                // D data atoms + ceil(D / coverage) ecc atoms <= total.
+                // Solve by shrinking from the ideal ratio.
+                let mut d = total_atoms * coverage as u64 / (coverage as u64 + 1);
+                while d + d.div_ceil(coverage as u64) > total_atoms {
+                    d -= 1;
+                }
+                assert!(d > 0, "memory too small for one coverage group");
+                (d, 0, 0)
+            }
+            EccPlacement::RowColocated { row_atoms } => {
+                assert!(row_atoms > 0, "row_atoms must be positive");
+                assert_eq!(
+                    total_atoms % row_atoms as u64,
+                    0,
+                    "total_atoms must be a whole number of rows"
+                );
+                let e = (row_atoms as u64).div_ceil(coverage as u64 + 1) as u32;
+                let d = row_atoms - e;
+                assert!(
+                    d as u64 <= e as u64 * coverage as u64,
+                    "row carve-out insufficient: {d} data atoms, {e} ecc atoms x{coverage}"
+                );
+                assert!(d > 0, "row too small for any data atoms");
+                let rows = total_atoms / row_atoms as u64;
+                (rows * d as u64, d, e)
+            }
+        };
+        InlineLayout {
+            placement,
+            coverage,
+            total_atoms,
+            data_atoms,
+            row_data_atoms,
+            row_ecc_atoms,
+        }
+    }
+
+    /// An unprotected layout helper: identity mapping, no ECC atoms.
+    /// Useful so callers can treat ECC-off uniformly.
+    pub fn unprotected(total_atoms: u64) -> Self {
+        InlineLayout {
+            placement: EccPlacement::ReservedRegion,
+            coverage: 0,
+            total_atoms,
+            data_atoms: total_atoms,
+            row_data_atoms: 0,
+            row_ecc_atoms: 0,
+        }
+    }
+
+    /// `true` if this layout carries no ECC (built via
+    /// [`unprotected`](Self::unprotected)).
+    pub fn is_unprotected(&self) -> bool {
+        self.coverage == 0
+    }
+
+    /// The placement policy.
+    pub fn placement(&self) -> EccPlacement {
+        self.placement
+    }
+
+    /// Data atoms covered per ECC atom (0 when unprotected).
+    pub fn coverage(&self) -> u32 {
+        self.coverage
+    }
+
+    /// Check bytes stored per data atom.
+    pub fn check_bytes_per_atom(&self) -> u64 {
+        if self.coverage == 0 {
+            0
+        } else {
+            ATOM_BYTES / self.coverage as u64
+        }
+    }
+
+    /// Usable (software-visible) data atoms.
+    pub fn data_atoms(&self) -> u64 {
+        self.data_atoms
+    }
+
+    /// Total physical atoms including ECC.
+    pub fn total_atoms(&self) -> u64 {
+        self.total_atoms
+    }
+
+    /// Fraction of physical capacity available to data.
+    pub fn data_capacity_fraction(&self) -> f64 {
+        self.data_atoms as f64 / self.total_atoms as f64
+    }
+
+    /// Maps a dense logical data-atom index to its physical atom index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= self.data_atoms()`.
+    pub fn logical_to_physical(&self, logical: u64) -> u64 {
+        assert!(
+            logical < self.data_atoms,
+            "logical atom {logical} out of bounds ({})",
+            self.data_atoms
+        );
+        match self.placement {
+            _ if self.coverage == 0 => logical,
+            EccPlacement::ReservedRegion => logical,
+            EccPlacement::RowColocated { row_atoms } => {
+                let row = logical / self.row_data_atoms as u64;
+                let offset = logical % self.row_data_atoms as u64;
+                row * row_atoms as u64 + offset
+            }
+        }
+    }
+
+    /// Maps a physical data-atom index back to its logical index.
+    ///
+    /// Returns `None` when `physical` addresses an ECC atom or lies outside
+    /// the populated range.
+    pub fn physical_to_logical(&self, physical: u64) -> Option<u64> {
+        if physical >= self.total_atoms {
+            return None;
+        }
+        match self.placement {
+            _ if self.coverage == 0 => Some(physical),
+            EccPlacement::ReservedRegion => {
+                if physical < self.data_atoms {
+                    Some(physical)
+                } else {
+                    None
+                }
+            }
+            EccPlacement::RowColocated { row_atoms } => {
+                let row = physical / row_atoms as u64;
+                let offset = physical % row_atoms as u64;
+                if offset < self.row_data_atoms as u64 {
+                    let logical = row * self.row_data_atoms as u64 + offset;
+                    (logical < self.data_atoms).then_some(logical)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// `true` if the physical atom holds ECC rather than data.
+    pub fn is_ecc_atom(&self, physical: u64) -> bool {
+        if self.coverage == 0 || physical >= self.total_atoms {
+            return false;
+        }
+        match self.placement {
+            EccPlacement::ReservedRegion => physical >= self.data_atoms,
+            EccPlacement::RowColocated { row_atoms } => {
+                physical % row_atoms as u64 >= self.row_data_atoms as u64
+            }
+        }
+    }
+
+    /// Physical index of the ECC atom protecting the given physical
+    /// *data* atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics when unprotected or when `data_physical` is an ECC atom or
+    /// out of range.
+    pub fn ecc_atom_for(&self, data_physical: u64) -> u64 {
+        assert!(self.coverage != 0, "layout is unprotected");
+        let logical = self
+            .physical_to_logical(data_physical)
+            .expect("not a data atom");
+        match self.placement {
+            EccPlacement::ReservedRegion => self.data_atoms + logical / self.coverage as u64,
+            EccPlacement::RowColocated { row_atoms } => {
+                let row = data_physical / row_atoms as u64;
+                let offset = data_physical % row_atoms as u64;
+                let group = offset / self.coverage as u64;
+                debug_assert!(group < self.row_ecc_atoms as u64);
+                row * row_atoms as u64 + self.row_data_atoms as u64 + group
+            }
+        }
+    }
+
+    /// Byte range of the check bytes for `data_physical` *within* its ECC
+    /// atom: `(offset, len)` with `offset + len <= 32`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ecc_atom_for`](Self::ecc_atom_for).
+    pub fn check_bytes_in_ecc_atom(&self, data_physical: u64) -> (u64, u64) {
+        assert!(self.coverage != 0, "layout is unprotected");
+        let len = self.check_bytes_per_atom();
+        let slot = match self.placement {
+            EccPlacement::ReservedRegion => {
+                let logical = self
+                    .physical_to_logical(data_physical)
+                    .expect("not a data atom");
+                logical % self.coverage as u64
+            }
+            EccPlacement::RowColocated { row_atoms } => {
+                let offset = data_physical % row_atoms as u64;
+                debug_assert!(offset < self.row_data_atoms as u64, "not a data atom");
+                offset % self.coverage as u64
+            }
+        };
+        (slot * len, len)
+    }
+
+    /// The physical data atoms covered by the given physical ECC atom, as
+    /// `(first_data_atom, count)`. The covered atoms are contiguous in
+    /// physical space in both placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ecc_physical` is not an ECC atom.
+    pub fn covered_data_atoms(&self, ecc_physical: u64) -> (u64, u64) {
+        assert!(
+            self.is_ecc_atom(ecc_physical),
+            "{ecc_physical} is not an ECC atom"
+        );
+        match self.placement {
+            EccPlacement::ReservedRegion => {
+                let group = ecc_physical - self.data_atoms;
+                let first = group * self.coverage as u64;
+                let count = self.coverage as u64 * (group + 1);
+                let count = count.min(self.data_atoms) - first;
+                (first, count)
+            }
+            EccPlacement::RowColocated { row_atoms } => {
+                let row = ecc_physical / row_atoms as u64;
+                let group = ecc_physical % row_atoms as u64 - self.row_data_atoms as u64;
+                let first_off = group * self.coverage as u64;
+                let count =
+                    (self.coverage as u64).min(self.row_data_atoms as u64 - first_off.min(self.row_data_atoms as u64));
+                (row * row_atoms as u64 + first_off, count)
+            }
+        }
+    }
+
+    /// Data atoms per row and ECC atoms per row (row-colocated layouts
+    /// only; `(0, 0)` otherwise).
+    pub fn row_split(&self) -> (u32, u32) {
+        (self.row_data_atoms, self.row_ecc_atoms)
+    }
+}
+
+impl fmt::Display for InlineLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unprotected() {
+            write!(f, "unprotected({} atoms)", self.total_atoms)
+        } else {
+            write!(
+                f,
+                "{} x1:{} over {} atoms ({:.1}% usable)",
+                self.placement,
+                self.coverage,
+                self.total_atoms,
+                100.0 * self.data_capacity_fraction()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB_ATOMS: u64 = 1 << 15; // 1 MiB of 32 B atoms
+
+    #[test]
+    fn reserved_region_capacity_split() {
+        let l = InlineLayout::new(EccPlacement::ReservedRegion, 8, MIB_ATOMS);
+        let d = l.data_atoms();
+        assert!(d + d.div_ceil(8) <= MIB_ATOMS);
+        // Within one atom of the ideal 8/9 split.
+        assert!((d as f64 - MIB_ATOMS as f64 * 8.0 / 9.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn reserved_region_mapping_is_identity_for_data() {
+        let l = InlineLayout::new(EccPlacement::ReservedRegion, 8, MIB_ATOMS);
+        for logical in [0u64, 1, 7, 8, 1000, l.data_atoms() - 1] {
+            assert_eq!(l.logical_to_physical(logical), logical);
+            assert_eq!(l.physical_to_logical(logical), Some(logical));
+        }
+    }
+
+    #[test]
+    fn reserved_region_ecc_atoms_at_top() {
+        let l = InlineLayout::new(EccPlacement::ReservedRegion, 8, MIB_ATOMS);
+        let d = l.data_atoms();
+        assert!(!l.is_ecc_atom(0));
+        assert!(!l.is_ecc_atom(d - 1));
+        assert!(l.is_ecc_atom(d));
+        assert_eq!(l.ecc_atom_for(0), d);
+        assert_eq!(l.ecc_atom_for(7), d);
+        assert_eq!(l.ecc_atom_for(8), d + 1);
+    }
+
+    #[test]
+    fn row_colocated_split() {
+        // 64-atom (2 KiB) rows, coverage 8 → 8 ECC atoms, 56 data atoms.
+        let l = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, MIB_ATOMS);
+        assert_eq!(l.row_split(), (56, 8));
+        assert_eq!(l.data_atoms(), MIB_ATOMS / 64 * 56);
+    }
+
+    #[test]
+    fn row_colocated_ecc_in_same_row() {
+        let l = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, MIB_ATOMS);
+        for logical in [0u64, 1, 55, 56, 100, 1000, l.data_atoms() - 1] {
+            let phys = l.logical_to_physical(logical);
+            let ecc = l.ecc_atom_for(phys);
+            assert_eq!(phys / 64, ecc / 64, "logical {logical}: ECC in another row");
+            assert!(l.is_ecc_atom(ecc));
+            assert!(!l.is_ecc_atom(phys));
+        }
+    }
+
+    #[test]
+    fn logical_physical_round_trip() {
+        for placement in [
+            EccPlacement::ReservedRegion,
+            EccPlacement::RowColocated { row_atoms: 64 },
+        ] {
+            for coverage in [8u32, 16, 32] {
+                let l = InlineLayout::new(placement, coverage, MIB_ATOMS);
+                for logical in (0..l.data_atoms()).step_by(997) {
+                    let phys = l.logical_to_physical(logical);
+                    assert_eq!(
+                        l.physical_to_logical(phys),
+                        Some(logical),
+                        "{placement:?} x{coverage} logical {logical}"
+                    );
+                    assert!(!l.is_ecc_atom(phys));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_byte_slots_tile_the_ecc_atom() {
+        let l = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, MIB_ATOMS);
+        // The 8 data atoms of one group use disjoint 4-byte slots.
+        let mut seen = vec![false; 8];
+        for logical in 0..8u64 {
+            let phys = l.logical_to_physical(logical);
+            let (off, len) = l.check_bytes_in_ecc_atom(phys);
+            assert_eq!(len, 4);
+            assert_eq!(off % 4, 0);
+            let slot = (off / 4) as usize;
+            assert!(!seen[slot], "slot {slot} reused");
+            seen[slot] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn covered_data_atoms_inverts_ecc_atom_for() {
+        for placement in [
+            EccPlacement::ReservedRegion,
+            EccPlacement::RowColocated { row_atoms: 64 },
+        ] {
+            let l = InlineLayout::new(placement, 8, MIB_ATOMS);
+            for logical in (0..l.data_atoms()).step_by(131) {
+                let phys = l.logical_to_physical(logical);
+                let ecc = l.ecc_atom_for(phys);
+                let (first, count) = l.covered_data_atoms(ecc);
+                assert!(
+                    (first..first + count).contains(&phys),
+                    "{placement:?}: atom {phys} not covered by its own ECC atom"
+                );
+                // Every covered atom maps back to this ECC atom.
+                for covered in first..first + count {
+                    assert_eq!(l.ecc_atom_for(covered), ecc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unprotected_layout() {
+        let l = InlineLayout::unprotected(MIB_ATOMS);
+        assert!(l.is_unprotected());
+        assert_eq!(l.data_atoms(), MIB_ATOMS);
+        assert_eq!(l.logical_to_physical(42), 42);
+        assert!(!l.is_ecc_atom(42));
+        assert_eq!(l.check_bytes_per_atom(), 0);
+        assert!((l.data_capacity_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_fraction_by_coverage() {
+        for (coverage, min_frac) in [(8u32, 0.85), (16, 0.92), (32, 0.96)] {
+            let l = InlineLayout::new(EccPlacement::ReservedRegion, coverage, MIB_ATOMS);
+            assert!(
+                l.data_capacity_fraction() > min_frac,
+                "x{coverage}: {}",
+                l.data_capacity_fraction()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn rejects_partial_rows() {
+        let _ = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, MIB_ATOMS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_oob_logical() {
+        let l = InlineLayout::new(EccPlacement::ReservedRegion, 8, MIB_ATOMS);
+        let _ = l.logical_to_physical(l.data_atoms());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, MIB_ATOMS);
+        let s = l.to_string();
+        assert!(s.contains("row-colocated"));
+        assert!(s.contains("1:8"));
+    }
+}

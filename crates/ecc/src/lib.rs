@@ -1,0 +1,55 @@
+//! # ccraft-ecc — ECC codecs and inline-ECC layouts
+//!
+//! The error-coding substrate of the CacheCraft reproduction: everything
+//! needed to *protect* memory (codecs) and to decide *where the redundancy
+//! lives* in DRAM (layouts), plus fault-injection models for reliability
+//! campaigns.
+//!
+//! ## Modules
+//!
+//! * [`gf256`] — GF(2^8) field arithmetic (table-driven).
+//! * [`code`] — the [`Codec`] trait and [`DecodeOutcome`].
+//! * [`secded`] — extended-Hamming SEC-DED codes, including the canonical
+//!   (72,64) memory configuration.
+//! * [`rs`] — Reed–Solomon symbol codes (chipkill-class protection) with a
+//!   full Berlekamp–Massey / Chien / Forney decoder.
+//! * [`crc`] — detection-only CRC codecs.
+//! * [`tagged`] — alias-free implicit memory tagging on top of SEC-DED.
+//! * [`layout`] — inline-ECC placement math: reserved-region vs
+//!   row-colocated ECC atoms (CacheCraft mechanism **C1**).
+//! * [`inject`] — bit/burst/symbol/chip-lane error models.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ccraft_ecc::code::{Codec, DecodeOutcome};
+//! use ccraft_ecc::secded::SecDed64;
+//! use ccraft_ecc::layout::{EccPlacement, InlineLayout};
+//!
+//! // Protect one 8-byte word.
+//! let codec = SecDed64::new();
+//! let mut word = *b"CacheCr!";
+//! let check = codec.encode(&word);
+//! word[0] ^= 0x04;
+//! assert!(codec.decode(&mut word, &check).is_usable());
+//!
+//! // Decide where its check bits live in a 1 GiB inline-ECC channel.
+//! let layout = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, 1 << 25);
+//! let ecc_atom = layout.ecc_atom_for(layout.logical_to_physical(0));
+//! assert!(layout.is_ecc_atom(ecc_atom));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod code;
+pub mod crc;
+pub mod gf256;
+pub mod inject;
+pub mod layout;
+pub mod rs;
+pub mod secded;
+pub mod tagged;
+
+pub use code::{Codec, DecodeOutcome};
+pub use layout::{EccPlacement, InlineLayout, ATOM_BYTES};

@@ -1,0 +1,190 @@
+//! `ccx` — the CacheCraft command-line driver.
+//!
+//! A user-facing front end over the library for one-off simulations,
+//! without writing Rust:
+//!
+//! ```text
+//! ccx list                               # workloads, schemes, machines
+//! ccx run --workload spmv --scheme cachecraft --size small
+//! ccx run --workload triad --scheme all --machine hbm2 --energy
+//! ccx reliability --codec rs36 --pattern symbol --trials 5000
+//! ```
+
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_core::reliability::{Campaign, CodecKind};
+use ccraft_ecc::inject::ErrorPattern;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::energy::EnergyModel;
+use ccraft_workloads::{SizeClass, Workload};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ccx — CacheCraft simulator driver
+
+USAGE:
+  ccx list
+  ccx run --workload <name|all> [--scheme <name|all>] [--size tiny|small|full]
+          [--machine gddr6|hbm2] [--seed N] [--energy]
+  ccx reliability [--codec <secded|rs36|rs18|crc32|tagged4>]
+                  [--pattern <bit1|bit2|bit3|burst4|symbol|chiplane>] [--trials N] [--seed N]
+
+Run `ccx list` to see every workload and scheme name.";
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn scheme_by_name(name: &str, cfg: &GpuConfig) -> Option<SchemeKind> {
+    match name {
+        "no-protection" | "off" => Some(SchemeKind::NoProtection),
+        "inline-naive" | "naive" => Some(SchemeKind::InlineNaive { coverage: 8 }),
+        "ecc-cache" => Some(SchemeKind::EccCache {
+            coverage: 8,
+            capacity_per_mc: 16 << 10,
+        }),
+        "cachecraft" => Some(SchemeKind::CacheCraft(CacheCraftConfig::for_machine(cfg))),
+        _ => None,
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!("workloads:");
+    for w in Workload::ALL {
+        println!("  {w}");
+    }
+    println!("schemes:\n  no-protection\n  inline-naive\n  ecc-cache\n  cachecraft");
+    println!("machines:\n  gddr6 (default)\n  hbm2");
+    println!("sizes:\n  tiny\n  small (default)\n  full");
+    println!("codecs:\n  secded  rs36  rs18  crc32  tagged4");
+    println!("patterns:\n  bit1  bit2  bit3  burst4  symbol  chiplane");
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let machine = parse_flag(args, "--machine").unwrap_or_else(|| "gddr6".into());
+    let cfg = match machine.as_str() {
+        "gddr6" => GpuConfig::gddr6(),
+        "hbm2" => GpuConfig::hbm2(),
+        other => {
+            eprintln!("unknown machine {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let size = match parse_flag(args, "--size").as_deref() {
+        None | Some("small") => SizeClass::Small,
+        Some("tiny") => SizeClass::Tiny,
+        Some("full") => SizeClass::Full,
+        Some(other) => {
+            eprintln!("unknown size {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = parse_flag(args, "--seed")
+        .map(|s| s.parse().expect("--seed expects an integer"))
+        .unwrap_or(1);
+    let show_energy = args.iter().any(|a| a == "--energy");
+    let Some(workload_arg) = parse_flag(args, "--workload") else {
+        eprintln!("--workload is required\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let workloads: Vec<Workload> = if workload_arg == "all" {
+        Workload::ALL.to_vec()
+    } else {
+        match Workload::from_name(&workload_arg) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!("unknown workload {workload_arg:?} (see `ccx list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let scheme_arg = parse_flag(args, "--scheme").unwrap_or_else(|| "all".into());
+    let schemes: Vec<SchemeKind> = if scheme_arg == "all" {
+        SchemeKind::headline(&cfg).to_vec()
+    } else {
+        match scheme_by_name(&scheme_arg, &cfg) {
+            Some(k) => vec![k],
+            None => {
+                eprintln!("unknown scheme {scheme_arg:?} (see `ccx list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let model = EnergyModel::gddr6();
+    for w in workloads {
+        let trace = w.generate(size, seed);
+        println!("\n{trace}");
+        for &kind in &schemes {
+            let s = run_scheme(&cfg, kind, &trace);
+            println!("{s}");
+            if show_energy {
+                println!("  energy: {}", model.evaluate(&s, cfg.mem.channels));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_reliability(args: &[String]) -> ExitCode {
+    let codec = match parse_flag(args, "--codec").as_deref() {
+        None | Some("secded") => CodecKind::SecDed64,
+        Some("rs36") => CodecKind::Rs36_32,
+        Some("rs18") => CodecKind::Rs18_16,
+        Some("crc32") => CodecKind::Crc32,
+        Some("tagged4") => CodecKind::Tagged4,
+        Some(other) => {
+            eprintln!("unknown codec {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pattern = match parse_flag(args, "--pattern").as_deref() {
+        None | Some("bit1") => ErrorPattern::RandomBits { count: 1 },
+        Some("bit2") => ErrorPattern::RandomBits { count: 2 },
+        Some("bit3") => ErrorPattern::RandomBits { count: 3 },
+        Some("burst4") => ErrorPattern::AdjacentBurst { len: 4 },
+        Some("symbol") => ErrorPattern::SymbolError,
+        Some("chiplane") => ErrorPattern::ChipLane { stride: 4 },
+        Some(other) => {
+            eprintln!("unknown pattern {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trials: u32 = parse_flag(args, "--trials")
+        .map(|s| s.parse().expect("--trials expects an integer"))
+        .unwrap_or(2_000);
+    let seed: u64 = parse_flag(args, "--seed")
+        .map(|s| s.parse().expect("--seed expects an integer"))
+        .unwrap_or(1);
+    let r = Campaign {
+        codec,
+        pattern,
+        trials,
+        seed,
+    }
+    .run();
+    println!("{codec} under {pattern} ({trials} trials):");
+    println!(
+        "  benign {:.2}%  corrected {:.2}%  DUE {:.2}%  SDC {:.2}%",
+        100.0 * r.benign as f64 / r.trials as f64,
+        100.0 * r.corrected as f64 / r.trials as f64,
+        100.0 * r.due_rate(),
+        100.0 * r.sdc_rate(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args),
+        Some("reliability") => cmd_reliability(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::ablation`.
+fn main() {
+    ccraft_harness::experiments::ablation::run(&ccraft_harness::ExpOptions::from_args());
+}

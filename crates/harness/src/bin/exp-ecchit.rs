@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::ecchit`.
+fn main() {
+    ccraft_harness::experiments::ecchit::run(&ccraft_harness::ExpOptions::from_args());
+}

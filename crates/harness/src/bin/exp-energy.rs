@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::energy`.
+fn main() {
+    ccraft_harness::experiments::energy::run(&ccraft_harness::ExpOptions::from_args());
+}

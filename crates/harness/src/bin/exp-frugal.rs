@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::frugal`.
+fn main() {
+    ccraft_harness::experiments::frugal::run(&ccraft_harness::ExpOptions::from_args());
+}

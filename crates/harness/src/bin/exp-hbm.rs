@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::hbm`.
+fn main() {
+    ccraft_harness::experiments::hbm::run(&ccraft_harness::ExpOptions::from_args());
+}

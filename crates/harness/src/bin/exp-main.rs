@@ -1,0 +1,4 @@
+//! F4 + F5 — main result. See `ccraft_harness::experiments::main_result`.
+fn main() {
+    ccraft_harness::experiments::main_result::run(&ccraft_harness::ExpOptions::from_args());
+}

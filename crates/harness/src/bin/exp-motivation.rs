@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::motivation`.
+fn main() {
+    ccraft_harness::experiments::motivation::run(&ccraft_harness::ExpOptions::from_args());
+}

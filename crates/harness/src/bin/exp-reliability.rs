@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::reliability`.
+fn main() {
+    ccraft_harness::experiments::reliability::run(&ccraft_harness::ExpOptions::from_args());
+}

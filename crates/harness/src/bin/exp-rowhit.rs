@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::rowhit`.
+fn main() {
+    ccraft_harness::experiments::rowhit::run(&ccraft_harness::ExpOptions::from_args());
+}

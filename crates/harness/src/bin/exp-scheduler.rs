@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::scheduler`.
+fn main() {
+    ccraft_harness::experiments::scheduler::run(&ccraft_harness::ExpOptions::from_args());
+}

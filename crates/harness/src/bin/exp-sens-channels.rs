@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::sens_channels`.
+fn main() {
+    ccraft_harness::experiments::sens_channels::run(&ccraft_harness::ExpOptions::from_args());
+}

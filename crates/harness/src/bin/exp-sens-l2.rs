@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::sens_l2`.
+fn main() {
+    ccraft_harness::experiments::sens_l2::run(&ccraft_harness::ExpOptions::from_args());
+}

@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::storage`.
+fn main() {
+    ccraft_harness::experiments::storage::run(&ccraft_harness::ExpOptions::from_args());
+}

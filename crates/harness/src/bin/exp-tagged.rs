@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::tagged`.
+fn main() {
+    ccraft_harness::experiments::tagged::run(&ccraft_harness::ExpOptions::from_args());
+}

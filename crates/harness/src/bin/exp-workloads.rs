@@ -1,0 +1,4 @@
+//! Thin wrapper; see `ccraft_harness::experiments::workload_table`.
+fn main() {
+    ccraft_harness::experiments::workload_table::run(&ccraft_harness::ExpOptions::from_args());
+}

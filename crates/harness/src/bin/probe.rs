@@ -1,0 +1,51 @@
+//! Diagnostic probe (not part of the published experiment set): isolates
+//! where a scheme's performance delta comes from by running one workload
+//! across scheme/ablation variants with full stat dumps.
+
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_harness::ExpOptions;
+use ccraft_sim::config::GpuConfig;
+use ccraft_workloads::Workload;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let cfg = GpuConfig::gddr6();
+    let name = std::env::args()
+        .skip_while(|a| a != "--workload")
+        .nth(1)
+        .unwrap_or_else(|| "saxpy".to_string());
+    let workload = Workload::from_name(&name).expect("unknown workload");
+    let trace = workload.generate(opts.size, opts.seed);
+    println!("{trace}");
+    let variants: Vec<(&str, SchemeKind)> = vec![
+        ("none", SchemeKind::NoProtection),
+        ("naive", SchemeKind::InlineNaive { coverage: 8 }),
+        (
+            "ecccache",
+            SchemeKind::EccCache {
+                coverage: 8,
+                capacity_per_mc: 16 << 10,
+            },
+        ),
+        ("cc-full", SchemeKind::CacheCraft(CacheCraftConfig::full())),
+        (
+            "cc-c1",
+            SchemeKind::CacheCraft(CacheCraftConfig::colocate_only()),
+        ),
+        (
+            "cc-c2",
+            SchemeKind::CacheCraft(CacheCraftConfig::fragments_only()),
+        ),
+        (
+            "cc-c3",
+            SchemeKind::CacheCraft(CacheCraftConfig::reconstruct_only()),
+        ),
+    ];
+    for (label, kind) in variants {
+        let s = run_scheme(&cfg, kind, &trace);
+        println!("--- {label}\n{s}");
+        println!("  protection: {:?}", s.protection);
+    }
+}
+// (extended below by probe2)

@@ -1,0 +1,80 @@
+//! F7 — ablation of the CacheCraft mechanisms over the memory-intensive
+//! subset: each component alone, pairwise with C1, and the full design.
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves F7.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F7",
+        &format!("CacheCraft ablation, normalized to ECC-off ({} size)", opts.size),
+    );
+    let cfg = GpuConfig::gddr6();
+    let variants: Vec<(&str, SchemeKind)> = vec![
+        ("ecc-off", SchemeKind::NoProtection),
+        ("naive", SchemeKind::InlineNaive { coverage: 8 }),
+        (
+            "C1 (colocate)",
+            SchemeKind::CacheCraft(CacheCraftConfig::colocate_only()),
+        ),
+        (
+            "C2 (fragments)",
+            SchemeKind::CacheCraft(CacheCraftConfig::fragments_only()),
+        ),
+        (
+            "C3 (reconstruct)",
+            SchemeKind::CacheCraft(CacheCraftConfig::reconstruct_only()),
+        ),
+        (
+            "C1+C2",
+            SchemeKind::CacheCraft(CacheCraftConfig {
+                reconstruct: false,
+                ..CacheCraftConfig::default()
+            }),
+        ),
+        (
+            "C1+C3",
+            SchemeKind::CacheCraft(CacheCraftConfig {
+                fragment_store: false,
+                ..CacheCraftConfig::default()
+            }),
+        ),
+        (
+            "full (C1+C2+C3)",
+            SchemeKind::CacheCraft(CacheCraftConfig::full()),
+        ),
+    ];
+    let kinds: Vec<SchemeKind> = variants.iter().map(|&(_, k)| k).collect();
+    let results = run_matrix(&cfg, &SWEEP_SUBSET, &kinds, opts);
+
+    let mut header = vec!["variant".to_string()];
+    header.extend(SWEEP_SUBSET.iter().map(|w| w.name().to_string()));
+    header.push("geomean".to_string());
+    let mut t = Table::new(header);
+    // Baselines per workload = the ecc-off row.
+    let baselines: Vec<u64> = SWEEP_SUBSET
+        .iter()
+        .enumerate()
+        .map(|(wi, _)| results[wi * kinds.len()].stats.exec_cycles)
+        .collect();
+    for (vi, (label, _)) in variants.iter().enumerate() {
+        let mut row = vec![label.to_string()];
+        let mut norms = Vec::new();
+        for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+            let cell = &results[wi * kinds.len() + vi];
+            let norm = baselines[wi] as f64 / cell.stats.exec_cycles as f64;
+            norms.push(norm);
+            row.push(f3(norm));
+        }
+        row.push(f3(geomean(&norms)));
+        t.row(row);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f7_ablation", &t).expect("write f7");
+}

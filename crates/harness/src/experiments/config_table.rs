@@ -1,0 +1,84 @@
+//! T1 — the simulated-machine configuration table.
+
+use crate::report::{banner, save_csv, Table};
+use crate::runner::ExpOptions;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves T1.
+pub fn run(_opts: &ExpOptions) {
+    banner("T1", "Simulated GPU configuration (GDDR6-class preset)");
+    let cfg = GpuConfig::gddr6();
+    let mut t = Table::new(vec!["component", "configuration"]);
+    t.row(vec![
+        "SMs".to_string(),
+        format!(
+            "{} SMs x {} warps, GTO scheduler, 1 LSU access/cycle",
+            cfg.core.sms, cfg.core.warps_per_sm
+        ),
+    ]);
+    t.row(vec![
+        "L1 (per SM)".to_string(),
+        format!(
+            "{} KiB, {}-way, 128 B lines / 32 B sectors, write-through, {} MSHRs, {}-cycle",
+            cfg.l1.capacity_bytes >> 10,
+            cfg.l1.ways,
+            cfg.l1.mshrs,
+            cfg.l1.latency
+        ),
+    ]);
+    t.row(vec![
+        "L2 (total)".to_string(),
+        format!(
+            "{} MiB over {} slices, {}-way, sectored, write-back, hashed sets, {} MSHRs/slice, {}-cycle",
+            cfg.l2_total_bytes() >> 20,
+            cfg.mem.channels,
+            cfg.l2.ways,
+            cfg.l2.mshrs,
+            cfg.l2.latency
+        ),
+    ]);
+    t.row(vec![
+        "Interconnect".to_string(),
+        format!(
+            "crossbar, {}-cycle, {} msg/endpoint/cycle",
+            cfg.xbar.latency, cfg.xbar.ports_per_endpoint
+        ),
+    ]);
+    t.row(vec![
+        "DRAM".to_string(),
+        format!(
+            "{} channels x {} GiB, {} banks, {} KiB rows, FR-FCFS (window {}), bank-XOR hashing",
+            cfg.mem.channels,
+            cfg.mem.capacity_per_channel >> 30,
+            cfg.mem.banks,
+            cfg.mem.row_bytes >> 10,
+            cfg.mem.sched_window
+        ),
+    ]);
+    let tm = cfg.mem.timing;
+    t.row(vec![
+        "DRAM timing (core cycles)".to_string(),
+        format!(
+            "tRCD {} / tRP {} / tRAS {} / CL {} / tWR {} / tRTW {} / tWTR {} / tREFI {} / tRFC {}",
+            tm.t_rcd, tm.t_rp, tm.t_ras, tm.cas, tm.t_wr, tm.t_rtw, tm.t_wtr, tm.t_refi, tm.t_rfc
+        ),
+    ]);
+    t.row(vec![
+        "Peak DRAM BW".to_string(),
+        format!("{:.0} B/cycle", cfg.peak_bw_bytes_per_cycle()),
+    ]);
+    t.row(vec![
+        "Inline ECC".to_string(),
+        "1 ECC atom per 8 data atoms (12.5% redundancy), SEC-DED(72,64) budget".to_string(),
+    ]);
+    t.row(vec![
+        "ECC cache baseline".to_string(),
+        "16 KiB/MC, 8-way, ECC-atom granularity".to_string(),
+    ]);
+    t.row(vec![
+        "CacheCraft".to_string(),
+        "C1 row co-location + C2 64 KiB/slice fragment store (L2 tax) + C3 reconstruction, 32-entry coalescing buffer".to_string(),
+    ]);
+    println!("{}", t.to_markdown());
+    save_csv("t1_config", &t).expect("write t1 csv");
+}

@@ -1,0 +1,64 @@
+//! F14 — energy: what memory protection costs in joules.
+//!
+//! Computed post hoc from run statistics with the event-based
+//! [`EnergyModel`] (GDDR6-class constants; see `ccraft_sim::energy` for
+//! provenance and caveats). Reported per scheme: total energy normalized
+//! to ECC-off, and the fraction of energy spent on protection (ECC
+//! bursts + on-chip ECC structures).
+
+use crate::geomean;
+use crate::report::{banner, f3, pct, save_csv, Table};
+use crate::runner::{find, run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::energy::EnergyModel;
+use ccraft_workloads::Workload;
+
+/// Prints and saves F14.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F14",
+        &format!("Energy overhead of protection, normalized to ECC-off ({} size)", opts.size),
+    );
+    let cfg = GpuConfig::gddr6();
+    let model = EnergyModel::gddr6();
+    let schemes = SchemeKind::headline(&cfg);
+    let results = run_matrix(&cfg, &Workload::ALL, &schemes, opts);
+    let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+
+    let mut t = Table::new(vec![
+        "workload",
+        "naive energy",
+        "ecc-cache energy",
+        "cachecraft energy",
+        "cachecraft prot. share",
+    ]);
+    let mut norms = vec![Vec::new(); 3];
+    for w in Workload::ALL {
+        let base = find(&results, w, "no-protection").expect("base");
+        let base_e = model.evaluate(&base.stats, cfg.mem.channels).total_nj();
+        let mut row = vec![w.name().to_string()];
+        let mut craft_share = 0.0;
+        for (i, name) in names.iter().enumerate().skip(1) {
+            let r = find(&results, w, name).expect("cell");
+            let e = model.evaluate(&r.stats, cfg.mem.channels);
+            let norm = e.total_nj() / base_e;
+            norms[i - 1].push(norm);
+            row.push(format!("{:.3}x", norm));
+            if *name == "cachecraft" {
+                craft_share = e.protection_fraction();
+            }
+        }
+        row.push(pct(craft_share));
+        t.row(row);
+    }
+    t.row(vec![
+        "**geomean**".to_string(),
+        format!("{}x", f3(geomean(&norms[0]))),
+        format!("{}x", f3(geomean(&norms[1]))),
+        format!("{}x", f3(geomean(&norms[2]))),
+        "-".to_string(),
+    ]);
+    println!("{}", t.to_markdown());
+    save_csv("f14_energy", &t).expect("write f14");
+}

@@ -1,0 +1,60 @@
+//! F15 (extension) — CacheCraft vs compression-backed inline ECC.
+//!
+//! Frugal-ECC-style compression (Kim et al., SC'15) is the other way to
+//! make inline ECC cheap: if an atom compresses below the check-bit
+//! budget, data and ECC travel in one transaction. Its effectiveness is
+//! tied to data compressibility, which this experiment sweeps; CacheCraft
+//! needs no assumption about data values. The crossover compressibility
+//! is the figure's takeaway.
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves F15.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F15",
+        &format!(
+            "Compression-backed inline ECC vs CacheCraft, geomean over the sweep subset ({} size)",
+            opts.size
+        ),
+    );
+    let cfg = GpuConfig::gddr6();
+    let mut t = Table::new(vec!["scheme", "normalized perf"]);
+    // Baseline + cachecraft once.
+    let fixed = [
+        SchemeKind::NoProtection,
+        SchemeKind::CacheCraft(CacheCraftConfig::full()),
+    ];
+    let results = run_matrix(&cfg, &SWEEP_SUBSET, &fixed, opts);
+    let mut base = Vec::new();
+    let mut craft = Vec::new();
+    for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+        base.push(results[wi * 2].stats.exec_cycles as f64);
+        craft.push(base[wi] / results[wi * 2 + 1].stats.exec_cycles as f64);
+    }
+    t.row(vec!["cachecraft".to_string(), f3(geomean(&craft))]);
+    for pct in [0u8, 50, 75, 90, 100] {
+        let schemes = [SchemeKind::CompressedInline {
+            coverage: 8,
+            compress_pct: pct,
+        }];
+        let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
+        let norms: Vec<f64> = results
+            .iter()
+            .enumerate()
+            .map(|(wi, r)| base[wi] / r.stats.exec_cycles as f64)
+            .collect();
+        t.row(vec![
+            format!("compressed-inline ({pct}% compressible)"),
+            f3(geomean(&norms)),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f15_compression", &t).expect("write f15");
+}

@@ -1,0 +1,56 @@
+//! F13 (extension) — generality across memory types: the headline schemes
+//! on an HBM2-class machine (16 narrower channels, 1 KiB rows).
+//!
+//! HBM parts usually carry side-band ECC, but the comparison is still
+//! informative: it shows whether CacheCraft's mechanisms depend on
+//! GDDR-specific geometry (long rows, few channels) or survive a
+//! many-channel, short-row memory — i.e., whether a vendor could use
+//! inline ECC + CacheCraft instead of paying for side-band storage.
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves F13.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F13",
+        &format!(
+            "Generality: normalized perf on GDDR6-class vs HBM2-class machines ({} size)",
+            opts.size
+        ),
+    );
+    let mut t = Table::new(vec![
+        "machine",
+        "channels x row",
+        "naive",
+        "ecc-cache",
+        "cachecraft",
+    ]);
+    for (label, cfg) in [
+        ("GDDR6-class", GpuConfig::gddr6()),
+        ("HBM2-class", GpuConfig::hbm2()),
+    ] {
+        let schemes = SchemeKind::headline(&cfg);
+        let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
+        let mut norms = vec![Vec::new(); 3];
+        for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+            let base = results[wi * 4].stats.exec_cycles as f64;
+            for v in 0..3 {
+                norms[v].push(base / results[wi * 4 + 1 + v].stats.exec_cycles as f64);
+            }
+        }
+        t.row(vec![
+            label.to_string(),
+            format!("{} x {} KiB", cfg.mem.channels, cfg.mem.row_bytes >> 10),
+            f3(geomean(&norms[0])),
+            f3(geomean(&norms[1])),
+            f3(geomean(&norms[2])),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f13_hbm", &t).expect("write f13");
+}

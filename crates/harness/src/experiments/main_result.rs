@@ -1,0 +1,73 @@
+//! F4 + F5 — the main result: normalized performance and DRAM traffic of
+//! the four headline schemes across the workload suite.
+
+use crate::geomean;
+use crate::report::{banner, f3, pct, save_csv, save_stats_json, Table};
+use crate::runner::{find, run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::types::TrafficClass;
+use ccraft_workloads::Workload;
+
+/// Prints and saves F4 (normalized performance) and F5 (traffic).
+pub fn run(opts: &ExpOptions) {
+    let cfg = GpuConfig::gddr6();
+    let schemes = SchemeKind::headline(&cfg);
+    let results = run_matrix(&cfg, &Workload::ALL, &schemes, opts);
+
+    banner(
+        "F4",
+        &format!("Normalized performance vs ECC-off ({} size)", opts.size),
+    );
+    let scheme_names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+    let mut header = vec!["workload".to_string()];
+    header.extend(scheme_names.iter().map(|s| s.to_string()));
+    let mut perf = Table::new(header);
+    let mut per_scheme_norm: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in Workload::ALL {
+        let base = find(&results, w, "no-protection")
+            .expect("baseline ran")
+            .stats
+            .clone();
+        let mut row = vec![w.name().to_string()];
+        for (i, name) in scheme_names.iter().enumerate() {
+            let r = find(&results, w, name).expect("cell ran");
+            let norm = r.normalized_perf(&base);
+            per_scheme_norm[i].push(norm);
+            row.push(f3(norm));
+        }
+        perf.row(row);
+    }
+    let mut gm_row = vec!["**geomean**".to_string()];
+    for norms in &per_scheme_norm {
+        gm_row.push(f3(geomean(norms)));
+    }
+    perf.row(gm_row);
+    println!("{}", perf.to_markdown());
+    save_csv("f4_normalized_perf", &perf).expect("write f4 csv");
+
+    banner("F5", "DRAM traffic per scheme (atoms; % is ECC share)");
+    let mut traffic = Table::new(vec![
+        "workload", "scheme", "data-rd", "data-wr", "ecc-rd", "ecc-wr", "ecc-share",
+    ]);
+    for w in Workload::ALL {
+        for name in &scheme_names {
+            let r = find(&results, w, name).expect("cell ran");
+            let s = &r.stats;
+            traffic.row(vec![
+                w.name().to_string(),
+                name.to_string(),
+                s.dram_count(TrafficClass::DataRead).to_string(),
+                s.dram_count(TrafficClass::DataWrite).to_string(),
+                s.dram_count(TrafficClass::EccRead).to_string(),
+                s.dram_count(TrafficClass::EccWrite).to_string(),
+                pct(s.ecc_traffic_fraction()),
+            ]);
+        }
+    }
+    println!("{}", traffic.to_markdown());
+    save_csv("f5_dram_traffic", &traffic).expect("write f5 csv");
+
+    let all_stats: Vec<_> = results.iter().map(|r| r.stats.clone()).collect();
+    save_stats_json("main_raw", &all_stats).expect("write raw json");
+}

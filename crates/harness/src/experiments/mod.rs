@@ -1,0 +1,38 @@
+//! One module per experiment of the reconstructed evaluation (DESIGN.md §6).
+//!
+//! Every module exposes `run(&ExpOptions)`: it prints the experiment's
+//! markdown table(s) to stdout and saves CSV/JSON artifacts under
+//! `results/`. The `exp-*` binaries are thin wrappers; `exp-all` chains
+//! every experiment for the EXPERIMENTS.md refresh.
+
+pub mod ablation;
+pub mod config_table;
+pub mod ecchit;
+pub mod energy;
+pub mod frugal;
+pub mod hbm;
+pub mod main_result;
+pub mod motivation;
+pub mod reliability;
+pub mod rowhit;
+pub mod scheduler;
+pub mod sens_channels;
+pub mod sens_ecccap;
+pub mod sens_l2;
+pub mod sens_ratio;
+pub mod storage;
+pub mod tagged;
+pub mod workload_table;
+
+/// The memory-intensive subset used by the ablation and sensitivity
+/// sweeps (keeps sweep cost manageable while covering the locality
+/// spectrum: pure streams, partial-write scatter, halo reuse, gathers,
+/// hot-table writes).
+pub const SWEEP_SUBSET: [ccraft_workloads::Workload; 6] = [
+    ccraft_workloads::Workload::VecAdd,
+    ccraft_workloads::Workload::Saxpy,
+    ccraft_workloads::Workload::Transpose,
+    ccraft_workloads::Workload::Stencil2D,
+    ccraft_workloads::Workload::Spmv,
+    ccraft_workloads::Workload::Histogram,
+];

@@ -1,0 +1,50 @@
+//! T3 — reliability: fault-injection coverage of the codecs the schemes
+//! store in DRAM.
+
+use crate::report::{banner, pct, save_csv, Table};
+use crate::runner::ExpOptions;
+use ccraft_core::reliability::{Campaign, CodecKind};
+use ccraft_ecc::inject::ErrorPattern;
+
+/// Trials per (codec, pattern) cell.
+const TRIALS: u32 = 2_000;
+
+/// Prints and saves T3.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "T3",
+        &format!("Reliability: outcome rates under injected errors ({TRIALS} trials/cell)"),
+    );
+    let patterns = [
+        ("1 random bit", ErrorPattern::RandomBits { count: 1 }),
+        ("2 random bits", ErrorPattern::RandomBits { count: 2 }),
+        ("3 random bits", ErrorPattern::RandomBits { count: 3 }),
+        ("4-bit burst", ErrorPattern::AdjacentBurst { len: 4 }),
+        ("symbol (chip) error", ErrorPattern::SymbolError),
+        ("chip lane (x4)", ErrorPattern::ChipLane { stride: 4 }),
+    ];
+    let mut t = Table::new(vec![
+        "codec", "pattern", "benign", "corrected", "DUE", "SDC",
+    ]);
+    for codec in CodecKind::ALL {
+        for (label, pattern) in patterns {
+            let r = Campaign {
+                codec,
+                pattern,
+                trials: TRIALS,
+                seed: opts.seed ^ 0x7e11ab1e,
+            }
+            .run();
+            t.row(vec![
+                codec.name().to_string(),
+                label.to_string(),
+                pct(r.benign as f64 / r.trials as f64),
+                pct(r.corrected as f64 / r.trials as f64),
+                pct(r.due_rate()),
+                pct(r.sdc_rate()),
+            ]);
+        }
+    }
+    println!("{}", t.to_markdown());
+    save_csv("t3_reliability", &t).expect("write t3");
+}

@@ -1,0 +1,44 @@
+//! F16 (extension) — robustness to the warp scheduler: GTO vs round-robin.
+//!
+//! A sanity check that the headline conclusion does not hinge on the
+//! scheduling policy the cores happen to use.
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::{GpuConfig, SchedulerPolicy};
+
+/// Prints and saves F16.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F16",
+        &format!("Warp-scheduler sensitivity, geomean over the sweep subset ({} size)", opts.size),
+    );
+    let mut t = Table::new(vec!["scheduler", "naive", "ecc-cache", "cachecraft"]);
+    for (label, policy) in [
+        ("greedy-then-oldest", SchedulerPolicy::GreedyThenOldest),
+        ("round-robin", SchedulerPolicy::RoundRobin),
+    ] {
+        let mut cfg = GpuConfig::gddr6();
+        cfg.core.scheduler = policy;
+        let schemes = SchemeKind::headline(&cfg);
+        let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
+        let mut norms = vec![Vec::new(); 3];
+        for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+            let base = results[wi * 4].stats.exec_cycles as f64;
+            for v in 0..3 {
+                norms[v].push(base / results[wi * 4 + 1 + v].stats.exec_cycles as f64);
+            }
+        }
+        t.row(vec![
+            label.to_string(),
+            f3(geomean(&norms[0])),
+            f3(geomean(&norms[1])),
+            f3(geomean(&norms[2])),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f16_scheduler", &t).expect("write f16");
+}

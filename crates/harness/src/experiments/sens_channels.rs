@@ -1,0 +1,50 @@
+//! F11 — scaling with memory channels (4 → 16): does CacheCraft's
+//! advantage persist as raw bandwidth grows?
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves F11.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F11",
+        &format!(
+            "Scaling with channel count, geomean normalized perf ({} size)",
+            opts.size
+        ),
+    );
+    let mut t = Table::new(vec![
+        "channels",
+        "peak BW (B/cyc)",
+        "naive",
+        "ecc-cache",
+        "cachecraft",
+    ]);
+    for channels in [4u16, 8, 16] {
+        let mut cfg = GpuConfig::gddr6();
+        cfg.mem.channels = channels;
+        cfg.validate().expect("valid config");
+        let schemes = SchemeKind::headline(&cfg);
+        let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
+        let mut norms = vec![Vec::new(); 3];
+        for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+            let base = results[wi * 4].stats.exec_cycles as f64;
+            for v in 0..3 {
+                norms[v].push(base / results[wi * 4 + 1 + v].stats.exec_cycles as f64);
+            }
+        }
+        t.row(vec![
+            channels.to_string(),
+            format!("{:.0}", cfg.peak_bw_bytes_per_cycle()),
+            f3(geomean(&norms[0])),
+            f3(geomean(&norms[1])),
+            f3(geomean(&norms[2])),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f11_channels", &t).expect("write f11");
+}

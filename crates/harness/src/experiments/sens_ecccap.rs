@@ -1,0 +1,60 @@
+//! F10 — capacity sweep and crossover: dedicated ECC cache vs CacheCraft
+//! fragment budget.
+//!
+//! Sweeps both structures over the same per-channel byte budgets. The
+//! question the figure answers: how big must a *dedicated* ECC cache grow
+//! before it matches CacheCraft, and does CacheCraft keep its edge when
+//! its own budget (taxed from L2) shrinks?
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves F10.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F10",
+        &format!(
+            "ECC-structure capacity sweep, geomean normalized perf ({} size)",
+            opts.size
+        ),
+    );
+    let cfg = GpuConfig::gddr6();
+    let mut t = Table::new(vec![
+        "capacity/channel",
+        "ecc-cache (dedicated)",
+        "cachecraft (L2 tax)",
+    ]);
+    for kib in [4u64, 16, 64, 128] {
+        let schemes = [
+            SchemeKind::NoProtection,
+            SchemeKind::EccCache {
+                coverage: 8,
+                capacity_per_mc: kib << 10,
+            },
+            SchemeKind::CacheCraft(CacheCraftConfig {
+                fragment_bytes_per_slice: kib << 10,
+                ..CacheCraftConfig::full()
+            }),
+        ];
+        let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
+        let mut norms = vec![Vec::new(); 2];
+        for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+            let base = results[wi * 3].stats.exec_cycles as f64;
+            for v in 0..2 {
+                norms[v].push(base / results[wi * 3 + 1 + v].stats.exec_cycles as f64);
+            }
+        }
+        t.row(vec![
+            format!("{kib} KiB"),
+            f3(geomean(&norms[0])),
+            f3(geomean(&norms[1])),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f10_ecc_capacity", &t).expect("write f10");
+}

@@ -1,0 +1,52 @@
+//! F9 — sensitivity to L2 capacity (per slice: 128 KiB – 1 MiB).
+//!
+//! Larger L2s filter more ECC-triggering misses and give the fragment
+//! store more victims to cover; smaller L2s stress the protection path.
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves F9.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F9",
+        &format!(
+            "Sensitivity to L2 capacity, geomean over the sweep subset ({} size)",
+            opts.size
+        ),
+    );
+    let mut t = Table::new(vec![
+        "L2/slice",
+        "L2 total",
+        "naive",
+        "ecc-cache",
+        "cachecraft",
+    ]);
+    for slice_kib in [128u64, 256, 512, 1024] {
+        let mut cfg = GpuConfig::gddr6();
+        cfg.l2.capacity_bytes = slice_kib << 10;
+        cfg.validate().expect("valid config");
+        let schemes = SchemeKind::headline(&cfg);
+        let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
+        let mut norms = vec![Vec::new(); 3];
+        for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+            let base = results[wi * 4].stats.exec_cycles as f64;
+            for v in 0..3 {
+                norms[v].push(base / results[wi * 4 + 1 + v].stats.exec_cycles as f64);
+            }
+        }
+        t.row(vec![
+            format!("{slice_kib} KiB"),
+            format!("{} MiB", slice_kib * 8 >> 10),
+            f3(geomean(&norms[0])),
+            f3(geomean(&norms[1])),
+            f3(geomean(&norms[2])),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f9_l2_capacity", &t).expect("write f9");
+}

@@ -1,0 +1,65 @@
+//! F8 — sensitivity to the ECC coverage ratio (redundancy budget):
+//! 1:8 (12.5 %), 1:16 (6.25 %), 1:32 (3.125 %).
+//!
+//! Lighter codes shrink the carve-out and halve the ECC traffic per
+//! covered byte, but each ECC atom then covers a *wider* neighbourhood —
+//! which helps reach-based mechanisms (ECC cache, fragments) and hurts
+//! nothing else.
+
+use super::SWEEP_SUBSET;
+use crate::geomean;
+use crate::report::{banner, f3, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+
+/// Prints and saves F8.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "F8",
+        &format!(
+            "Sensitivity to ECC coverage ratio, geomean over the sweep subset ({} size)",
+            opts.size
+        ),
+    );
+    let cfg = GpuConfig::gddr6();
+    let mut t = Table::new(vec![
+        "coverage",
+        "redundancy",
+        "naive",
+        "ecc-cache",
+        "cachecraft",
+    ]);
+    for coverage in [8u32, 16, 32] {
+        let schemes = [
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage },
+            SchemeKind::EccCache {
+                coverage,
+                capacity_per_mc: 16 << 10,
+            },
+            SchemeKind::CacheCraft(CacheCraftConfig {
+                coverage,
+                ..CacheCraftConfig::full()
+            }),
+        ];
+        let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
+        let mut norms = vec![Vec::new(); 3];
+        for (wi, _) in SWEEP_SUBSET.iter().enumerate() {
+            let base = results[wi * 4].stats.exec_cycles as f64;
+            for v in 0..3 {
+                norms[v].push(base / results[wi * 4 + 1 + v].stats.exec_cycles as f64);
+            }
+        }
+        t.row(vec![
+            format!("1:{coverage}"),
+            format!("{:.2}%", 100.0 / coverage as f64),
+            f3(geomean(&norms[0])),
+            f3(geomean(&norms[1])),
+            f3(geomean(&norms[2])),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("f8_coverage_ratio", &t).expect("write f8");
+}

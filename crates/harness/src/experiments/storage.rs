@@ -1,0 +1,63 @@
+//! T4 — on-chip storage accounting per scheme.
+
+use crate::report::{banner, save_csv, Table};
+use crate::runner::ExpOptions;
+use ccraft_core::cachecraft::CacheCraftConfig;
+use ccraft_core::factory::SchemeKind;
+use ccraft_core::storage::storage_bill;
+use ccraft_sim::config::GpuConfig;
+
+fn kib(bytes: u64) -> String {
+    format!("{:.1} KiB", bytes as f64 / 1024.0)
+}
+
+/// Prints and saves T4.
+pub fn run(_opts: &ExpOptions) {
+    banner("T4", "On-chip storage per scheme (whole GPU)");
+    let cfg = GpuConfig::gddr6();
+    let rows: Vec<(&str, SchemeKind)> = vec![
+        ("ecc-off", SchemeKind::NoProtection),
+        ("inline-naive", SchemeKind::InlineNaive { coverage: 8 }),
+        (
+            "ecc-cache 16K/MC",
+            SchemeKind::EccCache {
+                coverage: 8,
+                capacity_per_mc: 16 << 10,
+            },
+        ),
+        (
+            "ecc-cache 64K/MC",
+            SchemeKind::EccCache {
+                coverage: 8,
+                capacity_per_mc: 64 << 10,
+            },
+        ),
+        (
+            "cachecraft (full)",
+            SchemeKind::CacheCraft(CacheCraftConfig::full()),
+        ),
+        (
+            "cachecraft C1 only",
+            SchemeKind::CacheCraft(CacheCraftConfig::colocate_only()),
+        ),
+    ];
+    let mut t = Table::new(vec![
+        "scheme",
+        "new dedicated SRAM",
+        "repurposed L2",
+        "buffers",
+        "new silicon total",
+    ]);
+    for (label, kind) in rows {
+        let bill = storage_bill(kind, &cfg);
+        t.row(vec![
+            label.to_string(),
+            kib(bill.dedicated_bytes),
+            kib(bill.repurposed_l2_bytes),
+            kib(bill.buffer_bytes),
+            kib(bill.new_silicon_bytes()),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("t4_storage", &t).expect("write t4");
+}

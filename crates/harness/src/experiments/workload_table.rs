@@ -1,0 +1,49 @@
+//! T2 — workload characterization under the ECC-off baseline.
+
+use crate::report::{banner, f3, pct, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+use ccraft_workloads::Workload;
+
+/// Prints and saves T2.
+pub fn run(opts: &ExpOptions) {
+    banner(
+        "T2",
+        &format!("Workload characterization, ECC off ({} size)", opts.size),
+    );
+    let cfg = GpuConfig::gddr6();
+    let results = run_matrix(&cfg, &Workload::ALL, &[SchemeKind::NoProtection], opts);
+    let mut t = Table::new(vec![
+        "workload",
+        "warps",
+        "ops",
+        "accesses",
+        "footprint (MiB)",
+        "wr-frac",
+        "IPC",
+        "L1 hit",
+        "L2 hit",
+        "row hit",
+        "DRAM B/cyc",
+    ]);
+    for r in &results {
+        let trace = r.workload.generate(opts.size, opts.seed);
+        let s = &r.stats;
+        t.row(vec![
+            r.workload.name().to_string(),
+            trace.warps().len().to_string(),
+            s.ops.to_string(),
+            s.accesses.to_string(),
+            format!("{:.1}", trace.footprint_atoms() as f64 * 32.0 / (1 << 20) as f64),
+            f3(trace.write_fraction()),
+            f3(s.ipc()),
+            pct(s.l1_hit_rate()),
+            pct(s.l2_hit_rate()),
+            pct(s.row_hit_rate()),
+            format!("{:.1}", s.dram_bw_bytes_per_cycle()),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    save_csv("t2_workloads", &t).expect("write t2 csv");
+}

@@ -1,0 +1,55 @@
+//! # ccraft-harness — experiment harness for the CacheCraft evaluation
+//!
+//! Shared machinery behind the `exp-*` binaries: a parallel
+//! workload×scheme run matrix, result aggregation (geometric means,
+//! normalization), and markdown/CSV/JSON emitters. Each binary in
+//! `src/bin/` regenerates one table or figure of the reconstructed
+//! evaluation; `exp-all` runs the full set (see DESIGN.md §6 and
+//! EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use runner::{run_matrix, ExpOptions, MatrixResult};
+
+/// Geometric mean of positive values; 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean over non-positive value {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

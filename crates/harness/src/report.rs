@@ -1,0 +1,217 @@
+//! Report emission: markdown tables to stdout, CSV and JSON to the
+//! `results/` directory.
+
+use ccraft_sim::stats::SimStats;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple markdown/CSV table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<1$}|", "", w + 2);
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Resolves the results directory (`$CCRAFT_RESULTS` or `./results`),
+/// creating it if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn results_dir() -> io::Result<PathBuf> {
+    let dir = std::env::var_os("CCRAFT_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Writes a table as `<name>.csv` into the results directory and returns
+/// the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_csv(name: &str, table: &Table) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(format!("{name}.csv"));
+    fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// Writes raw run statistics as `<name>.json` and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn save_stats_json(name: &str, stats: &[SimStats]) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(stats)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n## {id}: {title}\n");
+}
+
+/// Formats a float with 3 decimals (the standard cell format).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+/// Reads a results file back (testing / tooling convenience).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn read_result(path: &Path) -> io::Result<String> {
+    fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["kernel", "ipc"]);
+        t.row(vec!["vecadd", "0.512"]);
+        t.row(vec!["spmv", "0.100"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| kernel"));
+        assert!(md.contains("| vecadd | 0.512 |"));
+        assert_eq!(md.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "q\"z"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"q\"\"z\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn save_and_read_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ccraft-test-{}", std::process::id()));
+        std::env::set_var("CCRAFT_RESULTS", &dir);
+        let mut t = Table::new(vec!["k"]);
+        t.row(vec!["v"]);
+        let path = save_csv("unit-test", &t).unwrap();
+        assert_eq!(read_result(&path).unwrap(), "k\nv\n");
+        std::env::remove_var("CCRAFT_RESULTS");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.51234), "0.512");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

@@ -1,0 +1,252 @@
+//! Parallel execution of workload × scheme simulation matrices.
+
+use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::stats::SimStats;
+use ccraft_workloads::{SizeClass, Workload};
+use std::sync::Mutex;
+
+/// Options shared by every experiment binary, parsed from the command
+/// line (`--size tiny|small|full`, `--seed N`, `--threads N`).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Workload size class.
+    pub size: SizeClass,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// Worker threads (0 = number of CPUs).
+    pub threads: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            size: SizeClass::Small,
+            seed: 1,
+            threads: 0,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses options from `std::env::args` (unknown arguments are
+    /// ignored so binaries can add their own).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed values.
+    pub fn from_args() -> Self {
+        let mut opts = ExpOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--size" => {
+                    i += 1;
+                    opts.size = match args.get(i).map(String::as_str) {
+                        Some("tiny") => SizeClass::Tiny,
+                        Some("small") => SizeClass::Small,
+                        Some("full") => SizeClass::Full,
+                        other => panic!("--size expects tiny|small|full, got {other:?}"),
+                    };
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed expects an integer");
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--threads expects an integer");
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Effective worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// One cell of a run matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// The workload.
+    pub workload: Workload,
+    /// The scheme.
+    pub scheme: SchemeKind,
+    /// Simulation results.
+    pub stats: SimStats,
+}
+
+impl MatrixResult {
+    /// Performance normalized to a baseline run of the same workload
+    /// (baseline cycles / this run's cycles — higher is better, 1.0 means
+    /// parity with the baseline).
+    pub fn normalized_perf(&self, baseline: &SimStats) -> f64 {
+        baseline.exec_cycles as f64 / self.stats.exec_cycles as f64
+    }
+}
+
+/// Runs every `(workload, scheme)` pair in parallel and returns results in
+/// deterministic (workload-major, scheme-minor) order.
+///
+/// Each cell is an independent simulation with its own scheme instance, so
+/// results are identical to sequential execution.
+pub fn run_matrix(
+    cfg: &GpuConfig,
+    workloads: &[Workload],
+    schemes: &[SchemeKind],
+    opts: &ExpOptions,
+) -> Vec<MatrixResult> {
+    let jobs: Vec<(usize, Workload, SchemeKind)> = workloads
+        .iter()
+        .flat_map(|&w| schemes.iter().map(move |&s| (w, s)))
+        .enumerate()
+        .map(|(i, (w, s))| (i, w, s))
+        .collect();
+    let results: Mutex<Vec<Option<MatrixResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let queue = Mutex::new(jobs);
+    let workers = opts.effective_threads().min(64).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((idx, workload, scheme)) = job else {
+                    break;
+                };
+                let trace = workload.generate(opts.size, opts.seed);
+                let stats = run_scheme(cfg, scheme, &trace);
+                results.lock().expect("results lock")[idx] = Some(MatrixResult {
+                    workload,
+                    scheme,
+                    stats,
+                });
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("all jobs completed"))
+        .collect()
+}
+
+/// Finds the result of `(workload, scheme)` in a matrix.
+pub fn find<'a>(
+    results: &'a [MatrixResult],
+    workload: Workload,
+    scheme_name: &str,
+) -> Option<&'a MatrixResult> {
+    results
+        .iter()
+        .find(|r| r.workload == workload && r.scheme.name() == scheme_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_all_cells_in_order() {
+        let cfg = GpuConfig::tiny();
+        let opts = ExpOptions {
+            size: SizeClass::Tiny,
+            seed: 1,
+            threads: 2,
+        };
+        let workloads = [Workload::VecAdd, Workload::Histogram];
+        let schemes = [
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage: 8 },
+        ];
+        let results = run_matrix(&cfg, &workloads, &schemes, &opts);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].workload, Workload::VecAdd);
+        assert_eq!(results[0].scheme.name(), "no-protection");
+        assert_eq!(results[3].workload, Workload::Histogram);
+        assert_eq!(results[3].scheme.name(), "inline-naive");
+        for r in &results {
+            assert!(!r.stats.timed_out);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = GpuConfig::tiny();
+        let workloads = [Workload::Saxpy];
+        let schemes = [SchemeKind::InlineNaive { coverage: 8 }];
+        let par = run_matrix(
+            &cfg,
+            &workloads,
+            &schemes,
+            &ExpOptions {
+                size: SizeClass::Tiny,
+                seed: 5,
+                threads: 4,
+            },
+        );
+        let seq = run_matrix(
+            &cfg,
+            &workloads,
+            &schemes,
+            &ExpOptions {
+                size: SizeClass::Tiny,
+                seed: 5,
+                threads: 1,
+            },
+        );
+        assert_eq!(par[0].stats, seq[0].stats);
+    }
+
+    #[test]
+    fn normalized_perf_is_relative() {
+        let cfg = GpuConfig::tiny();
+        let opts = ExpOptions {
+            size: SizeClass::Tiny,
+            seed: 1,
+            threads: 1,
+        };
+        let results = run_matrix(
+            &cfg,
+            &[Workload::VecAdd],
+            &[
+                SchemeKind::NoProtection,
+                SchemeKind::InlineNaive { coverage: 8 },
+            ],
+            &opts,
+        );
+        let baseline = &results[0].stats;
+        assert!((results[0].normalized_perf(baseline) - 1.0).abs() < 1e-12);
+        assert!(results[1].normalized_perf(baseline) <= 1.0);
+    }
+
+    #[test]
+    fn find_locates_cells() {
+        let cfg = GpuConfig::tiny();
+        let opts = ExpOptions {
+            size: SizeClass::Tiny,
+            seed: 1,
+            threads: 1,
+        };
+        let results = run_matrix(&cfg, &[Workload::VecAdd], &[SchemeKind::NoProtection], &opts);
+        assert!(find(&results, Workload::VecAdd, "no-protection").is_some());
+        assert!(find(&results, Workload::VecAdd, "cachecraft").is_none());
+    }
+}

@@ -1,0 +1,502 @@
+//! DRAM channel model: address mapping, bank/row state, and timing.
+//!
+//! The model is *cycle-approximate*: it enforces the first-order GDDR/HBM
+//! constraints that memory-system studies depend on — row activate /
+//! precharge / CAS latencies, `tRAS` minimum row-open time, write recovery,
+//! per-bank command serialization, a shared bidirectional data bus with
+//! read↔write turnaround penalties, and all-bank refresh — while omitting
+//! second-order constraints (`tFAW`, bank-group `tCCD_L/S` distinction,
+//! per-rank structure). DESIGN.md §5 records these approximations.
+//!
+//! A channel exposes one operation, [`DramChannel::try_issue`]: given a
+//! request and the current cycle, either commit it (returning its data
+//! completion time and the row-buffer outcome) or report that it cannot
+//! start this cycle. The FR-FCFS controller in [`crate::mem_ctrl`] drives
+//! this interface.
+
+use crate::config::{DramTiming, MemConfig};
+use crate::types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// How channel-local atom indices map onto (bank, row, column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapOrder {
+    /// Row-major: consecutive atoms fill a DRAM row, banks interleave at
+    /// row granularity (`[row][bank][col]`). Streams enjoy long row hits;
+    /// bank-level parallelism comes from concurrent streams. This is the
+    /// layout CacheCraft's row co-location (C1) assumes.
+    RoBaCo,
+    /// Fine bank interleave: banks rotate every 128-byte line
+    /// (`[row][colhi][bank][collo]`). Maximizes single-stream bank
+    /// parallelism at the cost of row locality. Used as an ablation.
+    RoCoBa,
+}
+
+/// Decomposed DRAM coordinates of one atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Bank index within the channel.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column (atom offset within the row).
+    pub col: u64,
+}
+
+/// Maps channel-local atoms to DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAddressMap {
+    order: MapOrder,
+    banks: u32,
+    row_atoms: u64,
+}
+
+impl DramAddressMap {
+    /// Atoms per line used by the fine-interleave order.
+    const LINE_ATOMS: u64 = 4;
+
+    /// Creates a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or `row_atoms` is not a positive multiple
+    /// of 4.
+    pub fn new(order: MapOrder, banks: u32, row_atoms: u64) -> Self {
+        assert!(banks > 0, "banks must be positive");
+        assert!(
+            row_atoms >= Self::LINE_ATOMS && row_atoms % Self::LINE_ATOMS == 0,
+            "row_atoms must be a positive multiple of 4"
+        );
+        DramAddressMap {
+            order,
+            banks,
+            row_atoms,
+        }
+    }
+
+    /// Permutation-based bank hashing (Zhang et al., MICRO'00): XOR the
+    /// low row bits into the bank index. Bijective per row; it breaks the
+    /// pathological case where same-aligned arrays land on the same bank
+    /// in lock-step. All real GPU memory controllers hash banks this way.
+    fn hash_bank(&self, bank_raw: u64, row: u64) -> u32 {
+        if self.banks.is_power_of_two() {
+            ((bank_raw ^ row) & (self.banks as u64 - 1)) as u32
+        } else {
+            // Non-power-of-two bank counts skip hashing (keeps bijectivity).
+            (bank_raw % self.banks as u64) as u32
+        }
+    }
+
+    /// Decomposes an atom index.
+    pub fn decompose(&self, atom: u64) -> DramCoord {
+        match self.order {
+            MapOrder::RoBaCo => {
+                let col = atom % self.row_atoms;
+                let bank_raw = (atom / self.row_atoms) % self.banks as u64;
+                let row = atom / (self.row_atoms * self.banks as u64);
+                DramCoord {
+                    bank: self.hash_bank(bank_raw, row),
+                    row,
+                    col,
+                }
+            }
+            MapOrder::RoCoBa => {
+                let lo = atom % Self::LINE_ATOMS;
+                let rest = atom / Self::LINE_ATOMS;
+                let bank_raw = rest % self.banks as u64;
+                let rest = rest / self.banks as u64;
+                let cols_hi = self.row_atoms / Self::LINE_ATOMS;
+                let col = (rest % cols_hi) * Self::LINE_ATOMS + lo;
+                let row = rest / cols_hi;
+                DramCoord {
+                    bank: self.hash_bank(bank_raw, row),
+                    row,
+                    col,
+                }
+            }
+        }
+    }
+}
+
+/// Row-buffer outcome of an access, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank had no open row (first access or after refresh).
+    Empty,
+    /// A different row was open and had to be precharged.
+    Conflict,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest cycle the bank can accept its next command.
+    ready_at: Cycle,
+    /// When the currently open row was activated (for tRAS).
+    row_opened_at: Cycle,
+    /// End of the last write burst to this bank (for tWR).
+    last_write_end: Cycle,
+}
+
+impl Bank {
+    fn new() -> Self {
+        Bank {
+            open_row: None,
+            ready_at: 0,
+            row_opened_at: 0,
+            last_write_end: 0,
+        }
+    }
+}
+
+/// Direction of the last data-bus transfer, for turnaround penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusDir {
+    Idle,
+    Read,
+    Write,
+}
+
+/// Result of a successful issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueInfo {
+    /// Cycle at which the last data beat is on the bus (read data arrives /
+    /// write completes).
+    pub data_ready: Cycle,
+    /// Row-buffer outcome.
+    pub row_outcome: RowOutcome,
+}
+
+/// One DRAM channel: banks plus the shared data bus.
+#[derive(Debug, Clone)]
+pub struct DramChannel {
+    map: DramAddressMap,
+    timing: DramTiming,
+    banks: Vec<Bank>,
+    bus_free_at: Cycle,
+    bus_dir: BusDir,
+    next_refresh: Cycle,
+    /// Row outcome counters: hit / empty / conflict.
+    pub row_hits: u64,
+    /// Accesses that found the bank with no open row.
+    pub row_empties: u64,
+    /// Accesses that required a precharge of another row.
+    pub row_conflicts: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+}
+
+impl DramChannel {
+    /// Creates a channel from the memory configuration.
+    pub fn new(mem: &MemConfig, order: MapOrder) -> Self {
+        let map = DramAddressMap::new(order, mem.banks, mem.row_atoms());
+        DramChannel {
+            map,
+            timing: mem.timing,
+            banks: vec![Bank::new(); mem.banks as usize],
+            bus_free_at: 0,
+            bus_dir: BusDir::Idle,
+            next_refresh: if mem.timing.t_refi == 0 {
+                Cycle::MAX
+            } else {
+                mem.timing.t_refi as Cycle
+            },
+            row_hits: 0,
+            row_empties: 0,
+            row_conflicts: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// The address map in use.
+    pub fn address_map(&self) -> DramAddressMap {
+        self.map
+    }
+
+    /// Peeks at the row-buffer outcome the access *would* have, without
+    /// changing any state. Used by FR-FCFS to prefer row hits.
+    pub fn peek_outcome(&self, atom: u64) -> RowOutcome {
+        let coord = self.map.decompose(atom);
+        match self.banks[coord.bank as usize].open_row {
+            Some(r) if r == coord.row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Empty,
+        }
+    }
+
+    /// Performs pending refresh bookkeeping. Must be called with a
+    /// monotonically non-decreasing `now` before issuing in that cycle.
+    pub fn tick_refresh(&mut self, now: Cycle) {
+        while now >= self.next_refresh {
+            let start = self.next_refresh;
+            let end = start + self.timing.t_rfc as Cycle;
+            for bank in &mut self.banks {
+                bank.ready_at = bank.ready_at.max(end);
+                bank.open_row = None;
+            }
+            self.refreshes += 1;
+            self.next_refresh += self.timing.t_refi as Cycle;
+        }
+    }
+
+    /// Attempts to issue the access *this cycle*. On success, commits bank
+    /// and bus state and returns the completion time; on failure (bank or
+    /// bus constraint not yet met) returns `None` and changes nothing.
+    pub fn try_issue(&mut self, atom: u64, is_write: bool, now: Cycle) -> Option<IssueInfo> {
+        let t = self.timing;
+        let coord = self.map.decompose(atom);
+        let bank = &self.banks[coord.bank as usize];
+        if bank.ready_at > now {
+            return None;
+        }
+        let outcome = match bank.open_row {
+            Some(r) if r == coord.row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Empty,
+        };
+        // Command-to-data latency for this access.
+        let col_delay: Cycle = match outcome {
+            RowOutcome::Hit => 0,
+            RowOutcome::Empty => t.t_rcd as Cycle,
+            RowOutcome::Conflict => {
+                // Precharge legality: tRAS since activate, tWR since the
+                // last write burst to this bank.
+                let pre_ok = (bank.row_opened_at + t.t_ras as Cycle)
+                    .max(bank.last_write_end + t.t_wr as Cycle);
+                if pre_ok > now {
+                    return None;
+                }
+                (t.t_rp + t.t_rcd) as Cycle
+            }
+        };
+        let cas = t.cas as Cycle;
+        let data_start = now + col_delay + cas;
+        // Bus availability, including direction turnaround.
+        let dir = if is_write { BusDir::Write } else { BusDir::Read };
+        let turnaround: Cycle = match (self.bus_dir, dir) {
+            (BusDir::Read, BusDir::Write) => t.t_rtw as Cycle,
+            (BusDir::Write, BusDir::Read) => t.t_wtr as Cycle,
+            _ => 0,
+        };
+        if self.bus_free_at + turnaround > data_start {
+            return None;
+        }
+        let data_end = data_start + t.burst_cycles as Cycle;
+        // Commit.
+        let bank = &mut self.banks[coord.bank as usize];
+        match outcome {
+            RowOutcome::Hit => {
+                self.row_hits += 1;
+            }
+            RowOutcome::Empty => {
+                self.row_empties += 1;
+                bank.row_opened_at = now;
+                bank.open_row = Some(coord.row);
+            }
+            RowOutcome::Conflict => {
+                self.row_conflicts += 1;
+                bank.row_opened_at = now + t.t_rp as Cycle;
+                bank.open_row = Some(coord.row);
+            }
+        }
+        // The bank can take its next column command after this access'
+        // command sequence plus one burst slot (serializes same-bank
+        // columns at burst rate).
+        bank.ready_at = now + col_delay + t.burst_cycles as Cycle;
+        if is_write {
+            bank.last_write_end = data_end;
+        }
+        self.bus_free_at = data_end;
+        self.bus_dir = dir;
+        Some(IssueInfo {
+            data_ready: data_end,
+            row_outcome: outcome,
+        })
+    }
+
+    /// Total accesses classified so far.
+    pub fn total_accesses(&self) -> u64 {
+        self.row_hits + self.row_empties + self.row_conflicts
+    }
+
+    /// Row-hit rate in [0, 1]; 1.0 when idle.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            1.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn channel() -> DramChannel {
+        // tiny(): t_rcd=5, t_rp=5, t_ras=12, cas=5, burst=1, refresh off,
+        // 4 banks, 64-atom rows.
+        DramChannel::new(&GpuConfig::tiny().mem, MapOrder::RoBaCo)
+    }
+
+    #[test]
+    fn robaco_decomposition() {
+        let map = DramAddressMap::new(MapOrder::RoBaCo, 4, 64);
+        assert_eq!(map.decompose(0), DramCoord { bank: 0, row: 0, col: 0 });
+        assert_eq!(map.decompose(63), DramCoord { bank: 0, row: 0, col: 63 });
+        assert_eq!(map.decompose(64), DramCoord { bank: 1, row: 0, col: 0 });
+        // Row 1: bank hashing XORs the row into the raw bank index.
+        assert_eq!(map.decompose(64 * 4), DramCoord { bank: 1, row: 1, col: 0 });
+        assert_eq!(
+            map.decompose(64 * 4 + 65),
+            DramCoord { bank: 0, row: 1, col: 1 }
+        );
+    }
+
+    #[test]
+    fn rocoba_decomposition() {
+        let map = DramAddressMap::new(MapOrder::RoCoBa, 4, 64);
+        // Atoms 0..4 in bank 0, atoms 4..8 in bank 1, ...
+        assert_eq!(map.decompose(0).bank, 0);
+        assert_eq!(map.decompose(3).bank, 0);
+        assert_eq!(map.decompose(4).bank, 1);
+        assert_eq!(map.decompose(15).bank, 3);
+        assert_eq!(map.decompose(16).bank, 0);
+        assert_eq!(map.decompose(16).col, 4);
+        // Row increments after banks * row_atoms atoms.
+        assert_eq!(map.decompose(4 * 64).row, 1);
+    }
+
+    #[test]
+    fn decomposition_is_injective_within_capacity() {
+        for order in [MapOrder::RoBaCo, MapOrder::RoCoBa] {
+            let map = DramAddressMap::new(order, 4, 64);
+            let mut seen = std::collections::HashSet::new();
+            for atom in 0..(4 * 64 * 8) {
+                let c = map.decompose(atom);
+                assert!(c.col < 64);
+                assert!(c.bank < 4);
+                assert!(seen.insert((c.bank, c.row, c.col)), "{order:?}: collision at {atom}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_access_is_row_empty() {
+        let mut ch = channel();
+        let info = ch.try_issue(0, false, 0).expect("issue");
+        assert_eq!(info.row_outcome, RowOutcome::Empty);
+        // tRCD + CAS + burst = 5 + 5 + 1.
+        assert_eq!(info.data_ready, 11);
+    }
+
+    #[test]
+    fn second_access_same_row_is_hit() {
+        let mut ch = channel();
+        ch.try_issue(0, false, 0).unwrap();
+        // Bank busy until col_delay + burst = 6; bus busy until 11.
+        let info = ch.try_issue(1, false, 6).expect("issue");
+        assert_eq!(info.row_outcome, RowOutcome::Hit);
+        // data at 6 + CAS + burst = 12 (pipelines right behind first burst).
+        assert_eq!(info.data_ready, 12);
+    }
+
+    #[test]
+    fn row_conflict_waits_for_tras() {
+        let mut ch = channel();
+        ch.try_issue(0, false, 0).unwrap(); // opens row 0 of bank 0 at t=0
+        // Same hashed bank, different row: atom 320 = row 1, raw bank 1,
+        // hashed bank 1^1 = 0 — conflicts with atom 0's bank.
+        // tRAS=12: precharge not allowed before cycle 12.
+        assert!(ch.try_issue(320, false, 6).is_none());
+        let info = ch.try_issue(320, false, 12).expect("issue");
+        assert_eq!(info.row_outcome, RowOutcome::Conflict);
+        // tRP + tRCD + CAS + burst = 5+5+5+1 after t=12.
+        assert_eq!(info.data_ready, 12 + 16);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut ch = channel();
+        ch.try_issue(0, false, 0).unwrap(); // bank 0
+        // Bank 1 (atom 64) can activate in parallel; only bus conflicts.
+        let info = ch.try_issue(64, false, 1).expect("issue");
+        assert_eq!(info.row_outcome, RowOutcome::Empty);
+        assert_eq!(info.data_ready, 1 + 5 + 5 + 1);
+    }
+
+    #[test]
+    fn bus_conflict_blocks_issue() {
+        let mut ch = channel();
+        // Two banks, data would collide on the bus at the same cycle.
+        ch.try_issue(0, false, 0).unwrap(); // data 10..11
+        // bank 1 at now=0: data would start at 10 too -> bus_free 11 > 10.
+        assert!(ch.try_issue(64, false, 0).is_none());
+        assert!(ch.try_issue(64, false, 1).is_some());
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut ch = channel();
+        ch.try_issue(0, true, 0).unwrap(); // write: data 10..11, dir=Write
+        // Read on another bank at now=5: data_start = 5+5+5 = 15,
+        // needs bus_free(11) + tWTR(3) = 14 <= 15: OK.
+        let info = ch.try_issue(64, false, 5).expect("issue");
+        assert_eq!(info.data_ready, 16);
+        // Immediately after, same-direction has no extra penalty.
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut ch = channel();
+        ch.try_issue(0, true, 0).unwrap(); // write ends at 11
+        // Conflict in same bank: precharge needs tRAS(12) and
+        // last_write_end(11) + tWR(6) = 17.
+        assert!(ch.try_issue(320, false, 12).is_none());
+        assert!(ch.try_issue(320, false, 16).is_none());
+        assert!(ch.try_issue(320, false, 17).is_some());
+    }
+
+    #[test]
+    fn refresh_closes_rows_and_stalls_banks() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.mem.timing.t_refi = 100;
+        cfg.mem.timing.t_rfc = 20;
+        let mut ch = DramChannel::new(&cfg.mem, MapOrder::RoBaCo);
+        ch.try_issue(0, false, 0).unwrap();
+        assert_eq!(ch.peek_outcome(1), RowOutcome::Hit);
+        ch.tick_refresh(100);
+        assert_eq!(ch.refreshes, 1);
+        // Row closed by refresh; bank stalled until 120.
+        assert_eq!(ch.peek_outcome(1), RowOutcome::Empty);
+        assert!(ch.try_issue(1, false, 110).is_none());
+        assert!(ch.try_issue(1, false, 120).is_some());
+    }
+
+    #[test]
+    fn peek_matches_issue_outcome() {
+        let mut ch = channel();
+        assert_eq!(ch.peek_outcome(0), RowOutcome::Empty);
+        ch.try_issue(0, false, 0).unwrap();
+        assert_eq!(ch.peek_outcome(1), RowOutcome::Hit);
+        assert_eq!(ch.peek_outcome(320), RowOutcome::Conflict);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ch = channel();
+        ch.try_issue(0, false, 0).unwrap();
+        let mut now = 6;
+        ch.try_issue(1, false, now).unwrap();
+        now = 20;
+        ch.try_issue(320, false, now).unwrap();
+        assert_eq!(ch.row_empties, 1);
+        assert_eq!(ch.row_hits, 1);
+        assert_eq!(ch.row_conflicts, 1);
+        assert!((ch.row_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,263 @@
+//! DRAM and on-chip-structure energy model.
+//!
+//! MICRO-style evaluations report energy alongside performance; this
+//! module computes both *post hoc* from a run's [`SimStats`], so the
+//! timing simulator stays energy-agnostic. The model is event-based:
+//!
+//! * **Activate/precharge** — per row activation (row empties + conflicts
+//!   both open a row; the conflict's precharge is folded into the same
+//!   constant, as is conventional).
+//! * **Read/write burst** — per 32-byte atom transferred, including I/O.
+//! * **Refresh** — per all-bank refresh operation.
+//! * **Background** — per channel-cycle (clocking, peripheral, standby).
+//! * **On-chip ECC structures** — per access to the dedicated ECC cache /
+//!   fragment store / coalescing buffer, derived from the protection
+//!   counters (each hit, fetch-install, absorb or drain touches the
+//!   structure once).
+//!
+//! Default constants are GDDR6-class order-of-magnitude values assembled
+//! from public datasheet-derived literature (≈15 pJ/bit transferred,
+//! ≈2 nJ per activate for a 2 KiB row, ≈190 nJ per all-bank refresh,
+//! ≈0.15 pJ/bit for small SRAM arrays). Absolute joules carry the same
+//! caveat as absolute cycles (DESIGN.md §2); the evaluation uses
+//! *relative* energy across schemes, which is dominated by well-known
+//! event ratios.
+
+use crate::stats::SimStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Event-energy constants in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per row activation + its eventual precharge.
+    pub activate_pj: f64,
+    /// Energy per 32-byte read burst (array + I/O).
+    pub read_atom_pj: f64,
+    /// Energy per 32-byte write burst.
+    pub write_atom_pj: f64,
+    /// Energy per all-bank refresh of one channel.
+    pub refresh_pj: f64,
+    /// Background power per channel, per core cycle.
+    pub background_pj_per_cycle: f64,
+    /// Energy per access to a small on-chip SRAM structure (one ECC atom).
+    pub sram_access_pj: f64,
+}
+
+impl EnergyModel {
+    /// GDDR6-class defaults (see module docs for provenance).
+    pub fn gddr6() -> Self {
+        EnergyModel {
+            activate_pj: 2_000.0,
+            read_atom_pj: 3_800.0,  // ~15 pJ/bit x 256 bits
+            write_atom_pj: 3_800.0,
+            refresh_pj: 190_000.0,
+            background_pj_per_cycle: 80.0,
+            sram_access_pj: 40.0, // ~0.15 pJ/bit x 256 bits
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::gddr6()
+    }
+}
+
+/// Energy breakdown of one run, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Row activations (and their precharges).
+    pub activate_nj: f64,
+    /// Data read bursts.
+    pub data_read_nj: f64,
+    /// Data write bursts.
+    pub data_write_nj: f64,
+    /// ECC read bursts.
+    pub ecc_read_nj: f64,
+    /// ECC write bursts.
+    pub ecc_write_nj: f64,
+    /// Refresh operations.
+    pub refresh_nj: f64,
+    /// Background (duration x channels).
+    pub background_nj: f64,
+    /// On-chip ECC-structure accesses.
+    pub sram_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_nj(&self) -> f64 {
+        self.activate_nj
+            + self.data_read_nj
+            + self.data_write_nj
+            + self.ecc_read_nj
+            + self.ecc_write_nj
+            + self.refresh_nj
+            + self.background_nj
+            + self.sram_nj
+    }
+
+    /// DRAM dynamic energy only (excludes background and on-chip SRAM).
+    pub fn dram_dynamic_nj(&self) -> f64 {
+        self.activate_nj
+            + self.data_read_nj
+            + self.data_write_nj
+            + self.ecc_read_nj
+            + self.ecc_write_nj
+            + self.refresh_nj
+    }
+
+    /// Fraction of total energy attributable to protection (ECC bursts,
+    /// the activations they caused are not separable and are excluded,
+    /// plus on-chip structures).
+    pub fn protection_fraction(&self) -> f64 {
+        let total = self.total_nj();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.ecc_read_nj + self.ecc_write_nj + self.sram_nj) / total
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} uJ total (act {:.1} / dRW {:.1} / eRW {:.1} / ref {:.1} / bg {:.1} / sram {:.2})",
+            self.total_nj() / 1000.0,
+            self.activate_nj / 1000.0,
+            (self.data_read_nj + self.data_write_nj) / 1000.0,
+            (self.ecc_read_nj + self.ecc_write_nj) / 1000.0,
+            self.refresh_nj / 1000.0,
+            self.background_nj / 1000.0,
+            self.sram_nj / 1000.0,
+        )
+    }
+}
+
+impl EnergyModel {
+    /// Computes the energy of a completed run. `channels` is the machine's
+    /// channel count (for background power).
+    pub fn evaluate(&self, stats: &SimStats, channels: u16) -> EnergyBreakdown {
+        let p = &stats.protection;
+        // Each structure event is one SRAM access; fetch installs touch it
+        // twice (probe + install), absorbs and drains once each.
+        let sram_accesses = p.ecc_fetch_hits
+            + 2 * p.ecc_demand_fetches
+            + p.absorbed_writebacks
+            + p.coalesced_ecc_writes
+            + p.reconstructed_writebacks
+            + p.ecc_structure_writebacks
+            + p.rmw_writebacks;
+        EnergyBreakdown {
+            activate_nj: (stats.row_empties + stats.row_conflicts) as f64 * self.activate_pj
+                / 1000.0,
+            data_read_nj: stats.dram[0] as f64 * self.read_atom_pj / 1000.0,
+            data_write_nj: stats.dram[1] as f64 * self.write_atom_pj / 1000.0,
+            ecc_read_nj: stats.dram[2] as f64 * self.read_atom_pj / 1000.0,
+            ecc_write_nj: stats.dram[3] as f64 * self.write_atom_pj / 1000.0,
+            refresh_nj: stats.refreshes as f64 * self.refresh_pj / 1000.0,
+            background_nj: stats.cycles as f64 * channels as f64 * self.background_pj_per_cycle
+                / 1000.0,
+            sram_nj: sram_accesses as f64 * self.sram_access_pj / 1000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protection::ProtectionStats;
+
+    fn stats() -> SimStats {
+        SimStats {
+            kernel: "k".into(),
+            scheme: "s".into(),
+            cycles: 10_000,
+            exec_cycles: 9_000,
+            timed_out: false,
+            ops: 100,
+            accesses: 100,
+            l1_read_hits: 0,
+            l1_read_misses: 0,
+            l2_read_hits: 0,
+            l2_read_misses: 0,
+            l2_fills: 0,
+            l2_writebacks: 0,
+            dram: [1000, 500, 200, 100],
+            row_hits: 1500,
+            row_empties: 200,
+            row_conflicts: 100,
+            refreshes: 2,
+            mean_read_latency: 0.0,
+            protection: ProtectionStats {
+                ecc_demand_fetches: 200,
+                ecc_fetch_hits: 800,
+                ..ProtectionStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn breakdown_matches_hand_computation() {
+        let m = EnergyModel::gddr6();
+        let e = m.evaluate(&stats(), 8);
+        assert!((e.activate_nj - 300.0 * 2_000.0 / 1000.0).abs() < 1e-9);
+        assert!((e.data_read_nj - 1000.0 * 3.8).abs() < 1e-9);
+        assert!((e.ecc_read_nj - 200.0 * 3.8).abs() < 1e-9);
+        assert!((e.refresh_nj - 2.0 * 190.0).abs() < 1e-9);
+        assert!((e.background_nj - 10_000.0 * 8.0 * 80.0 / 1000.0).abs() < 1e-9);
+        // 800 hits + 2x200 fetch installs = 1200 SRAM accesses.
+        assert!((e.sram_nj - 1200.0 * 40.0 / 1000.0).abs() < 1e-9);
+        let sum = e.activate_nj
+            + e.data_read_nj
+            + e.data_write_nj
+            + e.ecc_read_nj
+            + e.ecc_write_nj
+            + e.refresh_nj
+            + e.background_nj
+            + e.sram_nj;
+        assert!((e.total_nj() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn protection_fraction_bounds() {
+        let m = EnergyModel::gddr6();
+        let e = m.evaluate(&stats(), 8);
+        let f = e.protection_fraction();
+        assert!(f > 0.0 && f < 1.0);
+        // A run with zero ECC traffic has zero protection energy.
+        let mut clean = stats();
+        clean.dram[2] = 0;
+        clean.dram[3] = 0;
+        clean.protection = ProtectionStats::default();
+        let e2 = m.evaluate(&clean, 8);
+        assert_eq!(e2.protection_fraction(), 0.0);
+        assert!(e2.total_nj() < e.total_nj());
+    }
+
+    #[test]
+    fn dram_dynamic_excludes_background_and_sram() {
+        let m = EnergyModel::gddr6();
+        let e = m.evaluate(&stats(), 8);
+        assert!((e.dram_dynamic_nj() + e.background_nj + e.sram_nj - e.total_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let m = EnergyModel::gddr6();
+        let text = m.evaluate(&stats(), 8).to_string();
+        assert!(text.contains("uJ total"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = EnergyModel::gddr6();
+        let e = m.evaluate(&stats(), 8);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: EnergyBreakdown = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

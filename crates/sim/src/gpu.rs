@@ -1,0 +1,344 @@
+//! Top-level simulator: wires SMs, crossbar, L2 slices and memory
+//! controllers together and runs a kernel trace to completion.
+//!
+//! The pipeline per cycle (reverse order, so data moves one stage per
+//! cycle):
+//!
+//! 1. every L2 slice ticks (controller scheduling, fills, write-backs,
+//!    request pipeline) and emits responses into the crossbar;
+//! 2. the crossbar delivers matured requests to slices and matured
+//!    responses to L1s;
+//! 3. every SM ticks (L1 pipeline, LSU streaming, warp scheduling).
+//!
+//! When every warp retires, the simulator enters a *flush phase*: the
+//! protection scheme's buffers are flushed and all dirty L2 state is
+//! written back, so DRAM-traffic accounting is complete and fair across
+//! schemes (a scheme cannot hide write traffic in on-chip buffers).
+//! Simulation ends when all queues drain, or at `max_cycles` (reported via
+//! [`SimStats::timed_out`]).
+
+use crate::config::GpuConfig;
+use crate::dram::MapOrder;
+use crate::l1::L1Cache;
+use crate::l2::L2Slice;
+use crate::protection::ProtectionScheme;
+use crate::sm::SmCore;
+use crate::stats::SimStats;
+use crate::trace::{KernelTrace, WarpTrace};
+use crate::types::{Cycle, SmId};
+use crate::xbar::Crossbar;
+
+/// Runs `trace` on the machine described by `cfg` under `scheme`.
+///
+/// Warps are assigned to SMs round-robin. The trace must fit within the
+/// machine's resident-warp capacity (`sms * warps_per_sm`).
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation or the trace has more
+/// warps than the machine has warp slots.
+pub fn simulate(
+    cfg: &GpuConfig,
+    order: MapOrder,
+    trace: &KernelTrace,
+    scheme: &mut dyn ProtectionScheme,
+) -> SimStats {
+    cfg.validate().expect("invalid GpuConfig");
+    let sms_n = cfg.core.sms as usize;
+    let slots = sms_n * cfg.core.warps_per_sm as usize;
+    assert!(
+        trace.warps().len() <= slots,
+        "trace has {} warps but the machine has {slots} warp slots",
+        trace.warps().len()
+    );
+
+    // Distribute warps round-robin across SMs.
+    let mut per_sm: Vec<Vec<WarpTrace>> = vec![Vec::new(); sms_n];
+    for (i, w) in trace.warps().iter().enumerate() {
+        per_sm[i % sms_n].push(w.clone());
+    }
+    let mut sms: Vec<SmCore> = per_sm
+        .into_iter()
+        .enumerate()
+        .map(|(i, traces)| {
+            let id = SmId(i as u16);
+            SmCore::new(id, &cfg.core, L1Cache::new(id, &cfg.l1), traces)
+        })
+        .collect();
+
+    let tax = scheme.l2_tax_bytes();
+    let mut slices: Vec<L2Slice> = (0..cfg.mem.channels)
+        .map(|ch| L2Slice::new(cfg, ch, order, tax))
+        .collect();
+    let mut xbar = Crossbar::new(&cfg.xbar, cfg.core.sms, cfg.mem.channels);
+
+    let mut now: Cycle = 0;
+    let mut exec_cycles: Cycle = 0;
+    let mut flushed = false;
+    let mut timed_out = false;
+
+    loop {
+        // 1. Memory side.
+        for slice in &mut slices {
+            slice.tick(scheme, now);
+            for resp in slice.pop_responses(now) {
+                xbar.send_response(resp, now);
+            }
+        }
+        // 2. Interconnect delivery.
+        for ch in 0..slices.len() {
+            let slice = &mut slices[ch];
+            xbar.deliver_requests(ch as u16, now, &mut |req| {
+                if slice.can_accept() {
+                    slice.push(req);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        for i in 0..sms.len() {
+            for resp in xbar.deliver_responses(i as u16, now) {
+                sms[i].l1.accept_response(resp);
+            }
+        }
+        // 3. Cores.
+        for sm in &mut sms {
+            let xbar_ref = &mut xbar;
+            let scheme_map = &*scheme;
+            sm.tick(
+                now,
+                &mut |atom| scheme_map.map(atom),
+                &mut |req| xbar_ref.try_send_request(req, now),
+            );
+        }
+
+        // Progress / termination.
+        let warps_done = sms.iter().all(|s| s.all_warps_done(now));
+        if warps_done && exec_cycles == 0 {
+            exec_cycles = now + 1;
+        }
+        if warps_done && !flushed {
+            // Wait for in-flight stores to land before flushing dirty L2.
+            let stores_landed = sms.iter().all(|s| s.l1.is_idle())
+                && xbar.is_idle()
+                && slices.iter().all(|s| s.is_idle());
+            if stores_landed {
+                scheme.flush();
+                for slice in &mut slices {
+                    slice.flush_dirty(scheme, now);
+                }
+                flushed = true;
+            }
+        }
+        if flushed {
+            let drained = slices.iter().all(|s| s.is_idle()) && scheme.is_drained();
+            if drained {
+                now += 1;
+                break;
+            }
+        }
+        now += 1;
+        if now >= cfg.max_cycles {
+            timed_out = true;
+            break;
+        }
+    }
+
+    // Aggregate statistics.
+    let mut stats = SimStats {
+        kernel: trace.name().to_string(),
+        scheme: scheme.name().to_string(),
+        cycles: now,
+        exec_cycles: if exec_cycles == 0 { now } else { exec_cycles },
+        timed_out,
+        ops: trace.total_ops(),
+        accesses: trace.total_accesses(),
+        l1_read_hits: 0,
+        l1_read_misses: 0,
+        l2_read_hits: 0,
+        l2_read_misses: 0,
+        l2_fills: 0,
+        l2_writebacks: 0,
+        dram: [0; 4],
+        row_hits: 0,
+        row_empties: 0,
+        row_conflicts: 0,
+        refreshes: 0,
+        mean_read_latency: 0.0,
+        protection: scheme.stats(),
+    };
+    for sm in &sms {
+        let l1 = sm.l1.stats();
+        stats.l1_read_hits += l1.read_hits;
+        stats.l1_read_misses += l1.read_misses;
+    }
+    let mut lat_sum = 0u64;
+    let mut lat_n = 0u64;
+    for slice in &slices {
+        let s = slice.stats();
+        stats.l2_read_hits += s.cache.read_hits;
+        stats.l2_read_misses += s.cache.read_misses;
+        stats.l2_fills += s.fills;
+        stats.l2_writebacks += s.writebacks;
+        let mc = slice.mc_stats();
+        for (i, c) in mc.count.iter().enumerate() {
+            stats.dram[i] += c;
+        }
+        stats.row_hits += mc.row_hits;
+        stats.row_empties += mc.row_empties;
+        stats.row_conflicts += mc.row_conflicts;
+        stats.refreshes += mc.refreshes;
+        lat_sum += mc.read_latency_sum;
+        lat_n += mc.read_latency_count;
+    }
+    stats.mean_read_latency = if lat_n == 0 {
+        0.0
+    } else {
+        lat_sum as f64 / lat_n as f64
+    };
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protection::{ChannelInterleave, NoProtection};
+    use crate::trace::WarpOp;
+    use crate::types::{LogicalAtom, TrafficClass};
+
+    fn tiny_scheme(cfg: &GpuConfig) -> NoProtection {
+        NoProtection::new(ChannelInterleave::new(
+            cfg.mem.channels,
+            cfg.mem.interleave_atoms,
+        ))
+    }
+
+    /// A streaming kernel: each warp loads a disjoint run of atoms.
+    fn streaming(warps: usize, atoms_per_warp: u64) -> KernelTrace {
+        let traces = (0..warps as u64)
+            .map(|w| {
+                let ops = (0..atoms_per_warp / 4)
+                    .map(|i| WarpOp::Load {
+                        atoms: (0..4)
+                            .map(|k| LogicalAtom(w * atoms_per_warp + i * 4 + k))
+                            .collect(),
+                    })
+                    .collect();
+                WarpTrace::new(ops)
+            })
+            .collect();
+        KernelTrace::new("stream-test", traces)
+    }
+
+    #[test]
+    fn streaming_kernel_completes() {
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(4, 64);
+        let mut scheme = tiny_scheme(&cfg);
+        let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+        assert!(!stats.timed_out);
+        assert_eq!(stats.ops, trace.total_ops());
+        // Every distinct atom read exactly once from DRAM (no reuse).
+        assert_eq!(
+            stats.dram_count(TrafficClass::DataRead),
+            trace.footprint_atoms()
+        );
+        assert_eq!(stats.dram_count(TrafficClass::EccRead), 0);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(8, 128);
+        let mut s1 = tiny_scheme(&cfg);
+        let mut s2 = tiny_scheme(&cfg);
+        let a = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut s1);
+        let b = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut s2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reuse_hits_in_l2() {
+        // Two passes over a small footprint: second pass hits in caches.
+        let ops: Vec<WarpOp> = (0..2)
+            .flat_map(|_| {
+                (0..16).map(|i| WarpOp::Load {
+                    atoms: vec![LogicalAtom(i * 4)],
+                })
+            })
+            .collect();
+        let trace = KernelTrace::new("reuse", vec![WarpTrace::new(ops)]);
+        let cfg = GpuConfig::tiny();
+        let mut scheme = tiny_scheme(&cfg);
+        let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+        assert!(!stats.timed_out);
+        // 16 distinct atoms; second pass must not refetch.
+        assert_eq!(stats.dram_count(TrafficClass::DataRead), 16);
+        assert!(stats.l1_read_hits + stats.l2_read_hits >= 16);
+    }
+
+    #[test]
+    fn store_kernel_writes_back_on_flush() {
+        let ops: Vec<WarpOp> = (0..8)
+            .map(|i| WarpOp::Store {
+                atoms: vec![LogicalAtom(i)],
+                full: true,
+            })
+            .collect();
+        let trace = KernelTrace::new("store", vec![WarpTrace::new(ops)]);
+        let cfg = GpuConfig::tiny();
+        let mut scheme = tiny_scheme(&cfg);
+        let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+        assert!(!stats.timed_out);
+        assert_eq!(stats.dram_count(TrafficClass::DataWrite), 8);
+        assert_eq!(stats.dram_count(TrafficClass::DataRead), 0, "full stores fetch nothing");
+        assert!(stats.cycles > stats.exec_cycles, "flush happens after retire");
+    }
+
+    #[test]
+    fn compute_only_kernel_touches_no_dram() {
+        let trace = KernelTrace::new(
+            "compute",
+            vec![WarpTrace::new(vec![WarpOp::Compute { cycles: 100 }])],
+        );
+        let cfg = GpuConfig::tiny();
+        let mut scheme = tiny_scheme(&cfg);
+        let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+        assert_eq!(stats.dram_bytes(), 0);
+        assert!(stats.cycles >= 100);
+    }
+
+    #[test]
+    fn multiple_sms_share_the_memory_system() {
+        let cfg = GpuConfig::tiny(); // 2 SMs
+        let trace = streaming(8, 64); // warps spread over both SMs
+        let mut scheme = tiny_scheme(&cfg);
+        let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+        assert!(!stats.timed_out);
+        assert_eq!(
+            stats.dram_count(TrafficClass::DataRead),
+            trace.footprint_atoms()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warp slots")]
+    fn too_many_warps_rejected() {
+        let cfg = GpuConfig::tiny(); // 2 SMs x 4 warps = 8 slots
+        let trace = streaming(9, 4);
+        let mut scheme = tiny_scheme(&cfg);
+        let _ = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let cfg = GpuConfig::tiny();
+        let trace = KernelTrace::new("empty", vec![]);
+        let mut scheme = tiny_scheme(&cfg);
+        let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+        assert!(!stats.timed_out);
+        assert_eq!(stats.dram_bytes(), 0);
+    }
+}

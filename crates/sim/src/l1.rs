@@ -1,0 +1,401 @@
+//! Per-SM L1 data cache.
+//!
+//! Models the GPU L1 policy: sectored, **write-through, write-no-allocate**
+//! (stores always forward to L2; they update a resident sector but never
+//! allocate), read-allocate with sector-granularity MSHRs. L1 is indexed by
+//! *logical* atoms — address translation to the physical (ECC-carved) space
+//! happens at the L1↔L2 boundary via the protection scheme's map, mirroring
+//! where real GPUs apply the inline-ECC address swizzle.
+
+use crate::cache::{LookupResult, SectorCache};
+use crate::config::CacheConfig;
+use crate::msg::{L2Request, L2Response, NO_L1_MSHR};
+use crate::types::{AccessKind, Cycle, LogicalAtom, SmId, WarpIdx};
+use std::collections::{HashMap, VecDeque};
+
+/// One access handed from the SM's load/store unit to the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Access {
+    /// Issuing warp (for load completion notification).
+    pub warp: WarpIdx,
+    /// Target atom (logical space).
+    pub atom: LogicalAtom,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+#[derive(Debug)]
+struct L1Mshr {
+    atom: LogicalAtom,
+    waiters: Vec<WarpIdx>,
+}
+
+/// Per-L1 statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Stats {
+    /// Load hits.
+    pub read_hits: u64,
+    /// Load misses sent to L2.
+    pub read_misses: u64,
+    /// Stores forwarded (write-through).
+    pub writes: u64,
+    /// Cycles the pipeline stalled on MSHRs or crossbar backpressure.
+    pub stalls: u64,
+}
+
+/// The L1 cache pipeline.
+#[derive(Debug)]
+pub struct L1Cache {
+    sm: SmId,
+    cache: SectorCache,
+    latency: u32,
+    in_q: VecDeque<L1Access>,
+    in_cap: usize,
+    /// Loads that hit, waiting out the hit latency: `(ready, warp)`.
+    hit_q: VecDeque<(Cycle, WarpIdx)>,
+    mshrs: Vec<Option<L1Mshr>>,
+    mshr_index: HashMap<LogicalAtom, usize>,
+    free_mshrs: Vec<usize>,
+    /// Completed load notifications for the SM: one entry per finished
+    /// access, identifying the warp.
+    completions: Vec<WarpIdx>,
+    stats: L1Stats,
+}
+
+impl L1Cache {
+    /// Builds the L1 for one SM.
+    pub fn new(sm: SmId, cfg: &CacheConfig) -> Self {
+        L1Cache {
+            sm,
+            cache: SectorCache::new(cfg.sets(), cfg.ways, 4),
+            latency: cfg.latency,
+            in_q: VecDeque::with_capacity(cfg.input_queue),
+            in_cap: cfg.input_queue,
+            hit_q: VecDeque::new(),
+            mshrs: (0..cfg.mshrs).map(|_| None).collect(),
+            mshr_index: HashMap::new(),
+            free_mshrs: (0..cfg.mshrs).rev().collect(),
+            completions: Vec::new(),
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// `true` when the LSU can hand over another access.
+    pub fn can_accept(&self) -> bool {
+        self.in_q.len() < self.in_cap
+    }
+
+    /// Enqueues an access from the SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input queue is full (check
+    /// [`can_accept`](Self::can_accept)).
+    pub fn push(&mut self, access: L1Access) {
+        assert!(self.can_accept(), "L1 input queue overflow");
+        self.in_q.push_back(access);
+    }
+
+    /// Accepts a fill response from the L2 (via the crossbar).
+    pub fn accept_response(&mut self, resp: L2Response) {
+        debug_assert_eq!(resp.dest, self.sm);
+        let idx = resp.l1_mshr as usize;
+        let m = self.mshrs[idx].take().expect("response for empty L1 MSHR");
+        self.mshr_index.remove(&m.atom);
+        self.free_mshrs.push(idx);
+        // Install; L1 lines are never dirty (write-through), so evictions
+        // are silent.
+        let _ = self.cache.fill(m.atom.0, false);
+        self.completions.extend(m.waiters);
+    }
+
+    /// Advances the pipeline one cycle. `send` forwards a request toward
+    /// the L2 (returns `false` on backpressure); `map` is the protection
+    /// scheme's logical→physical translation.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        map: &mut dyn FnMut(LogicalAtom) -> crate::types::PhysLoc,
+        send: &mut dyn FnMut(L2Request) -> bool,
+    ) {
+        // Release matured hits.
+        while let Some(&(ready, warp)) = self.hit_q.front() {
+            if ready <= now {
+                self.completions.push(warp);
+                self.hit_q.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Process the input queue (one access per cycle — the LSU rate).
+        if let Some(&access) = self.in_q.front() {
+            match access.kind {
+                AccessKind::Read => match self.cache.lookup_read(access.atom.0) {
+                    LookupResult::Hit => {
+                        self.stats.read_hits += 1;
+                        self.hit_q.push_back((now + self.latency as Cycle, access.warp));
+                        self.in_q.pop_front();
+                    }
+                    LookupResult::SectorMiss | LookupResult::LineMiss => {
+                        if let Some(&idx) = self.mshr_index.get(&access.atom) {
+                            self.mshrs[idx]
+                                .as_mut()
+                                .expect("indexed mshr")
+                                .waiters
+                                .push(access.warp);
+                            self.stats.read_misses += 1;
+                            self.in_q.pop_front();
+                        } else if let Some(&free) = self.free_mshrs.last() {
+                            let req = L2Request {
+                                loc: map(access.atom),
+                                kind: AccessKind::Read,
+                                src: self.sm,
+                                l1_mshr: free as u32,
+                            };
+                            if send(req) {
+                                self.free_mshrs.pop();
+                                self.mshr_index.insert(access.atom, free);
+                                self.mshrs[free] = Some(L1Mshr {
+                                    atom: access.atom,
+                                    waiters: vec![access.warp],
+                                });
+                                self.stats.read_misses += 1;
+                                self.in_q.pop_front();
+                            } else {
+                                self.stats.stalls += 1;
+                            }
+                        } else {
+                            self.stats.stalls += 1;
+                        }
+                    }
+                },
+                AccessKind::Write { .. } => {
+                    // Write-through: update a resident sector, forward
+                    // regardless, never allocate.
+                    let req = L2Request {
+                        loc: map(access.atom),
+                        kind: access.kind,
+                        src: self.sm,
+                        l1_mshr: NO_L1_MSHR,
+                    };
+                    if send(req) {
+                        if self.cache.probe(access.atom.0) {
+                            // Keep the L1 copy coherent (timing model: just
+                            // refresh LRU; write-through keeps it clean in
+                            // L1 while L2 holds the dirty state).
+                            let _ = self.cache.lookup_read(access.atom.0);
+                        }
+                        self.stats.writes += 1;
+                        self.in_q.pop_front();
+                    } else {
+                        self.stats.stalls += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes the load-completion notifications accumulated so far.
+    pub fn take_completions(&mut self) -> Vec<WarpIdx> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// `true` when no work remains in the L1.
+    pub fn is_idle(&self) -> bool {
+        self.in_q.is_empty()
+            && self.hit_q.is_empty()
+            && self.mshr_index.is_empty()
+            && self.completions.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> L1Stats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::types::PhysLoc;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(SmId(0), &GpuConfig::tiny().l1)
+    }
+
+    fn identity_map(atom: LogicalAtom) -> PhysLoc {
+        PhysLoc::new(0, atom.0)
+    }
+
+    #[test]
+    fn miss_forwards_and_fill_completes_waiters() {
+        let mut l1 = l1();
+        let mut sent = Vec::new();
+        l1.push(L1Access {
+            warp: 3,
+            atom: LogicalAtom(5),
+            kind: AccessKind::Read,
+        });
+        l1.tick(0, &mut identity_map, &mut |r| {
+            sent.push(r);
+            true
+        });
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].loc, PhysLoc::new(0, 5));
+        assert!(l1.take_completions().is_empty());
+        // Fill arrives.
+        l1.accept_response(L2Response {
+            loc: sent[0].loc,
+            dest: SmId(0),
+            l1_mshr: sent[0].l1_mshr,
+        });
+        assert_eq!(l1.take_completions(), vec![3]);
+        assert_eq!(l1.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn hit_after_fill_respects_latency() {
+        let mut l1 = l1();
+        let mut send_ok = |_: L2Request| true;
+        l1.push(L1Access {
+            warp: 0,
+            atom: LogicalAtom(5),
+            kind: AccessKind::Read,
+        });
+        let mut sent = None;
+        l1.tick(0, &mut identity_map, &mut |r| {
+            sent = Some(r);
+            true
+        });
+        l1.accept_response(L2Response {
+            loc: sent.unwrap().loc,
+            dest: SmId(0),
+            l1_mshr: sent.unwrap().l1_mshr,
+        });
+        let _ = l1.take_completions();
+        // Now a hit: tiny L1 latency is 4.
+        l1.push(L1Access {
+            warp: 1,
+            atom: LogicalAtom(5),
+            kind: AccessKind::Read,
+        });
+        l1.tick(10, &mut identity_map, &mut send_ok);
+        assert!(l1.take_completions().is_empty());
+        l1.tick(13, &mut identity_map, &mut send_ok);
+        assert!(l1.take_completions().is_empty());
+        l1.tick(14, &mut identity_map, &mut send_ok);
+        assert_eq!(l1.take_completions(), vec![1]);
+        assert_eq!(l1.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn merged_misses_share_one_request() {
+        let mut l1 = l1();
+        let mut count = 0;
+        let mut last = None;
+        for warp in 0..3 {
+            l1.push(L1Access {
+                warp,
+                atom: LogicalAtom(9),
+                kind: AccessKind::Read,
+            });
+        }
+        for now in 0..3 {
+            l1.tick(now, &mut identity_map, &mut |r| {
+                count += 1;
+                last = Some(r);
+                true
+            });
+        }
+        assert_eq!(count, 1, "merged misses must send a single L2 request");
+        l1.accept_response(L2Response {
+            loc: last.unwrap().loc,
+            dest: SmId(0),
+            l1_mshr: last.unwrap().l1_mshr,
+        });
+        let mut done = l1.take_completions();
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn writes_always_forward() {
+        let mut l1 = l1();
+        let mut sent = Vec::new();
+        l1.push(L1Access {
+            warp: 0,
+            atom: LogicalAtom(7),
+            kind: AccessKind::Write { full: true },
+        });
+        l1.tick(0, &mut identity_map, &mut |r| {
+            sent.push(r);
+            true
+        });
+        assert_eq!(sent.len(), 1);
+        assert!(sent[0].kind.is_write());
+        assert_eq!(sent[0].l1_mshr, NO_L1_MSHR);
+        assert_eq!(l1.stats().writes, 1);
+        assert!(l1.is_idle());
+    }
+
+    #[test]
+    fn backpressure_stalls_head() {
+        let mut l1 = l1();
+        l1.push(L1Access {
+            warp: 0,
+            atom: LogicalAtom(1),
+            kind: AccessKind::Read,
+        });
+        l1.tick(0, &mut identity_map, &mut |_| false);
+        assert_eq!(l1.stats().stalls, 1);
+        assert!(!l1.is_idle());
+        // Succeeds once the network accepts.
+        l1.tick(1, &mut identity_map, &mut |_| true);
+        assert_eq!(l1.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls() {
+        let cfg = GpuConfig::tiny();
+        let mut l1 = L1Cache::new(SmId(0), &cfg.l1);
+        // Fill all MSHRs with distinct atoms, draining the input queue as
+        // we go (one access per cycle).
+        let mut accepted = 0;
+        let mut now = 0;
+        for i in 0..=cfg.l1.mshrs as u64 {
+            l1.push(L1Access {
+                warp: if i == cfg.l1.mshrs as u64 { 1 } else { 0 },
+                atom: LogicalAtom(i * 100),
+                kind: AccessKind::Read,
+            });
+            l1.tick(now, &mut identity_map, &mut |_| {
+                accepted += 1;
+                true
+            });
+            now += 1;
+        }
+        for _ in 0..10 {
+            l1.tick(now, &mut identity_map, &mut |_| {
+                accepted += 1;
+                true
+            });
+            now += 1;
+        }
+        assert_eq!(accepted, cfg.l1.mshrs, "extra miss must wait for an MSHR");
+        assert!(l1.stats().stalls > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input queue overflow")]
+    fn push_past_capacity_panics() {
+        let mut l1 = l1();
+        for i in 0..=GpuConfig::tiny().l1.input_queue as u64 {
+            l1.push(L1Access {
+                warp: 0,
+                atom: LogicalAtom(i),
+                kind: AccessKind::Read,
+            });
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # ccraft-sim — a trace-driven GPU memory-subsystem simulator
+//!
+//! The infrastructure substrate of the CacheCraft reproduction: a
+//! cycle-approximate model of a GPU's memory hierarchy built for studying
+//! memory-protection schemes. SIMT cores replay coalesced kernel traces;
+//! requests flow through sectored L1s, a crossbar, channel-sliced L2 banks
+//! with MSHRs, and FR-FCFS memory controllers over a banked GDDR6/HBM2
+//! DRAM timing model.
+//!
+//! Memory protection is injected through the
+//! [`ProtectionScheme`](protection::ProtectionScheme) trait, consulted for
+//! address mapping, demand-fill ECC fetches, and write-back ECC traffic.
+//! The scheme implementations (inline ECC baselines and CacheCraft itself)
+//! live in the `ccraft-core` crate; this crate ships only the ECC-off
+//! baseline ([`protection::NoProtection`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ccraft_sim::config::GpuConfig;
+//! use ccraft_sim::dram::MapOrder;
+//! use ccraft_sim::gpu::simulate;
+//! use ccraft_sim::protection::{ChannelInterleave, NoProtection};
+//! use ccraft_sim::trace::{KernelTrace, WarpOp, WarpTrace};
+//! use ccraft_sim::types::LogicalAtom;
+//!
+//! let cfg = GpuConfig::tiny();
+//! let trace = KernelTrace::new(
+//!     "hello",
+//!     vec![WarpTrace::new(vec![WarpOp::Load {
+//!         atoms: (0..4).map(LogicalAtom).collect(),
+//!     }])],
+//! );
+//! let mut scheme = NoProtection::new(ChannelInterleave::new(
+//!     cfg.mem.channels,
+//!     cfg.mem.interleave_atoms,
+//! ));
+//! let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+//! assert!(!stats.timed_out);
+//! assert_eq!(stats.dram[0], 4); // four data-read atoms
+//! ```
+//!
+//! ## Fidelity
+//!
+//! DESIGN.md §5 lists the modelling approximations (single clock domain,
+//! no `tFAW`/bank-group timing, posted stores, trace-driven cores). They
+//! are chosen so that the quantities this reproduction reasons about —
+//! bandwidth demand, row-buffer locality, queue contention, cache reach —
+//! behave faithfully.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod coalesce;
+pub mod config;
+pub mod dram;
+pub mod energy;
+pub mod gpu;
+pub mod l1;
+pub mod l2;
+pub mod mem_ctrl;
+pub mod msg;
+pub mod protection;
+pub mod sm;
+pub mod stats;
+pub mod trace;
+pub mod types;
+pub mod xbar;
+
+pub use config::GpuConfig;
+pub use gpu::simulate;
+pub use stats::SimStats;
+pub use types::{Cycle, LogicalAtom, PhysLoc, TrafficClass};

@@ -1,0 +1,516 @@
+//! Per-channel memory controller: FR-FCFS scheduling over the DRAM model.
+//!
+//! Each controller owns one [`DramChannel`] and two bounded queues (reads
+//! and writes). Scheduling is First-Ready, First-Come-First-Served within a
+//! configurable scan window: row-buffer hits that can issue this cycle are
+//! preferred; otherwise the oldest issuable request goes. Writes are
+//! buffered and drained in batches between the configured watermarks, the
+//! standard technique for amortizing bus-turnaround penalties.
+//!
+//! ECC transactions travel through the same queues as data (that is the
+//! whole point of the inline-ECC performance problem) and are distinguished
+//! only by their [`TrafficClass`] for accounting and by their [`DramTag`]
+//! for completion routing.
+
+use crate::config::MemConfig;
+use crate::dram::{DramChannel, MapOrder, RowOutcome};
+use crate::types::{Cycle, TrafficClass};
+use std::collections::VecDeque;
+
+/// Completion routing information carried by a DRAM request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramTag {
+    /// Demand data read feeding L2 MSHR `mshr`.
+    DemandData {
+        /// Slice-local MSHR index awaiting this data.
+        mshr: usize,
+    },
+    /// Demand ECC read gating the fill of L2 MSHR `mshr`.
+    DemandEcc {
+        /// Slice-local MSHR index awaiting this ECC atom.
+        mshr: usize,
+    },
+    /// Read-modify-write ECC read; fire-and-forget for timing purposes.
+    RmwRead,
+    /// Any write (data or ECC); no completion routing.
+    Write,
+}
+
+/// One DRAM transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Channel-local physical atom.
+    pub atom: u64,
+    /// Traffic class for accounting.
+    pub class: TrafficClass,
+    /// Completion routing.
+    pub tag: DramTag,
+}
+
+impl DramRequest {
+    /// `true` when the transaction is a write.
+    pub fn is_write(&self) -> bool {
+        !self.class.is_read()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: DramRequest,
+    enqueued: Cycle,
+}
+
+/// A completed read, handed back to the L2 slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The original request.
+    pub req: DramRequest,
+    /// Cycle at which data became available.
+    pub done: Cycle,
+}
+
+/// Controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct McStats {
+    /// Transactions per class: indexed by [`TrafficClass::ALL`] order.
+    pub count: [u64; 4],
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-empty accesses.
+    pub row_empties: u64,
+    /// Row conflicts.
+    pub row_conflicts: u64,
+    /// Sum of read queueing+service latency (enqueue to data).
+    pub read_latency_sum: u64,
+    /// Number of reads in the latency sum.
+    pub read_latency_count: u64,
+    /// Cycles in which at least one queue was non-empty.
+    pub busy_cycles: u64,
+    /// All-bank refresh operations performed.
+    pub refreshes: u64,
+}
+
+impl McStats {
+    /// Transactions of one class.
+    pub fn class_count(&self, class: TrafficClass) -> u64 {
+        let idx = TrafficClass::ALL.iter().position(|&c| c == class).expect("class");
+        self.count[idx]
+    }
+
+    /// Mean read latency in cycles (0 when no reads completed).
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.read_latency_count == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.read_latency_count as f64
+        }
+    }
+
+    /// Row-hit rate over all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_empties + self.row_conflicts;
+        if total == 0 {
+            1.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The per-channel memory controller.
+#[derive(Debug)]
+pub struct MemCtrl {
+    chan: DramChannel,
+    read_q: VecDeque<Pending>,
+    write_q: VecDeque<Pending>,
+    read_cap: usize,
+    write_cap: usize,
+    drain_high: usize,
+    drain_low: usize,
+    window: usize,
+    draining: bool,
+    /// (data_ready, completion) pairs not yet collected.
+    inflight: Vec<Completion>,
+    stats: McStats,
+}
+
+impl MemCtrl {
+    /// Creates a controller for one channel.
+    pub fn new(mem: &MemConfig, order: MapOrder) -> Self {
+        MemCtrl {
+            chan: DramChannel::new(mem, order),
+            read_q: VecDeque::with_capacity(mem.read_queue),
+            write_q: VecDeque::with_capacity(mem.write_queue),
+            read_cap: mem.read_queue,
+            write_cap: mem.write_queue,
+            drain_high: mem.write_drain_high,
+            drain_low: mem.write_drain_low,
+            window: mem.sched_window,
+            draining: false,
+            inflight: Vec::new(),
+            stats: McStats::default(),
+        }
+    }
+
+    /// Space available in the read queue.
+    pub fn can_accept_read(&self) -> bool {
+        self.read_q.len() < self.read_cap
+    }
+
+    /// Space available in the write queue.
+    pub fn can_accept_write(&self) -> bool {
+        self.write_q.len() < self.write_cap
+    }
+
+    /// Free read-queue slots (for all-or-nothing multi-request issue).
+    pub fn read_free(&self) -> usize {
+        self.read_cap - self.read_q.len()
+    }
+
+    /// Free write-queue slots.
+    pub fn write_free(&self) -> usize {
+        self.write_cap - self.write_q.len()
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corresponding queue is full; callers must check
+    /// [`can_accept_read`](Self::can_accept_read) /
+    /// [`can_accept_write`](Self::can_accept_write) first.
+    pub fn push(&mut self, req: DramRequest, now: Cycle) {
+        let pending = Pending { req, enqueued: now };
+        if req.is_write() {
+            assert!(self.can_accept_write(), "write queue overflow");
+            self.write_q.push_back(pending);
+        } else {
+            assert!(self.can_accept_read(), "read queue overflow");
+            self.read_q.push_back(pending);
+        }
+    }
+
+    /// `true` when all queues and in-flight transactions are empty.
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty() && self.write_q.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Outstanding transactions (queued + in flight).
+    pub fn outstanding(&self) -> usize {
+        self.read_q.len() + self.write_q.len() + self.inflight.len()
+    }
+
+    fn pick_and_issue(&mut self, now: Cycle, from_writes: bool) -> bool {
+        let q = if from_writes { &self.write_q } else { &self.read_q };
+        if q.is_empty() {
+            return false;
+        }
+        let window = self.window.min(q.len());
+        // First-ready: prefer the oldest row hit that can issue now, else
+        // the oldest request of any kind that can issue now.
+        let mut fallback: Option<usize> = None;
+        let mut chosen: Option<usize> = None;
+        for i in 0..window {
+            let atom = q[i].req.atom;
+            match self.chan.peek_outcome(atom) {
+                RowOutcome::Hit => {
+                    chosen = Some(i);
+                    break;
+                }
+                _ if fallback.is_none() => fallback = Some(i),
+                _ => {}
+            }
+        }
+        // Try the row-hit candidate first, then fall back, then scan the
+        // remaining window for anything issuable.
+        let order: Vec<usize> = chosen
+            .into_iter()
+            .chain(fallback)
+            .chain(0..window)
+            .collect();
+        let mut tried = Vec::with_capacity(order.len());
+        for i in order {
+            if tried.contains(&i) {
+                continue;
+            }
+            tried.push(i);
+            let q = if from_writes { &self.write_q } else { &self.read_q };
+            let pending = q[i];
+            if let Some(info) = self
+                .chan
+                .try_issue(pending.req.atom, pending.req.is_write(), now)
+            {
+                let q = if from_writes {
+                    &mut self.write_q
+                } else {
+                    &mut self.read_q
+                };
+                q.remove(i);
+                let idx = TrafficClass::ALL
+                    .iter()
+                    .position(|&c| c == pending.req.class)
+                    .expect("class");
+                self.stats.count[idx] += 1;
+                if !pending.req.is_write() {
+                    self.stats.read_latency_sum += info.data_ready - pending.enqueued;
+                    self.stats.read_latency_count += 1;
+                    self.inflight.push(Completion {
+                        req: pending.req,
+                        done: info.data_ready,
+                    });
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances the controller one cycle: refresh bookkeeping, write-drain
+    /// hysteresis, and at most one command issued.
+    pub fn tick(&mut self, now: Cycle) {
+        self.chan.tick_refresh(now);
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            self.stats.busy_cycles += 1;
+        }
+        // Write-drain hysteresis.
+        if self.write_q.len() >= self.drain_high {
+            self.draining = true;
+        } else if self.write_q.len() <= self.drain_low {
+            self.draining = false;
+        }
+        let serve_writes = self.draining || self.read_q.is_empty();
+        if serve_writes {
+            if !self.pick_and_issue(now, true) {
+                // Opportunistically serve a read if no write could issue.
+                self.pick_and_issue(now, false);
+            }
+        } else if !self.pick_and_issue(now, false) {
+            self.pick_and_issue(now, true);
+        }
+    }
+
+    /// Collects read completions whose data is available by `now`.
+    pub fn pop_completions(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].done <= now {
+                done.push(self.inflight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        // Deterministic order regardless of swap_remove shuffling.
+        done.sort_by_key(|c| (c.done, c.req.atom));
+        done
+    }
+
+    /// Controller statistics (row counters folded in from the channel).
+    pub fn stats(&self) -> McStats {
+        let mut s = self.stats;
+        s.row_hits = self.chan.row_hits;
+        s.row_empties = self.chan.row_empties;
+        s.row_conflicts = self.chan.row_conflicts;
+        s.refreshes = self.chan.refreshes;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn ctrl() -> MemCtrl {
+        MemCtrl::new(&GpuConfig::tiny().mem, MapOrder::RoBaCo)
+    }
+
+    fn read(atom: u64) -> DramRequest {
+        DramRequest {
+            atom,
+            class: TrafficClass::DataRead,
+            tag: DramTag::DemandData { mshr: 0 },
+        }
+    }
+
+    fn write(atom: u64) -> DramRequest {
+        DramRequest {
+            atom,
+            class: TrafficClass::DataWrite,
+            tag: DramTag::Write,
+        }
+    }
+
+    fn run(mc: &mut MemCtrl, from: Cycle, to: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for now in from..to {
+            mc.tick(now);
+            done.extend(mc.pop_completions(now));
+        }
+        done
+    }
+
+    #[test]
+    fn single_read_completes() {
+        let mut mc = ctrl();
+        mc.push(read(0), 0);
+        let done = run(&mut mc, 0, 40);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].req.atom, 0);
+        // tRCD(5) + CAS(5) + burst(1) = issue at 0, data at 11.
+        assert_eq!(done[0].done, 11);
+        assert!(mc.is_idle());
+    }
+
+    #[test]
+    fn row_hits_preferred_over_older_conflict() {
+        let mut mc = ctrl();
+        // Open row 0 of bank 0.
+        mc.push(read(0), 0);
+        let _ = run(&mut mc, 0, 15);
+        // Conflict request (hashed bank 0, row 1 = atom 320) enqueued first, then a
+        // row hit (atom 1). FR-FCFS issues the hit first.
+        mc.push(read(320), 15);
+        mc.push(read(1), 15);
+        let done = run(&mut mc, 15, 80);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].req.atom, 1, "row hit should complete first");
+        assert_eq!(done[1].req.atom, 320);
+    }
+
+    #[test]
+    fn writes_buffered_until_watermark() {
+        let mut mc = ctrl();
+        // tiny(): drain_high=12. Pushing 3 writes with pending reads keeps
+        // the controller serving reads; writes drain only when reads dry up.
+        mc.push(write(0), 0);
+        mc.push(write(1), 0);
+        mc.push(read(64), 0);
+        // Read issues first (cycle 0) and completes at tRCD+CAS+burst = 11.
+        let done = run(&mut mc, 0, 14);
+        assert_eq!(done.len(), 1, "read served first");
+        // After reads dry up, writes drain opportunistically.
+        let _ = run(&mut mc, 14, 80);
+        assert!(mc.is_idle());
+        let s = mc.stats();
+        assert_eq!(s.class_count(TrafficClass::DataWrite), 2);
+        assert_eq!(s.class_count(TrafficClass::DataRead), 1);
+    }
+
+    #[test]
+    fn drain_mode_batches_writes() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.mem.write_drain_high = 4;
+        cfg.mem.write_drain_low = 1;
+        let mut mc = MemCtrl::new(&cfg.mem, MapOrder::RoBaCo);
+        for i in 0..5 {
+            mc.push(write(i), 0);
+        }
+        mc.push(read(64), 0);
+        // With the write queue above the watermark the controller enters
+        // drain mode: the very first transaction issued is a write, even
+        // though a read is waiting.
+        mc.tick(0);
+        let s = mc.stats();
+        assert_eq!(s.class_count(TrafficClass::DataWrite), 1, "{s:?}");
+        assert_eq!(s.class_count(TrafficClass::DataRead), 0, "{s:?}");
+        // And the whole batch eventually drains.
+        for now in 1..120 {
+            mc.tick(now);
+            let _ = mc.pop_completions(now);
+        }
+        assert!(mc.is_idle());
+        assert_eq!(mc.stats().class_count(TrafficClass::DataWrite), 5);
+    }
+
+    #[test]
+    fn queue_capacity_respected() {
+        let mut mc = ctrl();
+        let cap = GpuConfig::tiny().mem.read_queue;
+        for i in 0..cap as u64 {
+            assert!(mc.can_accept_read());
+            mc.push(read(i), 0);
+        }
+        assert!(!mc.can_accept_read());
+        assert!(mc.can_accept_write());
+    }
+
+    #[test]
+    #[should_panic(expected = "read queue overflow")]
+    fn push_past_capacity_panics() {
+        let mut mc = ctrl();
+        for i in 0..=GpuConfig::tiny().mem.read_queue as u64 {
+            mc.push(read(i), 0);
+        }
+    }
+
+    #[test]
+    fn streaming_reads_are_mostly_row_hits() {
+        let mut mc = ctrl();
+        let mut now = 0;
+        let mut completed = 0;
+        let mut next = 0u64;
+        while completed < 64 {
+            while next < 64 && mc.can_accept_read() {
+                mc.push(read(next), now);
+                next += 1;
+            }
+            mc.tick(now);
+            completed += mc.pop_completions(now).len();
+            now += 1;
+            assert!(now < 10_000, "livelock");
+        }
+        let s = mc.stats();
+        assert_eq!(s.row_empties, 1);
+        assert_eq!(s.row_conflicts, 0);
+        assert_eq!(s.row_hits, 63);
+        assert!(s.row_hit_rate() > 0.98);
+    }
+
+    #[test]
+    fn mean_read_latency_tracks_queueing() {
+        let mut mc = ctrl();
+        mc.push(read(0), 0);
+        mc.push(read(320), 0); // conflict: will wait
+        let _ = run(&mut mc, 0, 100);
+        let s = mc.stats();
+        assert_eq!(s.read_latency_count, 2);
+        assert!(s.mean_read_latency() > 11.0);
+    }
+
+    #[test]
+    fn ecc_traffic_counted_separately() {
+        let mut mc = ctrl();
+        mc.push(
+            DramRequest {
+                atom: 5,
+                class: TrafficClass::EccRead,
+                tag: DramTag::RmwRead,
+            },
+            0,
+        );
+        mc.push(
+            DramRequest {
+                atom: 6,
+                class: TrafficClass::EccWrite,
+                tag: DramTag::Write,
+            },
+            0,
+        );
+        let _ = run(&mut mc, 0, 60);
+        let s = mc.stats();
+        assert_eq!(s.class_count(TrafficClass::EccRead), 1);
+        assert_eq!(s.class_count(TrafficClass::EccWrite), 1);
+        assert_eq!(s.class_count(TrafficClass::DataRead), 0);
+    }
+
+    #[test]
+    fn completions_sorted_by_time() {
+        let mut mc = ctrl();
+        mc.push(read(64), 0); // bank 1
+        mc.push(read(0), 0); // bank 0
+        let done = run(&mut mc, 0, 60);
+        assert_eq!(done.len(), 2);
+        assert!(done[0].done <= done[1].done);
+    }
+}

@@ -1,0 +1,54 @@
+//! Protocol messages between the L1s and the L2 slices.
+
+use crate::types::{AccessKind, PhysLoc, SmId};
+
+/// Sentinel for requests with no L1 MSHR (posted stores).
+pub const NO_L1_MSHR: u32 = u32::MAX;
+
+/// A request travelling SM→L2 through the crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Request {
+    /// Physical location (channel selects the slice).
+    pub loc: PhysLoc,
+    /// Read or write (with full/partial sector coverage).
+    pub kind: AccessKind,
+    /// Requesting SM.
+    pub src: SmId,
+    /// L1 MSHR slot awaiting the response ([`NO_L1_MSHR`] for stores).
+    pub l1_mshr: u32,
+}
+
+/// A read response travelling L2→SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Response {
+    /// The location that was read.
+    pub loc: PhysLoc,
+    /// Destination SM.
+    pub dest: SmId,
+    /// L1 MSHR slot to complete.
+    pub l1_mshr: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_construction() {
+        let req = L2Request {
+            loc: PhysLoc::new(1, 42),
+            kind: AccessKind::Read,
+            src: SmId(3),
+            l1_mshr: 7,
+        };
+        assert_eq!(req.loc.channel, 1);
+        assert!(!req.kind.is_write());
+        let resp = L2Response {
+            loc: req.loc,
+            dest: req.src,
+            l1_mshr: req.l1_mshr,
+        };
+        assert_eq!(resp.dest, SmId(3));
+        assert_ne!(resp.l1_mshr, NO_L1_MSHR);
+    }
+}

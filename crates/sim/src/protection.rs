@@ -1,0 +1,303 @@
+//! The protection-scheme interface: how memory protection injects traffic
+//! into the simulated hierarchy.
+//!
+//! The simulator itself knows nothing about ECC codes. Instead, an
+//! implementation of [`ProtectionScheme`] is consulted at three points:
+//!
+//! 1. **Address mapping** ([`ProtectionScheme::map`]) — logical atoms are
+//!    translated to channel-local physical locations. Inline-ECC layouts
+//!    insert carve-outs here.
+//! 2. **Demand fills** ([`ProtectionScheme::demand_fill`]) — on an L2 miss
+//!    the scheme may require additional ECC-atom fetches that gate the fill
+//!    (the data cannot be verified until its check bits arrive).
+//! 3. **Write-backs** ([`ProtectionScheme::writeback`]) — a dirty eviction
+//!    may require an ECC read-modify-write, or may be satisfiable on chip
+//!    (CacheCraft's codeword reconstruction), possibly buffered and
+//!    coalesced ([`ProtectionScheme::drain_ecc_writes`]).
+//!
+//! [`NoProtection`] (ECC disabled) lives here so the simulator is testable
+//! stand-alone; the inline-ECC baselines and CacheCraft live in the
+//! `ccraft-core` crate.
+
+use crate::types::{Cycle, LogicalAtom, PhysLoc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Striping of the global logical atom space across channels.
+///
+/// Global logical atoms are dealt to channels in `interleave_atoms`-sized
+/// blocks (256 B by default), producing a dense per-channel logical space
+/// that the per-channel inline-ECC layout then maps to physical atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelInterleave {
+    channels: u16,
+    interleave_atoms: u64,
+}
+
+impl ChannelInterleave {
+    /// Creates an interleave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or `interleave_atoms` is not a positive
+    /// power of two.
+    pub fn new(channels: u16, interleave_atoms: u64) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        assert!(
+            interleave_atoms.is_power_of_two(),
+            "interleave granularity must be a power of two"
+        );
+        ChannelInterleave {
+            channels,
+            interleave_atoms,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u16 {
+        self.channels
+    }
+
+    /// Splits a global logical atom into `(channel, channel-local logical
+    /// atom)`.
+    #[inline]
+    pub fn split(&self, logical: LogicalAtom) -> (u16, u64) {
+        let block = logical.0 / self.interleave_atoms;
+        let offset = logical.0 % self.interleave_atoms;
+        let channel = (block % self.channels as u64) as u16;
+        let local = (block / self.channels as u64) * self.interleave_atoms + offset;
+        (channel, local)
+    }
+
+    /// Inverse of [`split`](Self::split).
+    #[inline]
+    pub fn join(&self, channel: u16, local: u64) -> LogicalAtom {
+        let block = local / self.interleave_atoms;
+        let offset = local % self.interleave_atoms;
+        LogicalAtom(
+            (block * self.channels as u64 + channel as u64) * self.interleave_atoms + offset,
+        )
+    }
+}
+
+/// Extra DRAM fetches required before a demand fill is usable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FillPlan {
+    /// Channel-local ECC atoms to fetch (same channel as the data). Empty
+    /// when the fill needs no ECC traffic (unprotected, or the check bits
+    /// are already on chip).
+    pub ecc_fetches: Vec<u64>,
+}
+
+impl FillPlan {
+    /// A plan requiring no extra traffic.
+    pub fn none() -> Self {
+        FillPlan::default()
+    }
+}
+
+/// ECC traffic for one dirty-data write-back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WritebackPlan {
+    /// ECC atoms to read (the read half of a read-modify-write).
+    pub ecc_reads: Vec<u64>,
+    /// ECC atoms to write immediately (un-buffered RMW write half).
+    pub ecc_writes: Vec<u64>,
+}
+
+impl WritebackPlan {
+    /// A plan requiring no ECC traffic.
+    pub fn none() -> Self {
+        WritebackPlan::default()
+    }
+}
+
+/// Counters every scheme reports; fields not applicable to a scheme stay
+/// zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtectionStats {
+    /// Demand fills that needed an ECC fetch from DRAM.
+    pub ecc_demand_fetches: u64,
+    /// Demand fills whose check bits were already on chip.
+    pub ecc_fetch_hits: u64,
+    /// Write-backs that required an ECC read-modify-write from DRAM.
+    pub rmw_writebacks: u64,
+    /// Write-backs whose ECC atom was reconstructed entirely on chip
+    /// (CacheCraft C3 reconstruction).
+    pub reconstructed_writebacks: u64,
+    /// Write-backs absorbed by an on-chip dirty ECC entry or coalescing
+    /// buffer (no immediate DRAM traffic).
+    pub absorbed_writebacks: u64,
+    /// ECC writes merged away by coalescing (writes that never reached
+    /// DRAM because a later write to the same ECC atom subsumed them).
+    pub coalesced_ecc_writes: u64,
+    /// Dirty ECC-structure evictions that produced a DRAM ECC write.
+    pub ecc_structure_writebacks: u64,
+}
+
+/// A memory-protection scheme plugged into the simulator.
+///
+/// Implementations must be deterministic: the same call sequence must
+/// produce the same plans (simulation results are required to be
+/// reproducible bit-for-bit given a seed).
+pub trait ProtectionScheme: fmt::Debug + Send {
+    /// Short scheme name for reports (e.g. `"cachecraft"`).
+    fn name(&self) -> &str;
+
+    /// Maps a software-visible logical atom to its physical location.
+    fn map(&self, logical: LogicalAtom) -> PhysLoc;
+
+    /// Called on an L2 demand miss for `loc` (a data atom). Returns the
+    /// ECC fetches that gate the fill. The scheme may update internal
+    /// structures (e.g. reserve an ECC-cache entry).
+    fn demand_fill(&mut self, loc: PhysLoc, now: Cycle) -> FillPlan;
+
+    /// Called when a demand ECC fetch previously returned by
+    /// [`demand_fill`](Self::demand_fill) arrives from DRAM.
+    fn ecc_arrived(&mut self, loc: PhysLoc, now: Cycle);
+
+    /// Called when the L2 writes back a dirty data atom. `resident`
+    /// answers whether a given channel-local data atom currently holds
+    /// valid data in the L2 slice (used by codeword reconstruction).
+    fn writeback(
+        &mut self,
+        loc: PhysLoc,
+        now: Cycle,
+        resident: &mut dyn FnMut(u64) -> bool,
+    ) -> WritebackPlan;
+
+    /// Hands out buffered ECC writes (coalescing buffers, dirty
+    /// ECC-structure evictions) that should be issued now, up to `budget`
+    /// atoms for `channel`.
+    fn drain_ecc_writes(&mut self, channel: u16, now: Cycle, budget: usize) -> Vec<u64>;
+
+    /// Forces all internal buffers to become drainable (end of kernel).
+    fn flush(&mut self);
+
+    /// `true` when no buffered ECC writes remain anywhere.
+    fn is_drained(&self) -> bool;
+
+    /// L2 capacity per slice (bytes) repurposed by the scheme's on-chip
+    /// structures; the simulator shrinks the L2 accordingly.
+    fn l2_tax_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Aggregate counters.
+    fn stats(&self) -> ProtectionStats;
+}
+
+/// ECC disabled: identity layout, no extra traffic. The performance
+/// upper-bound baseline.
+#[derive(Debug, Clone)]
+pub struct NoProtection {
+    interleave: ChannelInterleave,
+}
+
+impl NoProtection {
+    /// Creates the scheme for a machine with the given channel interleave.
+    pub fn new(interleave: ChannelInterleave) -> Self {
+        NoProtection { interleave }
+    }
+}
+
+impl ProtectionScheme for NoProtection {
+    fn name(&self) -> &str {
+        "no-protection"
+    }
+
+    fn map(&self, logical: LogicalAtom) -> PhysLoc {
+        let (channel, local) = self.interleave.split(logical);
+        PhysLoc::new(channel, local)
+    }
+
+    fn demand_fill(&mut self, _loc: PhysLoc, _now: Cycle) -> FillPlan {
+        FillPlan::none()
+    }
+
+    fn ecc_arrived(&mut self, _loc: PhysLoc, _now: Cycle) {}
+
+    fn writeback(
+        &mut self,
+        _loc: PhysLoc,
+        _now: Cycle,
+        _resident: &mut dyn FnMut(u64) -> bool,
+    ) -> WritebackPlan {
+        WritebackPlan::none()
+    }
+
+    fn drain_ecc_writes(&mut self, _channel: u16, _now: Cycle, _budget: usize) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn flush(&mut self) {}
+
+    fn is_drained(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> ProtectionStats {
+        ProtectionStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_split_join_round_trip() {
+        let il = ChannelInterleave::new(8, 8);
+        for atom in (0..100_000u64).step_by(977) {
+            let (ch, local) = il.split(LogicalAtom(atom));
+            assert!(ch < 8);
+            assert_eq!(il.join(ch, local), LogicalAtom(atom));
+        }
+    }
+
+    #[test]
+    fn interleave_deals_blocks_round_robin() {
+        let il = ChannelInterleave::new(4, 8);
+        // Atoms 0..8 -> channel 0, 8..16 -> channel 1, ...
+        assert_eq!(il.split(LogicalAtom(0)).0, 0);
+        assert_eq!(il.split(LogicalAtom(7)).0, 0);
+        assert_eq!(il.split(LogicalAtom(8)).0, 1);
+        assert_eq!(il.split(LogicalAtom(31)).0, 3);
+        assert_eq!(il.split(LogicalAtom(32)).0, 0);
+        // Channel-local indices stay dense per channel.
+        assert_eq!(il.split(LogicalAtom(32)).1, 8);
+        assert_eq!(il.split(LogicalAtom(33)).1, 9);
+    }
+
+    #[test]
+    fn interleave_is_balanced() {
+        let il = ChannelInterleave::new(8, 8);
+        let mut counts = [0u64; 8];
+        for atom in 0..8 * 8 * 100 {
+            counts[il.split(LogicalAtom(atom)).0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == counts[0]));
+    }
+
+    #[test]
+    fn no_protection_is_identity_modulo_interleave() {
+        let il = ChannelInterleave::new(2, 8);
+        let mut scheme = NoProtection::new(il);
+        let loc = scheme.map(LogicalAtom(100));
+        let (ch, local) = il.split(LogicalAtom(100));
+        assert_eq!(loc, PhysLoc::new(ch, local));
+        assert_eq!(scheme.demand_fill(loc, 0), FillPlan::none());
+        let mut resident = |_: u64| true;
+        assert_eq!(scheme.writeback(loc, 0, &mut resident), WritebackPlan::none());
+        assert!(scheme.is_drained());
+        assert_eq!(scheme.stats(), ProtectionStats::default());
+        assert_eq!(scheme.l2_tax_bytes(), 0);
+        assert_eq!(scheme.name(), "no-protection");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_interleave() {
+        let _ = ChannelInterleave::new(2, 7);
+    }
+}

@@ -1,0 +1,411 @@
+//! Streaming-multiprocessor core model: warp scheduling and trace replay.
+//!
+//! Each SM hosts a set of resident warps replaying [`WarpTrace`]s. Per
+//! cycle the SM can issue one instruction: compute ops retire by simply
+//! making the warp busy for their latency; memory ops are streamed through
+//! the load/store unit into the L1 at one coalesced access per cycle.
+//! Loads block their warp until all sectors return (latency is hidden by
+//! switching to other warps — the GPU execution model); stores are posted.
+//!
+//! Two hardware warp schedulers are modelled: greedy-then-oldest (GTO, the
+//! common default) and round-robin.
+
+use crate::config::{CoreConfig, SchedulerPolicy};
+use crate::l1::{L1Access, L1Cache};
+use crate::trace::{WarpOp, WarpTrace};
+use crate::types::{AccessKind, Cycle, SmId, WarpIdx};
+
+#[derive(Debug)]
+struct WarpState {
+    trace: WarpTrace,
+    /// Next op index.
+    pc: usize,
+    /// Warp unavailable until this cycle (compute latency).
+    ready_at: Cycle,
+    /// Outstanding load sectors.
+    outstanding: u32,
+    /// Accesses of the current memory op not yet handed to the L1.
+    issuing_from: usize,
+}
+
+impl WarpState {
+    /// Fully retired: all ops issued, trailing compute latency elapsed,
+    /// and no loads outstanding.
+    fn done(&self, now: Cycle) -> bool {
+        self.pc >= self.trace.len() && self.outstanding == 0 && self.ready_at <= now
+    }
+
+    /// Ready to be picked by the scheduler this cycle.
+    fn ready(&self, now: Cycle) -> bool {
+        self.pc < self.trace.len() && self.ready_at <= now && self.outstanding == 0
+    }
+}
+
+/// Per-SM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmStats {
+    /// Instructions issued (trace ops started).
+    pub issued_ops: u64,
+    /// Cycles in which no warp could issue.
+    pub idle_cycles: u64,
+    /// Cycles with at least one unfinished warp.
+    pub active_cycles: u64,
+}
+
+/// One SM: warps plus its private L1.
+#[derive(Debug)]
+pub struct SmCore {
+    id: SmId,
+    warps: Vec<WarpState>,
+    policy: SchedulerPolicy,
+    /// GTO current warp / RR rotation pointer.
+    cursor: usize,
+    /// Warp currently streaming a memory op through the LSU, if any.
+    lsu_warp: Option<usize>,
+    /// The SM's L1 cache.
+    pub l1: L1Cache,
+    stats: SmStats,
+}
+
+impl SmCore {
+    /// Builds an SM with the given resident warp traces (one entry per
+    /// hardware warp slot; pad with empty traces for idle slots).
+    pub fn new(id: SmId, cfg: &CoreConfig, l1: L1Cache, traces: Vec<WarpTrace>) -> Self {
+        assert!(
+            traces.len() <= cfg.warps_per_sm as usize,
+            "more traces than warp slots"
+        );
+        let warps = traces
+            .into_iter()
+            .map(|trace| WarpState {
+                trace,
+                pc: 0,
+                ready_at: 0,
+                outstanding: 0,
+                issuing_from: 0,
+            })
+            .collect();
+        SmCore {
+            id,
+            warps,
+            policy: cfg.scheduler,
+            cursor: 0,
+            lsu_warp: None,
+            l1,
+            stats: SmStats::default(),
+        }
+    }
+
+    /// The SM identifier.
+    pub fn id(&self) -> SmId {
+        self.id
+    }
+
+    /// `true` when every warp has retired all its ops (including trailing
+    /// compute latency) as of `now`.
+    pub fn all_warps_done(&self, now: Cycle) -> bool {
+        self.warps.iter().all(|w| w.done(now))
+    }
+
+    /// Applies completed-load notifications from the L1.
+    fn apply_completions(&mut self) {
+        for warp in self.l1.take_completions() {
+            let w = &mut self.warps[warp as usize];
+            debug_assert!(w.outstanding > 0, "completion for idle warp");
+            w.outstanding -= 1;
+        }
+    }
+
+    /// Streams accesses of the LSU-resident memory op into the L1.
+    fn pump_lsu(&mut self) {
+        let Some(widx) = self.lsu_warp else { return };
+        let w = &mut self.warps[widx];
+        let op = &w.trace.ops()[w.pc];
+        let (atoms, kind): (&[crate::types::LogicalAtom], AccessKind) = match op {
+            WarpOp::Load { atoms } => (atoms, AccessKind::Read),
+            WarpOp::Store { atoms, full } => (atoms, AccessKind::Write { full: *full }),
+            WarpOp::Compute { .. } => unreachable!("compute op in LSU"),
+        };
+        // One access per cycle through the LSU.
+        if w.issuing_from <= atoms.len() && self.l1.can_accept() {
+            let i = w.issuing_from - 1;
+            let atom = atoms[i];
+            self.l1.push(L1Access {
+                warp: widx as WarpIdx,
+                atom,
+                kind,
+            });
+            if kind == AccessKind::Read {
+                w.outstanding += 1;
+            }
+            w.issuing_from += 1;
+            if w.issuing_from > atoms.len() {
+                // All accesses dispatched: retire the op from the front end.
+                w.pc += 1;
+                w.issuing_from = 0;
+                self.lsu_warp = None;
+            }
+        }
+    }
+
+    /// Picks a warp to issue this cycle, per the scheduling policy.
+    fn pick_warp(&self, now: Cycle) -> Option<usize> {
+        let n = self.warps.len();
+        if n == 0 {
+            return None;
+        }
+        match self.policy {
+            SchedulerPolicy::GreedyThenOldest => {
+                if self.cursor < n && self.warps[self.cursor].ready(now) {
+                    return Some(self.cursor);
+                }
+                (0..n).find(|&i| self.warps[i].ready(now))
+            }
+            SchedulerPolicy::RoundRobin => (1..=n)
+                .map(|k| (self.cursor + k) % n)
+                .find(|&i| self.warps[i].ready(now)),
+        }
+    }
+
+    /// Advances the SM one cycle. `map` and `send` are forwarded to the L1
+    /// (protection address translation and crossbar injection).
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        map: &mut dyn FnMut(crate::types::LogicalAtom) -> crate::types::PhysLoc,
+        send: &mut dyn FnMut(crate::msg::L2Request) -> bool,
+    ) {
+        self.l1.tick(now, map, send);
+        self.apply_completions();
+        if !self.all_warps_done(now) {
+            self.stats.active_cycles += 1;
+        }
+        // Continue streaming the in-flight memory op.
+        self.pump_lsu();
+        // Issue stage.
+        let Some(widx) = self.pick_warp(now) else {
+            if !self.all_warps_done(now) {
+                self.stats.idle_cycles += 1;
+            }
+            return;
+        };
+        let w = &mut self.warps[widx];
+        match &w.trace.ops()[w.pc] {
+            WarpOp::Compute { cycles } => {
+                w.ready_at = now + *cycles as Cycle;
+                w.pc += 1;
+                self.stats.issued_ops += 1;
+                self.cursor = widx;
+            }
+            WarpOp::Load { .. } | WarpOp::Store { .. } => {
+                if self.lsu_warp.is_none() {
+                    w.issuing_from = 1;
+                    self.lsu_warp = Some(widx);
+                    self.stats.issued_ops += 1;
+                    self.cursor = widx;
+                    self.pump_lsu();
+                } else {
+                    // LSU busy: structural hazard, no issue this cycle.
+                    self.stats.idle_cycles += 1;
+                }
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    /// Total ops across all resident warp traces (for progress accounting).
+    pub fn total_trace_ops(&self) -> u64 {
+        self.warps.iter().map(|w| w.trace.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::msg::L2Request;
+    use crate::types::{LogicalAtom, PhysLoc};
+
+    fn mk_sm(traces: Vec<WarpTrace>) -> SmCore {
+        let cfg = GpuConfig::tiny();
+        let l1 = L1Cache::new(SmId(0), &cfg.l1);
+        SmCore::new(SmId(0), &cfg.core, l1, traces)
+    }
+
+    fn identity(atom: LogicalAtom) -> PhysLoc {
+        PhysLoc::new(0, atom.0)
+    }
+
+    /// Runs the SM, answering every L2 read after `mem_latency` cycles.
+    fn run_with_memory(sm: &mut SmCore, limit: Cycle, mem_latency: Cycle) -> Cycle {
+        let mut pending: Vec<(Cycle, L2Request)> = Vec::new();
+        for now in 0..limit {
+            // Deliver matured responses.
+            let mut i = 0;
+            while i < pending.len() {
+                if pending[i].0 <= now {
+                    let (_, req) = pending.remove(i);
+                    sm.l1.accept_response(crate::msg::L2Response {
+                        loc: req.loc,
+                        dest: req.src,
+                        l1_mshr: req.l1_mshr,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+            let mut newly = Vec::new();
+            sm.tick(now, &mut identity, &mut |req| {
+                if !req.kind.is_write() {
+                    newly.push((now + mem_latency, req));
+                }
+                true
+            });
+            pending.extend(newly);
+            if sm.all_warps_done(now) && pending.is_empty() {
+                return now;
+            }
+        }
+        panic!("SM did not finish within {limit} cycles");
+    }
+
+    #[test]
+    fn compute_only_warp_finishes_in_sum_of_latencies() {
+        let trace = WarpTrace::new(vec![
+            WarpOp::Compute { cycles: 10 },
+            WarpOp::Compute { cycles: 5 },
+        ]);
+        let mut sm = mk_sm(vec![trace]);
+        let end = run_with_memory(&mut sm, 1000, 1);
+        // Issue at 0, ready at 10, issue at 10, ready at 15.
+        assert!(end >= 14 && end <= 16, "end={end}");
+        assert_eq!(sm.stats().issued_ops, 2);
+    }
+
+    #[test]
+    fn load_blocks_until_response() {
+        let trace = WarpTrace::new(vec![
+            WarpOp::Load {
+                atoms: vec![LogicalAtom(0)],
+            },
+            WarpOp::Compute { cycles: 1 },
+        ]);
+        let mut sm = mk_sm(vec![trace]);
+        let end = run_with_memory(&mut sm, 1000, 50);
+        assert!(end >= 50, "load latency not respected: end={end}");
+    }
+
+    #[test]
+    fn stores_are_posted() {
+        let trace = WarpTrace::new(vec![
+            WarpOp::Store {
+                atoms: vec![LogicalAtom(0)],
+                full: true,
+            },
+            WarpOp::Compute { cycles: 1 },
+        ]);
+        let mut sm = mk_sm(vec![trace]);
+        // Even with huge memory latency the warp never waits on the store.
+        let end = run_with_memory(&mut sm, 100, 10_000);
+        assert!(end < 20, "store must not block: end={end}");
+    }
+
+    #[test]
+    fn multiple_warps_overlap_memory_latency() {
+        // 4 warps each loading a distinct atom with 100-cycle memory: TLP
+        // should overlap the latencies rather than serializing 4 x 100.
+        let mk = |i: u64| {
+            WarpTrace::new(vec![WarpOp::Load {
+                atoms: vec![LogicalAtom(i * 1000)],
+            }])
+        };
+        let mut sm = mk_sm((0..4).map(mk).collect());
+        let end = run_with_memory(&mut sm, 10_000, 100);
+        assert!(end < 200, "latency not overlapped: end={end}");
+    }
+
+    #[test]
+    fn gto_prefers_current_warp() {
+        // Warp 0: two compute ops; warp 1: one compute op. GTO sticks with
+        // warp 0 until it stalls.
+        let t0 = WarpTrace::new(vec![
+            WarpOp::Compute { cycles: 0 },
+            WarpOp::Compute { cycles: 0 },
+        ]);
+        let t1 = WarpTrace::new(vec![WarpOp::Compute { cycles: 0 }]);
+        let mut sm = mk_sm(vec![t0, t1]);
+        sm.tick(0, &mut identity, &mut |_| true);
+        sm.tick(1, &mut identity, &mut |_| true);
+        // After two cycles warp 0 (cursor) should have issued both its ops.
+        assert_eq!(sm.warps[0].pc, 2);
+        assert_eq!(sm.warps[1].pc, 0);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mk = || {
+            WarpTrace::new(vec![
+                WarpOp::Compute { cycles: 0 },
+                WarpOp::Compute { cycles: 0 },
+            ])
+        };
+        let cfg = GpuConfig::tiny();
+        let mut core_cfg = cfg.core;
+        core_cfg.scheduler = SchedulerPolicy::RoundRobin;
+        let l1 = L1Cache::new(SmId(0), &cfg.l1);
+        let mut sm = SmCore::new(SmId(0), &core_cfg, l1, vec![mk(), mk()]);
+        sm.tick(0, &mut identity, &mut |_| true);
+        sm.tick(1, &mut identity, &mut |_| true);
+        assert_eq!(sm.warps[0].pc, 1);
+        assert_eq!(sm.warps[1].pc, 1);
+    }
+
+    #[test]
+    fn lsu_structural_hazard_serializes_memory_ops() {
+        // Two warps with multi-atom loads: the second cannot start
+        // streaming until the first finishes dispatching.
+        let mk = |base: u64| {
+            WarpTrace::new(vec![WarpOp::Load {
+                atoms: (0..4).map(|i| LogicalAtom(base + i * 1000)).collect(),
+            }])
+        };
+        let mut sm = mk_sm(vec![mk(0), mk(100_000)]);
+        let mut sent_at: Vec<Cycle> = Vec::new();
+        for now in 0..20 {
+            sm.tick(now, &mut identity, &mut |req| {
+                if !req.kind.is_write() {
+                    sent_at.push(now);
+                    let _ = req;
+                }
+                true
+            });
+        }
+        // 8 accesses, at most one per cycle.
+        assert_eq!(sent_at.len(), 8);
+        for w in sent_at.windows(2) {
+            assert!(w[1] > w[0], "more than one LSU access in a cycle");
+        }
+    }
+
+    #[test]
+    fn empty_sm_is_done_immediately() {
+        let sm = mk_sm(vec![]);
+        assert!(sm.all_warps_done(0));
+        assert_eq!(sm.total_trace_ops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more traces than warp slots")]
+    fn rejects_too_many_traces() {
+        let cfg = GpuConfig::tiny();
+        let traces = (0..cfg.core.warps_per_sm + 1)
+            .map(|_| WarpTrace::new(vec![WarpOp::Compute { cycles: 1 }]))
+            .collect();
+        let l1 = L1Cache::new(SmId(0), &cfg.l1);
+        let _ = SmCore::new(SmId(0), &cfg.core, l1, traces);
+    }
+}

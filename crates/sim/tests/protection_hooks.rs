@@ -1,0 +1,204 @@
+//! Integration tests of the protection hook points through the public L2
+//! API, using a mock scheme that exercises every hook: ECC fetches that
+//! gate fills, buffered ECC writes drained with budget, and residency
+//! queries during write-back planning.
+
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::dram::MapOrder;
+use ccraft_sim::l2::L2Slice;
+use ccraft_sim::msg::{L2Request, NO_L1_MSHR};
+use ccraft_sim::protection::{FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan};
+use ccraft_sim::types::{AccessKind, Cycle, LogicalAtom, PhysLoc, SmId, TrafficClass};
+use std::collections::VecDeque;
+
+/// A mock scheme: every fill needs one ECC fetch at `atom + ECC_BASE`;
+/// every write-back buffers one ECC write, drained via the budgeted hook.
+#[derive(Debug)]
+struct MockScheme {
+    pending: VecDeque<u64>,
+    residency_answers: Vec<bool>,
+    fills: u64,
+    arrived: u64,
+    writebacks: u64,
+}
+
+const ECC_BASE: u64 = 1 << 20;
+
+impl MockScheme {
+    fn new() -> Self {
+        MockScheme {
+            pending: VecDeque::new(),
+            residency_answers: Vec::new(),
+            fills: 0,
+            arrived: 0,
+            writebacks: 0,
+        }
+    }
+}
+
+impl ProtectionScheme for MockScheme {
+    fn name(&self) -> &str {
+        "mock"
+    }
+    fn map(&self, logical: LogicalAtom) -> PhysLoc {
+        PhysLoc::new(0, logical.0)
+    }
+    fn demand_fill(&mut self, loc: PhysLoc, _now: Cycle) -> FillPlan {
+        self.fills += 1;
+        FillPlan {
+            ecc_fetches: vec![ECC_BASE + loc.atom],
+        }
+    }
+    fn ecc_arrived(&mut self, loc: PhysLoc, _now: Cycle) {
+        assert!(loc.atom >= ECC_BASE, "non-ECC atom routed to ecc_arrived");
+        self.arrived += 1;
+    }
+    fn writeback(
+        &mut self,
+        loc: PhysLoc,
+        _now: Cycle,
+        resident: &mut dyn FnMut(u64) -> bool,
+    ) -> WritebackPlan {
+        self.writebacks += 1;
+        // Probe residency of the atom itself (must be answerable).
+        self.residency_answers.push(resident(loc.atom));
+        self.pending.push_back(ECC_BASE + loc.atom);
+        WritebackPlan::none()
+    }
+    fn drain_ecc_writes(&mut self, _channel: u16, _now: Cycle, budget: usize) -> Vec<u64> {
+        let n = budget.min(self.pending.len());
+        self.pending.drain(..n).collect()
+    }
+    fn flush(&mut self) {}
+    fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
+    fn stats(&self) -> ProtectionStats {
+        ProtectionStats::default()
+    }
+}
+
+fn run_until_idle(slice: &mut L2Slice, scheme: &mut MockScheme, start: Cycle) -> Cycle {
+    let mut now = start;
+    loop {
+        slice.tick(scheme, now);
+        let _ = slice.pop_responses(now);
+        now += 1;
+        if slice.is_idle() && scheme.is_drained() {
+            return now;
+        }
+        assert!(now < 200_000, "livelock");
+    }
+}
+
+fn read_req(atom: u64) -> L2Request {
+    L2Request {
+        loc: PhysLoc::new(0, atom),
+        kind: AccessKind::Read,
+        src: SmId(0),
+        l1_mshr: 0,
+    }
+}
+
+fn write_req(atom: u64) -> L2Request {
+    L2Request {
+        loc: PhysLoc::new(0, atom),
+        kind: AccessKind::Write { full: true },
+        src: SmId(0),
+        l1_mshr: NO_L1_MSHR,
+    }
+}
+
+#[test]
+fn demand_fill_waits_for_ecc_piece() {
+    let cfg = GpuConfig::tiny();
+    let mut slice = L2Slice::new(&cfg, 0, MapOrder::RoBaCo, 0);
+    let mut scheme = MockScheme::new();
+    slice.push(read_req(0));
+    // Collect the response time; with an extra ECC fetch the fill cannot
+    // complete before both DRAM reads are done.
+    let mut responded_at = None;
+    let mut now = 0;
+    while responded_at.is_none() {
+        slice.tick(&mut scheme, now);
+        if !slice.pop_responses(now).is_empty() {
+            responded_at = Some(now);
+        }
+        now += 1;
+        assert!(now < 10_000, "no response");
+    }
+    assert_eq!(scheme.fills, 1);
+    assert_eq!(scheme.arrived, 1, "ECC completion must be routed to the scheme");
+    let mc = slice.mc_stats();
+    assert_eq!(mc.class_count(TrafficClass::DataRead), 1);
+    assert_eq!(mc.class_count(TrafficClass::EccRead), 1);
+    // Two sequential reads on one channel: strictly later than a single
+    // read + L2 latency (tiny: ~11 + 8).
+    assert!(responded_at.unwrap() > 19, "fill did not wait for the ECC piece");
+}
+
+#[test]
+fn buffered_ecc_writes_are_drained_with_budget() {
+    let cfg = GpuConfig::tiny();
+    let mut slice = L2Slice::new(&cfg, 0, MapOrder::RoBaCo, 0);
+    let mut scheme = MockScheme::new();
+    // Dirty a few full atoms, then flush: write-backs buffer ECC writes in
+    // the scheme, which the slice must drain to the controller.
+    let mut now = 0;
+    for i in 0..8u64 {
+        slice.push(write_req(i));
+        slice.tick(&mut scheme, now);
+        now += 1;
+    }
+    let end = run_until_idle(&mut slice, &mut scheme, now);
+    slice.flush_dirty(&mut scheme, end);
+    let _ = run_until_idle(&mut slice, &mut scheme, end);
+    assert_eq!(scheme.writebacks, 8);
+    let mc = slice.mc_stats();
+    assert_eq!(mc.class_count(TrafficClass::DataWrite), 8);
+    assert_eq!(mc.class_count(TrafficClass::EccWrite), 8);
+    assert_eq!(mc.class_count(TrafficClass::EccRead), 0, "plan had no RMW reads");
+}
+
+#[test]
+fn residency_query_sees_co_evicted_atoms() {
+    let cfg = GpuConfig::tiny();
+    let mut slice = L2Slice::new(&cfg, 0, MapOrder::RoBaCo, 0);
+    let mut scheme = MockScheme::new();
+    let mut now = 0;
+    for i in 0..4u64 {
+        slice.push(write_req(i));
+        slice.tick(&mut scheme, now);
+        now += 1;
+    }
+    let end = run_until_idle(&mut slice, &mut scheme, now);
+    slice.flush_dirty(&mut scheme, end);
+    let _ = run_until_idle(&mut slice, &mut scheme, end);
+    // During flush the atom under write-back is still (or counted as)
+    // resident for reconstruction purposes.
+    assert_eq!(scheme.residency_answers.len(), 4);
+    assert!(
+        scheme.residency_answers.iter().all(|&r| r),
+        "write-back atom not visible to the residency probe: {:?}",
+        scheme.residency_answers
+    );
+}
+
+#[test]
+fn ecc_reads_share_queues_with_demand_traffic() {
+    // With the mock scheme doubling every read, the controller must see
+    // exactly 2x transactions and still drain.
+    let cfg = GpuConfig::tiny();
+    let mut slice = L2Slice::new(&cfg, 0, MapOrder::RoBaCo, 0);
+    let mut scheme = MockScheme::new();
+    let mut now = 0;
+    for i in 0..16u64 {
+        slice.push(read_req(i * 4));
+        slice.tick(&mut scheme, now);
+        now += 1;
+    }
+    let _ = run_until_idle(&mut slice, &mut scheme, now);
+    let mc = slice.mc_stats();
+    assert_eq!(mc.class_count(TrafficClass::DataRead), 16);
+    assert_eq!(mc.class_count(TrafficClass::EccRead), 16);
+}

@@ -1,0 +1,250 @@
+//! # ccraft-workloads — synthetic GPU kernel trace generators
+//!
+//! The CacheCraft paper evaluates on CUDA benchmark suites we cannot run
+//! here; this crate substitutes deterministic generators that reproduce the
+//! *access patterns* those suites are known for (see DESIGN.md §2). Thirteen
+//! kernels span the locality spectrum:
+//!
+//! | Kernel      | Archetype                  | Pattern |
+//! |-------------|----------------------------|---------|
+//! | `vecadd`    | vectorAdd / STREAM copy+   | unit-stride streaming |
+//! | `triad`     | STREAM triad               | 2 loads + 1 store streams |
+//! | `saxpy`     | BLAS-1                     | read-modify-write stream |
+//! | `reduction` | tree reduction             | shrinking streaming passes |
+//! | `gemm`      | tiled sgemm                | tile reuse, compute-heavy |
+//! | `stencil2d` | hotspot                    | 5-point halo reuse |
+//! | `conv2d`    | convolution layer          | sliding-window reuse |
+//! | `transpose` | matrix transpose           | coalesced reads, scattered partial writes |
+//! | `kmeans`    | k-means distance phase     | SoA streams + hot table |
+//! | `spmv`      | CSR SpMV                   | streams + random gathers |
+//! | `bfs`       | level-synchronous BFS      | pointer chasing, scatter updates |
+//! | `histogram` | binning / atomics          | streams + hot partial stores |
+//! | `montecarlo`| MC pricing / table lookup  | compute-bound random probes |
+//!
+//! All generators are deterministic given `(size, seed)`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ccraft_workloads::{SizeClass, Workload};
+//!
+//! let trace = Workload::VecAdd.generate(SizeClass::Tiny, 42);
+//! assert_eq!(trace.name(), "vecadd");
+//! assert!(trace.total_accesses() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod dense;
+pub mod irregular;
+pub mod streaming;
+
+use ccraft_sim::trace::KernelTrace;
+use std::fmt;
+
+/// Workload size classes, trading simulation time for realism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// Unit-test scale: 8 warps, sub-MiB footprints.
+    Tiny,
+    /// Quick-experiment scale: 64 warps, a few MiB.
+    Small,
+    /// Full evaluation scale: 256 warps, footprints well beyond the L2.
+    Full,
+}
+
+impl SizeClass {
+    /// `(warps, footprint multiplier)` for this class.
+    pub fn scale(self) -> (u64, u64) {
+        match self {
+            SizeClass::Tiny => (8, 1),
+            SizeClass::Small => (64, 4),
+            SizeClass::Full => (256, 16),
+        }
+    }
+}
+
+impl fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SizeClass::Tiny => "tiny",
+            SizeClass::Small => "small",
+            SizeClass::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The workload suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are documented in the module table above
+pub enum Workload {
+    VecAdd,
+    Triad,
+    Saxpy,
+    Reduction,
+    Gemm,
+    Stencil2D,
+    Conv2D,
+    Transpose,
+    KMeans,
+    Spmv,
+    Bfs,
+    Histogram,
+    MonteCarlo,
+}
+
+impl Workload {
+    /// Every workload, in canonical report order.
+    pub const ALL: [Workload; 13] = [
+        Workload::VecAdd,
+        Workload::Triad,
+        Workload::Saxpy,
+        Workload::Reduction,
+        Workload::Gemm,
+        Workload::Stencil2D,
+        Workload::Conv2D,
+        Workload::Transpose,
+        Workload::KMeans,
+        Workload::Spmv,
+        Workload::Bfs,
+        Workload::Histogram,
+        Workload::MonteCarlo,
+    ];
+
+    /// Canonical lowercase name (matches the generated trace's name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::VecAdd => "vecadd",
+            Workload::Triad => "triad",
+            Workload::Saxpy => "saxpy",
+            Workload::Reduction => "reduction",
+            Workload::Gemm => "gemm",
+            Workload::Stencil2D => "stencil2d",
+            Workload::Conv2D => "conv2d",
+            Workload::Transpose => "transpose",
+            Workload::KMeans => "kmeans",
+            Workload::Spmv => "spmv",
+            Workload::Bfs => "bfs",
+            Workload::Histogram => "histogram",
+            Workload::MonteCarlo => "montecarlo",
+        }
+    }
+
+    /// Looks a workload up by its canonical name.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Self::ALL.iter().copied().find(|w| w.name() == name)
+    }
+
+    /// Generates the kernel trace.
+    pub fn generate(self, size: SizeClass, seed: u64) -> KernelTrace {
+        match self {
+            Workload::VecAdd => streaming::vecadd(size, seed),
+            Workload::Triad => streaming::triad(size, seed),
+            Workload::Saxpy => streaming::saxpy(size, seed),
+            Workload::Reduction => streaming::reduction(size, seed),
+            Workload::Gemm => dense::gemm(size, seed),
+            Workload::Stencil2D => dense::stencil2d(size, seed),
+            Workload::Conv2D => dense::conv2d(size, seed),
+            Workload::Transpose => dense::transpose(size, seed),
+            Workload::KMeans => dense::kmeans(size, seed),
+            Workload::Spmv => irregular::spmv(size, seed),
+            Workload::Bfs => irregular::bfs(size, seed),
+            Workload::Histogram => irregular::histogram(size, seed),
+            Workload::MonteCarlo => irregular::montecarlo(size, seed),
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+            assert_eq!(w.to_string(), w.name());
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+
+    #[test]
+    fn every_workload_generates_a_named_nonempty_trace() {
+        for w in Workload::ALL {
+            let t = w.generate(SizeClass::Tiny, 7);
+            assert_eq!(t.name(), w.name());
+            assert!(t.total_ops() > 0, "{w} produced an empty trace");
+            assert!(t.total_accesses() > 0, "{w} touches no memory");
+        }
+    }
+
+    #[test]
+    fn tiny_traces_fit_tiny_machines() {
+        // 8 warps each: must fit a 2-SM x 4-warp tiny config.
+        for w in Workload::ALL {
+            let t = w.generate(SizeClass::Tiny, 7);
+            assert!(t.warps().len() <= 8, "{w} has {} warps", t.warps().len());
+        }
+    }
+
+    #[test]
+    fn full_traces_fit_the_gddr6_machine() {
+        let slots = 16 * 24; // gddr6 preset
+        for w in Workload::ALL {
+            let (warps, _) = SizeClass::Full.scale();
+            assert!(warps <= slots, "{w}: {warps} warps > {slots} slots");
+        }
+    }
+
+    #[test]
+    fn full_access_counts_are_within_budget() {
+        // Keep every full-size workload simulable in seconds: between 50k
+        // and 1.5M coalesced accesses.
+        for w in Workload::ALL {
+            let t = w.generate(SizeClass::Full, 7);
+            let a = t.total_accesses();
+            assert!(a >= 50_000, "{w}: only {a} accesses");
+            assert!(a <= 1_500_000, "{w}: {a} accesses is too slow to simulate");
+        }
+    }
+
+    #[test]
+    fn footprints_exceed_l2_for_capacity_bound_kernels() {
+        // The main-figure kernels must spill the 4 MiB L2 at Full size.
+        let l2_atoms = (4 << 20) / 32;
+        for w in [
+            Workload::VecAdd,
+            Workload::Triad,
+            Workload::Saxpy,
+            Workload::Transpose,
+            Workload::Stencil2D,
+        ] {
+            let t = w.generate(SizeClass::Full, 7);
+            assert!(
+                t.footprint_atoms() > l2_atoms,
+                "{w}: footprint {} atoms fits in L2",
+                t.footprint_atoms()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for w in Workload::ALL {
+            assert_eq!(
+                w.generate(SizeClass::Tiny, 3),
+                w.generate(SizeClass::Tiny, 3),
+                "{w} not deterministic"
+            );
+        }
+    }
+}

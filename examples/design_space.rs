@@ -1,0 +1,85 @@
+//! Domain scenario: an architect exploring the CacheCraft design space.
+//!
+//! Sweeps the fragment-store budget (the L2 tax) and the coalescing-buffer
+//! depth for a mixed workload pair, printing the trade-off an architect
+//! would use to size the mechanism.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use cachecraft::harness::geomean;
+use cachecraft::schemes::cachecraft::CacheCraftConfig;
+use cachecraft::schemes::factory::{run_scheme, SchemeKind};
+use cachecraft::schemes::storage::storage_bill;
+use cachecraft::sim::config::GpuConfig;
+use cachecraft::workloads::{SizeClass, Workload};
+
+fn main() {
+    let cfg = GpuConfig::gddr6();
+    // A bandwidth-bound stream and a cache-sensitive irregular kernel:
+    // the tension the tax must balance.
+    let traces = [
+        Workload::Triad.generate(SizeClass::Small, 3),
+        Workload::MonteCarlo.generate(SizeClass::Small, 3),
+    ];
+    let baselines: Vec<f64> = traces
+        .iter()
+        .map(|t| run_scheme(&cfg, SchemeKind::NoProtection, t).exec_cycles as f64)
+        .collect();
+
+    println!("fragment budget sweep (coalescing buffer fixed at 32 entries):\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "budget/slice", "L2 left", "triad perf", "mc perf", "geomean"
+    );
+    for kib in [0u64, 16, 32, 64, 128] {
+        let cc = CacheCraftConfig {
+            fragment_store: kib > 0,
+            fragment_bytes_per_slice: kib << 10,
+            ..CacheCraftConfig::full()
+        };
+        let kind = SchemeKind::CacheCraft(cc);
+        let norms: Vec<f64> = traces
+            .iter()
+            .zip(&baselines)
+            .map(|(t, &b)| b / run_scheme(&cfg, kind, t).exec_cycles as f64)
+            .collect();
+        println!(
+            "{:<14} {:>10} {:>11.3}x {:>11.3}x {:>9.3}x",
+            format!("{kib} KiB"),
+            format!("{} KiB", (cfg.l2.capacity_bytes >> 10) - kib),
+            norms[0],
+            norms[1],
+            geomean(&norms)
+        );
+    }
+
+    println!("\ncoalescing-buffer depth sweep (fragments fixed at 64 KiB):\n");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12}",
+        "entries", "buffer silicon", "triad perf", "mc perf"
+    );
+    for entries in [4usize, 16, 32, 64] {
+        let cc = CacheCraftConfig {
+            coalesce_entries: entries,
+            ..CacheCraftConfig::full()
+        };
+        let kind = SchemeKind::CacheCraft(cc);
+        let bill = storage_bill(kind, &cfg);
+        let norms: Vec<f64> = traces
+            .iter()
+            .zip(&baselines)
+            .map(|(t, &b)| b / run_scheme(&cfg, kind, t).exec_cycles as f64)
+            .collect();
+        println!(
+            "{:<10} {:>14} {:>11.3}x {:>11.3}x",
+            entries,
+            format!("{:.1} KiB", bill.buffer_bytes as f64 / 1024.0),
+            norms[0],
+            norms[1],
+        );
+    }
+    println!("\nThe default (64 KiB fragments, 32-entry buffer) sits at the knee.");
+}

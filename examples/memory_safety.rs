@@ -1,0 +1,127 @@
+//! Domain scenario: catching GPU memory-safety violations with implicit
+//! memory tagging — at zero storage and zero bandwidth overhead.
+//!
+//! A CUDA-style allocator hands out buffers whose memory tag rides inside
+//! the SEC-DED check bits (IMT, Sullivan et al. ISCA'23). A stale pointer
+//! or out-of-bounds access presents the wrong tag and is caught by the
+//! decoder even though no metadata was stored anywhere.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example memory_safety
+//! ```
+
+use cachecraft::ecc::code::DecodeOutcome;
+use cachecraft::ecc::tagged::TaggedSecDed;
+use std::collections::HashMap;
+
+/// A toy tagged heap: every 8-byte granule is protected by tagged
+/// SEC-DED(72,64); the allocator assigns each allocation a 4-bit tag and
+/// colours pointers with it (here: we carry the tag alongside the address).
+struct TaggedHeap {
+    codec: TaggedSecDed,
+    granules: HashMap<u64, ([u8; 8], Vec<u8>)>,
+    next_tag: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ColouredPtr {
+    addr: u64,
+    tag: u8,
+    len: u64,
+}
+
+impl TaggedHeap {
+    fn new() -> Self {
+        TaggedHeap {
+            codec: TaggedSecDed::new(4).expect("4-bit tags"),
+            granules: HashMap::new(),
+            next_tag: 1,
+        }
+    }
+
+    /// Allocates `len` granules at `addr` under a fresh tag.
+    fn alloc(&mut self, addr: u64, len: u64) -> ColouredPtr {
+        let tag = self.next_tag;
+        self.next_tag = (self.next_tag + 1) % 16;
+        for g in 0..len {
+            let data = [0u8; 8];
+            let check = self.codec.encode(&data, tag);
+            self.granules.insert(addr + g, (data, check));
+        }
+        ColouredPtr { addr, tag, len }
+    }
+
+    /// Frees and re-tags the memory (models reallocation to someone else).
+    fn free_and_reuse(&mut self, ptr: ColouredPtr) -> ColouredPtr {
+        self.alloc(ptr.addr, ptr.len)
+    }
+
+    fn store(&mut self, ptr: ColouredPtr, offset: u64, value: u64) -> DecodeOutcome {
+        let Some((data, check)) = self.granules.get_mut(&(ptr.addr + offset)) else {
+            return DecodeOutcome::DetectedUncorrectable;
+        };
+        // A store verifies the tag first (load-check-store).
+        let mut probe = *data;
+        let outcome = self.codec.decode(&mut probe, check, ptr.tag);
+        if outcome.is_usable() {
+            *data = value.to_le_bytes();
+            *check = self.codec.encode(data, ptr.tag);
+        }
+        outcome
+    }
+
+    fn load(&self, ptr: ColouredPtr, offset: u64) -> (Option<u64>, DecodeOutcome) {
+        let Some((data, check)) = self.granules.get(&(ptr.addr + offset)) else {
+            return (None, DecodeOutcome::DetectedUncorrectable);
+        };
+        let mut buf = *data;
+        let outcome = self.codec.decode(&mut buf, check, ptr.tag);
+        if outcome.is_usable() {
+            (Some(u64::from_le_bytes(buf)), outcome)
+        } else {
+            (None, outcome)
+        }
+    }
+}
+
+fn main() {
+    let mut heap = TaggedHeap::new();
+
+    // A kernel allocates two neighbouring buffers.
+    let a = heap.alloc(0x1000, 8);
+    let b = heap.alloc(0x1008, 8);
+    println!("alloc A @ {:#x} tag {}", a.addr, a.tag);
+    println!("alloc B @ {:#x} tag {}", b.addr, b.tag);
+
+    // Legitimate accesses work and correct single-bit upsets transparently.
+    assert!(heap.store(a, 3, 0xDEAD_BEEF).is_usable());
+    let (v, outcome) = heap.load(a, 3);
+    println!("\nA[3] = {:#x} ({outcome})", v.unwrap());
+
+    // Bug 1: buffer overflow from A into B. The granule exists, but it
+    // carries B's tag — the ECC decoder reports the violation.
+    let oob = ColouredPtr {
+        addr: a.addr,
+        tag: a.tag,
+        len: a.len + 1,
+    };
+    let outcome = heap.load(oob, 8).1; // A[8] is really B[0]
+    println!("overflow A[8]    -> {outcome}");
+    assert_eq!(outcome, DecodeOutcome::TagMismatch);
+
+    // Bug 2: use-after-free. B is freed and reallocated under a new tag;
+    // the stale pointer's tag no longer matches.
+    let b_new = heap.free_and_reuse(b);
+    let outcome = heap.load(b, 0).1;
+    println!("use-after-free B -> {outcome}");
+    assert_eq!(outcome, DecodeOutcome::TagMismatch);
+    let (_, ok) = heap.load(b_new, 0);
+    assert!(ok.is_usable());
+
+    println!(
+        "\nBoth violations caught with 0 bytes of tag storage and 0 extra\n\
+         DRAM traffic: the tag lives inside check bits that inline ECC —\n\
+         and therefore CacheCraft — already moves."
+    );
+}

@@ -1,0 +1,42 @@
+//! # cachecraft — reconstructed caching for GPU memory protection
+//!
+//! A from-scratch reproduction of *CacheCraft: Enhancing GPU Performance
+//! under Memory Protection through Reconstructed Caching* (MICRO 2024).
+//! This facade crate re-exports the workspace's subsystems:
+//!
+//! * [`ecc`] — ECC codecs (SEC-DED, Reed–Solomon, CRC, implicit memory
+//!   tagging) and inline-ECC memory layouts.
+//! * [`sim`] — a trace-driven, cycle-approximate GPU memory-subsystem
+//!   simulator (SIMT cores, sectored L1/L2, crossbar, FR-FCFS controllers,
+//!   GDDR6/HBM2 DRAM timing).
+//! * [`workloads`] — deterministic kernel-trace generators spanning the
+//!   locality spectrum of GPU benchmark suites.
+//! * [`schemes`] — the protection schemes: ECC-off, naive inline ECC, a
+//!   dedicated ECC cache, and CacheCraft itself, plus the reliability
+//!   pipeline and storage accounting.
+//! * [`harness`] — the experiment harness regenerating every table and
+//!   figure of the evaluation.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cachecraft::schemes::factory::{run_scheme, SchemeKind};
+//! use cachecraft::sim::config::GpuConfig;
+//! use cachecraft::workloads::{SizeClass, Workload};
+//!
+//! let cfg = GpuConfig::tiny();
+//! let trace = Workload::VecAdd.generate(SizeClass::Tiny, 42);
+//! let stats = run_scheme(&cfg, SchemeKind::NoProtection, &trace);
+//! assert!(!stats.timed_out);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ccraft_core as schemes;
+pub use ccraft_ecc as ecc;
+pub use ccraft_harness as harness;
+pub use ccraft_sim as sim;
+pub use ccraft_workloads as workloads;
