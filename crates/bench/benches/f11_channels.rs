@@ -15,11 +15,9 @@ fn bench(c: &mut Criterion) {
         let mut cfg = GpuConfig::tiny();
         cfg.mem.channels = channels;
         cfg.validate().unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("naive", channels),
-            &cfg,
-            |b, cfg| b.iter(|| run_scheme(cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace)),
-        );
+        g.bench_with_input(BenchmarkId::new("naive", channels), &cfg, |b, cfg| {
+            b.iter(|| run_scheme(cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace))
+        });
     }
     g.finish();
 }

@@ -12,10 +12,13 @@ fn bench(c: &mut Criterion) {
     let trace = bench_trace(Workload::Saxpy);
     let variants: Vec<(&str, CacheCraftConfig)> = vec![
         ("c1", CacheCraftConfig::colocate_only()),
-        ("c2", CacheCraftConfig {
-            fragment_bytes_per_slice: 2 << 10,
-            ..CacheCraftConfig::fragments_only()
-        }),
+        (
+            "c2",
+            CacheCraftConfig {
+                fragment_bytes_per_slice: 2 << 10,
+                ..CacheCraftConfig::fragments_only()
+            },
+        ),
         ("c3", CacheCraftConfig::reconstruct_only()),
         ("full", CacheCraftConfig::for_machine(&cfg)),
     ];

@@ -15,9 +15,11 @@ fn bench(c: &mut Criterion) {
         let mut cfg = GpuConfig::tiny();
         cfg.l2.capacity_bytes = kib << 10;
         cfg.validate().unwrap();
-        g.bench_with_input(BenchmarkId::new("naive", format!("{kib}K")), &cfg, |b, cfg| {
-            b.iter(|| run_scheme(cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("naive", format!("{kib}K")),
+            &cfg,
+            |b, cfg| b.iter(|| run_scheme(cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace)),
+        );
     }
     g.finish();
 }

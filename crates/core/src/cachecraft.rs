@@ -29,7 +29,7 @@ use ccraft_ecc::layout::EccPlacement;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::protection::{FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan};
 use ccraft_sim::types::{Cycle, LogicalAtom, PhysLoc};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// Configuration of the CacheCraft mechanisms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,24 +115,48 @@ impl CacheCraftConfig {
 struct CoalesceBuffer {
     /// FIFO of `(ecc_atom, due_cycle)`.
     queue: VecDeque<(u64, Cycle)>,
-    members: HashSet<u64>,
+    /// Pending atoms mapped to the number of writes folded into their
+    /// entry (1 = fresh entry, no merges yet).
+    members: HashMap<u64, u64>,
 }
 
 impl CoalesceBuffer {
-    /// Inserts or merges a pending ECC write. Returns `true` if merged
-    /// into an existing entry.
-    fn push(&mut self, atom: u64, due: Cycle) -> bool {
-        if self.members.contains(&atom) {
-            true
+    /// Inserts or merges a pending ECC write. Returns `Some(depth)` — the
+    /// entry's merge chain length — if merged into an existing entry,
+    /// `None` if a fresh entry was created.
+    fn push(&mut self, atom: u64, due: Cycle) -> Option<u64> {
+        if let Some(count) = self.members.get_mut(&atom) {
+            *count += 1;
+            Some(*count)
         } else {
-            self.members.insert(atom);
+            self.members.insert(atom, 1);
             self.queue.push_back((atom, due));
-            false
+            None
         }
     }
 
+    /// Folds one more write into an already-pending entry, returning the
+    /// new merge chain length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom is not pending; callers check
+    /// [`contains`](Self::contains) first.
+    fn merge_into(&mut self, atom: u64) -> u64 {
+        let count = self
+            .members
+            .get_mut(&atom)
+            .expect("caller checked membership");
+        *count += 1;
+        *count
+    }
+
     fn contains(&self, atom: u64) -> bool {
-        self.members.contains(&atom)
+        self.members.contains_key(&atom)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Pops entries that are due at `now` or overflow `capacity`, up to
@@ -199,7 +223,9 @@ impl CacheCraft {
             cfg,
             map,
             store,
-            coalesce: (0..gpu.mem.channels).map(|_| CoalesceBuffer::default()).collect(),
+            coalesce: (0..gpu.mem.channels)
+                .map(|_| CoalesceBuffer::default())
+                .collect(),
             stats: ProtectionStats::default(),
         }
     }
@@ -219,8 +245,17 @@ impl CacheCraft {
     /// `Some(atom)` when it must be issued immediately.
     fn queue_ecc_write(&mut self, channel: u16, ecc: u64, now: Cycle) -> Option<u64> {
         if self.cfg.reconstruct {
-            if self.coalesce[channel as usize].push(ecc, now + self.cfg.coalesce_age) {
-                self.stats.coalesced_ecc_writes += 1;
+            let buf = &mut self.coalesce[channel as usize];
+            match buf.push(ecc, now + self.cfg.coalesce_age) {
+                Some(depth) => {
+                    self.stats.coalesced_ecc_writes += 1;
+                    self.stats.coalesce_max_merge_depth =
+                        self.stats.coalesce_max_merge_depth.max(depth);
+                }
+                None => {
+                    self.stats.coalesce_peak_occupancy =
+                        self.stats.coalesce_peak_occupancy.max(buf.len() as u64);
+                }
             }
             None
         } else {
@@ -247,8 +282,11 @@ impl ProtectionScheme for CacheCraft {
         }
         if let Some(store) = &mut self.store {
             match store.probe_fill(loc.channel, ecc) {
-                StoreProbe::Hit | StoreProbe::InFlight => {
+                probe @ (StoreProbe::Hit | StoreProbe::InFlight) => {
                     self.stats.ecc_fetch_hits += 1;
+                    if probe == StoreProbe::Hit {
+                        self.stats.fragment_store_hits += 1;
+                    }
                     FillPlan::none()
                 }
                 StoreProbe::Miss => {
@@ -288,14 +326,16 @@ impl ProtectionScheme for CacheCraft {
         }
         // 2. Pending coalesced write to the same ECC atom: merge.
         if self.cfg.reconstruct && self.coalesce[loc.channel as usize].contains(ecc) {
+            let depth = self.coalesce[loc.channel as usize].merge_into(ecc);
             self.stats.coalesced_ecc_writes += 1;
+            self.stats.coalesce_max_merge_depth = self.stats.coalesce_max_merge_depth.max(depth);
             self.stats.absorbed_writebacks += 1;
             return WritebackPlan::none();
         }
         // 3. Reconstruction: all siblings on chip → re-encode, no RMW read.
         if self.cfg.reconstruct {
             let (first, count) = self.map.ecc_group(loc);
-            if (first..first + count).all(|a| resident(a)) {
+            if (first..first + count).all(resident) {
                 self.stats.reconstructed_writebacks += 1;
                 let immediate = self.queue_ecc_write(loc.channel, ecc, now);
                 return WritebackPlan {
@@ -323,11 +363,7 @@ impl ProtectionScheme for CacheCraft {
     }
 
     fn drain_ecc_writes(&mut self, channel: u16, now: Cycle, budget: usize) -> Vec<u64> {
-        let mut out = self.coalesce[channel as usize].drain(
-            now,
-            self.cfg.coalesce_entries,
-            budget,
-        );
+        let mut out = self.coalesce[channel as usize].drain(now, self.cfg.coalesce_entries, budget);
         if out.len() < budget {
             if let Some(store) = &mut self.store {
                 out.extend(store.drain_writes(channel, budget - out.len()));
@@ -440,7 +476,7 @@ mod tests {
         let loc = s.map(LogicalAtom(0));
         let mut all = |_: u64| true;
         let _ = s.writeback(loc, 0, &mut all); // buffers the ECC write
-        // A demand fill of a sibling finds the ECC on chip.
+                                               // A demand fill of a sibling finds the ECC on chip.
         let sib = s.map(LogicalAtom(3));
         assert!(s.demand_fill(sib, 1).ecc_fetches.is_empty());
         assert_eq!(s.stats().ecc_fetch_hits, 1);
@@ -456,7 +492,10 @@ mod tests {
         let loc = s.map(LogicalAtom(0));
         let mut all = |_: u64| true;
         let _ = s.writeback(loc, 50, &mut all);
-        assert!(s.drain_ecc_writes(loc.channel, 100, 8).is_empty(), "not due yet");
+        assert!(
+            s.drain_ecc_writes(loc.channel, 100, 8).is_empty(),
+            "not due yet"
+        );
         assert_eq!(s.drain_ecc_writes(loc.channel, 150, 8).len(), 1);
     }
 
@@ -478,6 +517,45 @@ mod tests {
         }
         let drained = s.drain_ecc_writes(0, 10, 8);
         assert_eq!(drained.len(), 2, "entries beyond capacity must spill");
+    }
+
+    #[test]
+    fn merge_depth_and_peak_occupancy_are_tracked() {
+        let mut s = scheme(CacheCraftConfig::reconstruct_only());
+        let mut all = |_: u64| true;
+        // Three write-backs under one ECC atom: one entry, merge depth 3.
+        for k in 0..3u64 {
+            let loc = s.map(LogicalAtom(k));
+            let _ = s.writeback(loc, k, &mut all);
+        }
+        // A second distinct ECC group on the same channel: occupancy 2.
+        let other = s.map(LogicalAtom(16));
+        assert_eq!(other.channel, s.map(LogicalAtom(0)).channel);
+        let _ = s.writeback(other, 10, &mut all);
+        let st = s.stats();
+        assert_eq!(st.coalesce_max_merge_depth, 3);
+        assert_eq!(st.coalesce_peak_occupancy, 2);
+        assert_eq!(st.coalesced_ecc_writes, 2);
+    }
+
+    #[test]
+    fn fragment_store_hits_counted_separately_from_inflight() {
+        let mut s = scheme(CacheCraftConfig::fragments_only());
+        let loc = s.map(LogicalAtom(0));
+        // Miss registers the fetch as in flight.
+        assert_eq!(s.demand_fill(loc, 0).ecc_fetches.len(), 1);
+        // Sibling while in flight: a hit for traffic purposes, but not a
+        // resident fragment-store hit.
+        let sib = s.map(LogicalAtom(1));
+        assert!(s.demand_fill(sib, 1).ecc_fetches.is_empty());
+        assert_eq!(s.stats().fragment_store_hits, 0);
+        // After arrival, further siblings are true store hits.
+        let ecc = s.map.ecc_atom(loc);
+        s.ecc_arrived(PhysLoc::new(loc.channel, ecc), 2);
+        let sib2 = s.map(LogicalAtom(2));
+        assert!(s.demand_fill(sib2, 3).ecc_fetches.is_empty());
+        assert_eq!(s.stats().fragment_store_hits, 1);
+        assert_eq!(s.stats().ecc_fetch_hits, 2);
     }
 
     #[test]
@@ -511,7 +589,11 @@ mod tests {
         let row_atoms = gpu.mem.row_atoms();
         let loc = c2.map(LogicalAtom(0));
         let ecc = c2.map.ecc_atom(loc);
-        assert_ne!(loc.atom / row_atoms, ecc / row_atoms, "reserved region: different row");
+        assert_ne!(
+            loc.atom / row_atoms,
+            ecc / row_atoms,
+            "reserved region: different row"
+        );
         // Full: taxed and co-located.
         let full = scheme(CacheCraftConfig::full());
         assert_eq!(full.l2_tax_bytes(), 64 << 10);

@@ -82,7 +82,11 @@ impl SchemeKind {
             SchemeKind::CompressedInline {
                 coverage,
                 compress_pct,
-            } => Box::new(crate::frugal::CompressedInline::new(cfg, coverage, compress_pct)),
+            } => Box::new(crate::frugal::CompressedInline::new(
+                cfg,
+                coverage,
+                compress_pct,
+            )),
         }
     }
 }
@@ -98,6 +102,22 @@ impl fmt::Display for SchemeKind {
 pub fn run_scheme(cfg: &GpuConfig, kind: SchemeKind, trace: &KernelTrace) -> SimStats {
     let mut scheme = kind.build(cfg);
     ccraft_sim::gpu::simulate(cfg, MapOrder::RoBaCo, trace, scheme.as_mut())
+}
+
+/// Like [`run_scheme`], but with telemetry collection configured by
+/// `tel`: the returned [`ccraft_sim::SimOutput`] carries the latency
+/// histogram and epoch timeline inside its stats (when enabled) and the
+/// Chrome trace (when `tel.trace_events` is set). With
+/// `TelemetryConfig::disabled()` the stats are bit-identical to
+/// [`run_scheme`].
+pub fn run_scheme_with_telemetry(
+    cfg: &GpuConfig,
+    kind: SchemeKind,
+    trace: &KernelTrace,
+    tel: &ccraft_telemetry::TelemetryConfig,
+) -> ccraft_sim::SimOutput {
+    let mut scheme = kind.build(cfg);
+    ccraft_sim::gpu::simulate_with_telemetry(cfg, MapOrder::RoBaCo, trace, scheme.as_mut(), tel)
 }
 
 #[cfg(test)]
@@ -124,7 +144,10 @@ mod tests {
     #[test]
     fn headline_order_and_names() {
         let cfg = GpuConfig::tiny();
-        let names: Vec<_> = SchemeKind::headline(&cfg).iter().map(|s| s.name()).collect();
+        let names: Vec<_> = SchemeKind::headline(&cfg)
+            .iter()
+            .map(|s| s.name())
+            .collect();
         assert_eq!(
             names,
             ["no-protection", "inline-naive", "ecc-cache", "cachecraft"]
@@ -158,11 +181,43 @@ mod tests {
             .iter()
             .map(|&k| run_scheme(&cfg, k, &trace).exec_cycles)
             .collect();
-        let (none, naive, ecc_cache, cachecraft) =
-            (cycles[0], cycles[1], cycles[2], cycles[3]);
+        let (none, naive, ecc_cache, cachecraft) = (cycles[0], cycles[1], cycles[2], cycles[3]);
         assert!(none <= naive, "no-protection {none} > naive {naive}");
         assert!(ecc_cache <= naive, "ecc-cache {ecc_cache} > naive {naive}");
-        assert!(cachecraft <= naive, "cachecraft {cachecraft} > naive {naive}");
+        assert!(
+            cachecraft <= naive,
+            "cachecraft {cachecraft} > naive {naive}"
+        );
+    }
+
+    #[test]
+    fn telemetry_entry_point_matches_plain_run() {
+        let cfg = GpuConfig::tiny();
+        let trace = small_stream();
+        let kind = SchemeKind::CacheCraft(CacheCraftConfig::for_machine(&cfg));
+        let plain = run_scheme(&cfg, kind, &trace);
+        // Disabled telemetry: bit-identical stats, no trace.
+        let off = run_scheme_with_telemetry(
+            &cfg,
+            kind,
+            &trace,
+            &ccraft_telemetry::TelemetryConfig::disabled(),
+        );
+        assert_eq!(off.stats, plain);
+        assert!(off.trace.is_none());
+        // Enabled telemetry: histogram and timeline attached, aggregates
+        // unchanged.
+        let on = run_scheme_with_telemetry(
+            &cfg,
+            kind,
+            &trace,
+            &ccraft_telemetry::TelemetryConfig::enabled(),
+        );
+        assert_eq!(on.stats.exec_cycles, plain.exec_cycles);
+        let hist = on.stats.latency_hist.as_ref().expect("histogram attached");
+        assert!(hist.p99() >= hist.p50());
+        assert!(hist.p50() >= 1);
+        assert!(on.stats.timeline.as_ref().expect("timeline").epochs() >= 1);
     }
 
     #[test]
@@ -174,8 +229,18 @@ mod tests {
             .map(|&k| run_scheme(&cfg, k, &trace).dram_count(TrafficClass::EccRead))
             .collect();
         assert_eq!(ecc_reads[0], 0);
-        assert!(ecc_reads[1] >= ecc_reads[2], "naive {} < ecc-cache {}", ecc_reads[1], ecc_reads[2]);
-        assert!(ecc_reads[1] >= ecc_reads[3], "naive {} < cachecraft {}", ecc_reads[1], ecc_reads[3]);
+        assert!(
+            ecc_reads[1] >= ecc_reads[2],
+            "naive {} < ecc-cache {}",
+            ecc_reads[1],
+            ecc_reads[2]
+        );
+        assert!(
+            ecc_reads[1] >= ecc_reads[3],
+            "naive {} < cachecraft {}",
+            ecc_reads[1],
+            ecc_reads[3]
+        );
         // Naive fetches ECC for every data read.
         assert_eq!(ecc_reads[1], trace.footprint_atoms());
     }

@@ -27,13 +27,9 @@ impl InlineMap {
     /// Panics if the layout parameters are inconsistent with the machine
     /// geometry (see [`InlineLayout::new`]).
     pub fn new(cfg: &GpuConfig, placement: EccPlacement, coverage: u32) -> Self {
-        let interleave =
-            ChannelInterleave::new(cfg.mem.channels, cfg.mem.interleave_atoms);
+        let interleave = ChannelInterleave::new(cfg.mem.channels, cfg.mem.interleave_atoms);
         let layout = InlineLayout::new(placement, coverage, cfg.mem.atoms_per_channel());
-        InlineMap {
-            interleave,
-            layout,
-        }
+        InlineMap { interleave, layout }
     }
 
     /// The per-channel layout.
@@ -212,7 +208,11 @@ mod tests {
         for a in (0..100_000u64).step_by(997) {
             let loc = m.map(LogicalAtom(a));
             let ecc = m.ecc_atom(loc);
-            assert_eq!(loc.atom / row_atoms, ecc / row_atoms, "atom {a} ECC in another row");
+            assert_eq!(
+                loc.atom / row_atoms,
+                ecc / row_atoms,
+                "atom {a} ECC in another row"
+            );
         }
     }
 

@@ -129,10 +129,7 @@ mod tests {
     #[test]
     fn cachecraft_repurposes_rather_than_adds() {
         let cfg = GpuConfig::gddr6();
-        let bill = storage_bill(
-            SchemeKind::CacheCraft(CacheCraftConfig::full()),
-            &cfg,
-        );
+        let bill = storage_bill(SchemeKind::CacheCraft(CacheCraftConfig::full()), &cfg);
         assert_eq!(bill.repurposed_l2_bytes, 8 * (64 << 10));
         // New silicon: only fragment tags + coalescing buffers — far less
         // than the dedicated ECC cache.

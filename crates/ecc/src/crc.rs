@@ -52,7 +52,7 @@ impl Crc {
         reflect: bool,
         block_len: usize,
     ) -> Self {
-        assert!(width >= 1 && width <= 32, "CRC width must be 1..=32");
+        assert!((1..=32).contains(&width), "CRC width must be 1..=32");
         let mask = Self::mask(width);
         let mut table = Box::new([0u32; 256]);
         if reflect {
@@ -60,7 +60,11 @@ impl Crc {
             for (i, entry) in table.iter_mut().enumerate() {
                 let mut crc = i as u32;
                 for _ in 0..8 {
-                    crc = if crc & 1 != 0 { (crc >> 1) ^ poly_r } else { crc >> 1 };
+                    crc = if crc & 1 != 0 {
+                        (crc >> 1) ^ poly_r
+                    } else {
+                        crc >> 1
+                    };
                 }
                 *entry = crc;
             }
@@ -73,7 +77,11 @@ impl Crc {
                     let top = 1u32 << 7;
                     let poly_shift = poly << (8 - width);
                     for _ in 0..8 {
-                        reg = if reg & top != 0 { (reg << 1) ^ poly_shift } else { reg << 1 };
+                        reg = if reg & top != 0 {
+                            (reg << 1) ^ poly_shift
+                        } else {
+                            reg << 1
+                        };
                     }
                     *entry = (reg >> (8 - width)) & mask;
                     continue;
@@ -81,7 +89,11 @@ impl Crc {
                 let mut crc = (i as u32) << (width - 8);
                 let top = 1u32 << (width - 1);
                 for _ in 0..8 {
-                    crc = if crc & top != 0 { (crc << 1) ^ poly } else { crc << 1 };
+                    crc = if crc & top != 0 {
+                        (crc << 1) ^ poly
+                    } else {
+                        crc << 1
+                    };
                 }
                 *entry = crc & mask;
             }
@@ -99,7 +111,15 @@ impl Crc {
 
     /// CRC-32 (IEEE 802.3, reflected), protecting 32-byte blocks by default.
     pub fn crc32() -> Self {
-        Self::with_params("CRC-32", 32, 0x04C1_1DB7, 0xFFFF_FFFF, 0xFFFF_FFFF, true, 32)
+        Self::with_params(
+            "CRC-32",
+            32,
+            0x04C1_1DB7,
+            0xFFFF_FFFF,
+            0xFFFF_FFFF,
+            true,
+            32,
+        )
     }
 
     /// CRC-16/CCITT-FALSE (normal), protecting 32-byte blocks by default.

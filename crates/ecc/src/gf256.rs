@@ -154,6 +154,8 @@ impl Gf256 {
     }
 }
 
+// GF(2^8) addition IS xor (characteristic 2) — not a typo for `+`.
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
@@ -162,6 +164,7 @@ impl Add for Gf256 {
     }
 }
 
+#[allow(clippy::suspicious_op_assign_impl)]
 impl AddAssign for Gf256 {
     #[inline]
     fn add_assign(&mut self, rhs: Gf256) {
@@ -171,6 +174,7 @@ impl AddAssign for Gf256 {
 
 // Subtraction equals addition in characteristic 2; provided for readability
 // of textbook decoder formulas.
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
@@ -198,6 +202,8 @@ impl MulAssign for Gf256 {
     }
 }
 
+// Division multiplies by the field inverse — the only definition there is.
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Div for Gf256 {
     type Output = Gf256;
     /// # Panics

@@ -325,8 +325,8 @@ impl InlineLayout {
                 let row = ecc_physical / row_atoms as u64;
                 let group = ecc_physical % row_atoms as u64 - self.row_data_atoms as u64;
                 let first_off = group * self.coverage as u64;
-                let count =
-                    (self.coverage as u64).min(self.row_data_atoms as u64 - first_off.min(self.row_data_atoms as u64));
+                let count = (self.coverage as u64)
+                    .min(self.row_data_atoms as u64 - first_off.min(self.row_data_atoms as u64));
                 (row * row_atoms as u64 + first_off, count)
             }
         }
@@ -437,7 +437,7 @@ mod tests {
     fn check_byte_slots_tile_the_ecc_atom() {
         let l = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, MIB_ATOMS);
         // The 8 data atoms of one group use disjoint 4-byte slots.
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for logical in 0..8u64 {
             let phys = l.logical_to_physical(logical);
             let (off, len) = l.check_bytes_in_ecc_atom(phys);
@@ -499,7 +499,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "whole number of rows")]
     fn rejects_partial_rows() {
-        let _ = InlineLayout::new(EccPlacement::RowColocated { row_atoms: 64 }, 8, MIB_ATOMS + 1);
+        let _ = InlineLayout::new(
+            EccPlacement::RowColocated { row_atoms: 64 },
+            8,
+            MIB_ATOMS + 1,
+        );
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl ReedSolomon {
         if k == 0 || k >= n {
             return Err(BuildCodeError::BadDimension);
         }
-        if (n - k) % 2 != 0 {
+        if !(n - k).is_multiple_of(2) {
             return Err(BuildCodeError::OddRedundancy);
         }
         let mut generator = vec![Gf256::ONE];
@@ -335,7 +335,9 @@ mod tests {
     use super::*;
 
     fn sample_data(k: usize) -> Vec<u8> {
-        (0..k).map(|i| (i as u8).wrapping_mul(37).wrapping_add(11)).collect()
+        (0..k)
+            .map(|i| (i as u8).wrapping_mul(37).wrapping_add(11))
+            .collect()
     }
 
     #[test]
@@ -442,8 +444,7 @@ mod tests {
         let check = rs.encode(&original);
         let mut detected = 0;
         let mut sdc = 0;
-        let cases: Vec<(usize, usize, usize)> =
-            (0..24).map(|i| (i, i + 4, i + 8)).collect();
+        let cases: Vec<(usize, usize, usize)> = (0..24).map(|i| (i, i + 4, i + 8)).collect();
         for &(p1, p2, p3) in &cases {
             let mut data = original.clone();
             data[p1] ^= 0x11;

@@ -11,12 +11,17 @@
 //! ```
 
 use ccraft_core::cachecraft::CacheCraftConfig;
-use ccraft_core::factory::{run_scheme, SchemeKind};
+use ccraft_core::factory::{run_scheme, run_scheme_with_telemetry, SchemeKind};
 use ccraft_core::reliability::{Campaign, CodecKind};
 use ccraft_ecc::inject::ErrorPattern;
+use ccraft_harness::report::write_manifest;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::energy::EnergyModel;
+use ccraft_telemetry::chrome_trace::ChromeTrace;
+use ccraft_telemetry::manifest::RunManifest;
+use ccraft_telemetry::TelemetryConfig;
 use ccraft_workloads::{SizeClass, Workload};
+use serde::{Serialize, Value};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -26,8 +31,20 @@ USAGE:
   ccx list
   ccx run --workload <name|all> [--scheme <name|all>] [--size tiny|small|full]
           [--machine gddr6|hbm2] [--seed N] [--energy]
+          [--hist] [--timeline <file>] [--trace <file>]
   ccx reliability [--codec <secded|rs36|rs18|crc32|tagged4>]
                   [--pattern <bit1|bit2|bit3|burst4|symbol|chiplane>] [--trials N] [--seed N]
+
+TELEMETRY (ccx run):
+  --hist             print read-latency percentiles (p50/p90/p99/max) per cell
+  --timeline <file>  write every cell's epoch time-series as JSON
+  --trace <file>     write a Chrome/Perfetto trace (open in chrome://tracing
+                     or ui.perfetto.dev); with multiple cells the trace
+                     covers the last cell run
+  Every `ccx run` also writes results/manifest.json describing the run.
+  Telemetry is passive: --energy reports identical numbers with or without
+  --hist/--timeline/--trace, because energy is computed post hoc from the
+  same aggregate statistics that telemetry leaves untouched.
 
 Run `ccx list` to see every workload and scheme name.";
 
@@ -60,6 +77,10 @@ fn cmd_list() -> ExitCode {
     println!("sizes:\n  tiny\n  small (default)\n  full");
     println!("codecs:\n  secded  rs36  rs18  crc32  tagged4");
     println!("patterns:\n  bit1  bit2  bit3  burst4  symbol  chiplane");
+    println!(
+        "telemetry flags (ccx run):\n  --hist            latency percentiles\n  \
+         --timeline FILE   epoch time-series JSON\n  --trace FILE      Chrome trace-event JSON"
+    );
     ExitCode::SUCCESS
 }
 
@@ -82,10 +103,32 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let seed: u64 = parse_flag(args, "--seed")
-        .map(|s| s.parse().expect("--seed expects an integer"))
-        .unwrap_or(1);
+    let seed: u64 = match parse_flag(args, "--seed").map(|s| s.parse()) {
+        None => 1,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("--seed expects an integer\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let show_energy = args.iter().any(|a| a == "--energy");
+    let show_hist = args.iter().any(|a| a == "--hist");
+    let timeline_path = parse_flag(args, "--timeline");
+    let trace_path = parse_flag(args, "--trace");
+    for (flag, value) in [("--timeline", &timeline_path), ("--trace", &trace_path)] {
+        if value.as_deref().is_some_and(|v| v.starts_with("--")) {
+            eprintln!("{flag} expects a file path\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let tel = if trace_path.is_some() {
+        TelemetryConfig::full()
+    } else if show_hist || timeline_path.is_some() {
+        TelemetryConfig::enabled()
+    } else {
+        TelemetryConfig::disabled()
+    };
+    let telemetry_on = tel.enabled || tel.trace_events;
     let Some(workload_arg) = parse_flag(args, "--workload") else {
         eprintln!("--workload is required\n\n{USAGE}");
         return ExitCode::FAILURE;
@@ -114,18 +157,106 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     let model = EnergyModel::gddr6();
+    let started = std::time::Instant::now();
+    let mut timeline_cells: Vec<Value> = Vec::new();
+    let mut last_trace: Option<(String, ChromeTrace)> = None;
+    let mut last_percentiles: Option<(u64, u64, u64, u64)> = None;
+    let mut cells = 0u64;
     for w in workloads {
         let trace = w.generate(size, seed);
         println!("\n{trace}");
         for &kind in &schemes {
-            let s = run_scheme(&cfg, kind, &trace);
+            let s = if telemetry_on {
+                let out = run_scheme_with_telemetry(&cfg, kind, &trace, &tel);
+                if let Some(chrome) = out.trace {
+                    last_trace = Some((format!("{}/{}", w.name(), kind.name()), chrome));
+                }
+                if let Some(tl) = &out.stats.timeline {
+                    timeline_cells.push(Value::Object(vec![
+                        ("workload".to_string(), Value::String(w.name().to_string())),
+                        ("scheme".to_string(), Value::String(kind.name().to_string())),
+                        ("timeline".to_string(), tl.to_value()),
+                    ]));
+                }
+                out.stats
+            } else {
+                run_scheme(&cfg, kind, &trace)
+            };
+            cells += 1;
             println!("{s}");
+            if let Some(h) = &s.latency_hist {
+                last_percentiles = Some((h.p50(), h.p90(), h.p99(), h.max));
+                if show_hist {
+                    println!(
+                        "  read latency: p50 {} / p90 {} / p99 {} / max {} cycles \
+                         (mean {:.1} over {} reads)",
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                        h.max,
+                        h.mean(),
+                        h.count,
+                    );
+                }
+            }
             if show_energy {
                 println!("  energy: {}", model.evaluate(&s, cfg.mem.channels));
             }
         }
     }
+    let mut manifest = RunManifest::new("ccx-run");
+    manifest.size = size.to_string();
+    manifest.seed = seed;
+    manifest.threads = 1;
+    manifest.wall_time_secs = started.elapsed().as_secs_f64();
+    manifest.note("cells", cells as f64);
+    if let Some((p50, p90, p99, max)) = last_percentiles {
+        manifest.note("read_latency_p50", p50 as f64);
+        manifest.note("read_latency_p90", p90 as f64);
+        manifest.note("read_latency_p99", p99 as f64);
+        manifest.note("read_latency_max", max as f64);
+    }
+    if let Some(path) = &timeline_path {
+        let json = serde_json::to_string_pretty(&RawValue(Value::Array(timeline_cells)))
+            .expect("timeline serialization is infallible");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("timeline: {path}");
+        manifest.output(path);
+    }
+    if let Some(path) = &trace_path {
+        let Some((cell, chrome)) = &last_trace else {
+            eprintln!("--trace requested but no cell produced a trace");
+            return ExitCode::FAILURE;
+        };
+        if cells > 1 {
+            eprintln!("note: trace covers the last cell only ({cell})");
+        }
+        if let Err(e) = std::fs::write(path, chrome.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace: {path} ({} events)", chrome.len());
+        manifest.output(path);
+    }
+    manifest.stamp();
+    match write_manifest(&manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write manifest.json: {e}"),
+    }
     ExitCode::SUCCESS
+}
+
+/// Serializes an already-built JSON value (the vendored serde data model
+/// has no blanket `Serialize for Value`).
+struct RawValue(Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
 }
 
 fn cmd_reliability(args: &[String]) -> ExitCode {
@@ -152,12 +283,22 @@ fn cmd_reliability(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let trials: u32 = parse_flag(args, "--trials")
-        .map(|s| s.parse().expect("--trials expects an integer"))
-        .unwrap_or(2_000);
-    let seed: u64 = parse_flag(args, "--seed")
-        .map(|s| s.parse().expect("--seed expects an integer"))
-        .unwrap_or(1);
+    let trials: u32 = match parse_flag(args, "--trials").map(|s| s.parse()) {
+        None => 2_000,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("--trials expects an integer\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = match parse_flag(args, "--seed").map(|s| s.parse()) {
+        None => 1,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("--seed expects an integer\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let r = Campaign {
         codec,
         pattern,

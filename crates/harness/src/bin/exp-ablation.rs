@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::ablation`.
 fn main() {
-    ccraft_harness::experiments::ablation::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-ablation", |opts| {
+        ccraft_harness::experiments::ablation::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::config_table`.
 fn main() {
-    ccraft_harness::experiments::config_table::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-config", |opts| {
+        ccraft_harness::experiments::config_table::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::ecchit`.
 fn main() {
-    ccraft_harness::experiments::ecchit::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-ecchit", |opts| {
+        ccraft_harness::experiments::ecchit::run(opts);
+    });
 }

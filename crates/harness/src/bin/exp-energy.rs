@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::energy`.
 fn main() {
-    ccraft_harness::experiments::energy::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-energy", |opts| {
+        ccraft_harness::experiments::energy::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::frugal`.
 fn main() {
-    ccraft_harness::experiments::frugal::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-frugal", |opts| {
+        ccraft_harness::experiments::frugal::run(opts);
+    });
 }

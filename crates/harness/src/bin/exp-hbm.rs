@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::hbm`.
 fn main() {
-    ccraft_harness::experiments::hbm::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-hbm", |opts| {
+        ccraft_harness::experiments::hbm::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! F4 + F5 — main result. See `ccraft_harness::experiments::main_result`.
 fn main() {
-    ccraft_harness::experiments::main_result::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-main", |opts| {
+        ccraft_harness::experiments::main_result::run(opts);
+    });
 }

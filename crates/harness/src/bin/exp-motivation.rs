@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::motivation`.
 fn main() {
-    ccraft_harness::experiments::motivation::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-motivation", |opts| {
+        ccraft_harness::experiments::motivation::run(opts);
+    });
 }

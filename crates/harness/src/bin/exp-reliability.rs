@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::reliability`.
 fn main() {
-    ccraft_harness::experiments::reliability::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-reliability", |opts| {
+        ccraft_harness::experiments::reliability::run(opts);
+    });
 }

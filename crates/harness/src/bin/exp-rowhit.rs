@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::rowhit`.
 fn main() {
-    ccraft_harness::experiments::rowhit::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-rowhit", |opts| {
+        ccraft_harness::experiments::rowhit::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::scheduler`.
 fn main() {
-    ccraft_harness::experiments::scheduler::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-scheduler", |opts| {
+        ccraft_harness::experiments::scheduler::run(opts);
+    });
 }

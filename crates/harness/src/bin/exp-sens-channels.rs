@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_channels`.
 fn main() {
-    ccraft_harness::experiments::sens_channels::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-sens-channels", |opts| {
+        ccraft_harness::experiments::sens_channels::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_ecccap`.
 fn main() {
-    ccraft_harness::experiments::sens_ecccap::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-sens-ecccap", |opts| {
+        ccraft_harness::experiments::sens_ecccap::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_l2`.
 fn main() {
-    ccraft_harness::experiments::sens_l2::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-sens-l2", |opts| {
+        ccraft_harness::experiments::sens_l2::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_ratio`.
 fn main() {
-    ccraft_harness::experiments::sens_ratio::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-sens-ratio", |opts| {
+        ccraft_harness::experiments::sens_ratio::run(opts);
+    });
 }

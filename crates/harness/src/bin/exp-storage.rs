@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::storage`.
 fn main() {
-    ccraft_harness::experiments::storage::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-storage", |opts| {
+        ccraft_harness::experiments::storage::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::tagged`.
 fn main() {
-    ccraft_harness::experiments::tagged::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-tagged", |opts| {
+        ccraft_harness::experiments::tagged::run(opts);
+    });
 }

@@ -1,4 +1,6 @@
 //! Thin wrapper; see `ccraft_harness::experiments::workload_table`.
 fn main() {
-    ccraft_harness::experiments::workload_table::run(&ccraft_harness::ExpOptions::from_args());
+    ccraft_harness::run_experiment("exp-workloads", |opts| {
+        ccraft_harness::experiments::workload_table::run(opts);
+    });
 }

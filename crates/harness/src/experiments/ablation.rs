@@ -13,7 +13,10 @@ use ccraft_sim::config::GpuConfig;
 pub fn run(opts: &ExpOptions) {
     banner(
         "F7",
-        &format!("CacheCraft ablation, normalized to ECC-off ({} size)", opts.size),
+        &format!(
+            "CacheCraft ablation, normalized to ECC-off ({} size)",
+            opts.size
+        ),
     );
     let cfg = GpuConfig::gddr6();
     let variants: Vec<(&str, SchemeKind)> = vec![

@@ -18,7 +18,10 @@ use ccraft_workloads::Workload;
 pub fn run(opts: &ExpOptions) {
     banner(
         "F14",
-        &format!("Energy overhead of protection, normalized to ECC-off ({} size)", opts.size),
+        &format!(
+            "Energy overhead of protection, normalized to ECC-off ({} size)",
+            opts.size
+        ),
     );
     let cfg = GpuConfig::gddr6();
     let model = EnergyModel::gddr6();

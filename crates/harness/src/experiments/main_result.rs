@@ -48,7 +48,13 @@ pub fn run(opts: &ExpOptions) {
 
     banner("F5", "DRAM traffic per scheme (atoms; % is ECC share)");
     let mut traffic = Table::new(vec![
-        "workload", "scheme", "data-rd", "data-wr", "ecc-rd", "ecc-wr", "ecc-share",
+        "workload",
+        "scheme",
+        "data-rd",
+        "data-wr",
+        "ecc-rd",
+        "ecc-wr",
+        "ecc-share",
     ]);
     for w in Workload::ALL {
         for name in &scheme_names {

@@ -1,8 +1,8 @@
 //! F1 + F2 — motivation: what naive inline ECC costs.
 
+use crate::geomean;
 use crate::report::{banner, f3, pct, save_csv, Table};
 use crate::runner::{find, run_matrix, ExpOptions};
-use crate::geomean;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::types::TrafficClass;
@@ -31,11 +31,7 @@ pub fn run(opts: &ExpOptions) {
         let naive = find(&results, w, "inline-naive").expect("naive");
         let norm = naive.normalized_perf(base);
         norms.push(norm);
-        f1.row(vec![
-            w.name().to_string(),
-            f3(norm),
-            pct(1.0 - norm),
-        ]);
+        f1.row(vec![w.name().to_string(), f3(norm), pct(1.0 - norm)]);
     }
     f1.row(vec![
         "**geomean**".to_string(),
@@ -45,7 +41,10 @@ pub fn run(opts: &ExpOptions) {
     println!("{}", f1.to_markdown());
     save_csv("f1_motivation_perf", &f1).expect("write f1");
 
-    banner("F2", "Motivation: DRAM traffic breakdown under naive inline ECC");
+    banner(
+        "F2",
+        "Motivation: DRAM traffic breakdown under naive inline ECC",
+    );
     let mut f2 = Table::new(vec![
         "workload",
         "data rd",

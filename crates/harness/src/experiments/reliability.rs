@@ -24,7 +24,12 @@ pub fn run(opts: &ExpOptions) {
         ("chip lane (x4)", ErrorPattern::ChipLane { stride: 4 }),
     ];
     let mut t = Table::new(vec![
-        "codec", "pattern", "benign", "corrected", "DUE", "SDC",
+        "codec",
+        "pattern",
+        "benign",
+        "corrected",
+        "DUE",
+        "SDC",
     ]);
     for codec in CodecKind::ALL {
         for (label, pattern) in patterns {

@@ -14,7 +14,10 @@ use ccraft_sim::config::{GpuConfig, SchedulerPolicy};
 pub fn run(opts: &ExpOptions) {
     banner(
         "F16",
-        &format!("Warp-scheduler sensitivity, geomean over the sweep subset ({} size)", opts.size),
+        &format!(
+            "Warp-scheduler sensitivity, geomean over the sweep subset ({} size)",
+            opts.size
+        ),
     );
     let mut t = Table::new(vec!["scheduler", "naive", "ecc-cache", "cachecraft"]);
     for (label, policy) in [

@@ -41,7 +41,7 @@ pub fn run(opts: &ExpOptions) {
         }
         t.row(vec![
             format!("{slice_kib} KiB"),
-            format!("{} MiB", slice_kib * 8 >> 10),
+            format!("{} MiB", (slice_kib * 8) >> 10),
             f3(geomean(&norms[0])),
             f3(geomean(&norms[1])),
             f3(geomean(&norms[2])),

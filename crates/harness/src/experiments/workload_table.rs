@@ -35,7 +35,10 @@ pub fn run(opts: &ExpOptions) {
             trace.warps().len().to_string(),
             s.ops.to_string(),
             s.accesses.to_string(),
-            format!("{:.1}", trace.footprint_atoms() as f64 * 32.0 / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                trace.footprint_atoms() as f64 * 32.0 / (1 << 20) as f64
+            ),
             f3(trace.write_fraction()),
             f3(s.ipc()),
             pct(s.l1_hit_rate()),

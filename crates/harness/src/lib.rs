@@ -14,7 +14,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{run_matrix, ExpOptions, MatrixResult};
+pub use runner::{run_experiment, run_matrix, ExpOptions, MatrixResult, OPTIONS_USAGE};
 
 /// Geometric mean of positive values; 0.0 for an empty slice.
 ///

@@ -2,6 +2,7 @@
 //! `results/` directory.
 
 use ccraft_sim::stats::SimStats;
+use ccraft_telemetry::manifest::RunManifest;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -82,10 +83,12 @@ impl Table {
         out
     }
 
-    /// Renders CSV.
+    /// Renders CSV with RFC 4180 quoting: any cell containing a comma,
+    /// double quote, or line break is wrapped in double quotes with
+    /// embedded quotes doubled.
     pub fn to_csv(&self) -> String {
         let esc = |s: &String| {
-            if s.contains(',') || s.contains('"') {
+            if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
                 format!("\"{}\"", s.replace('"', "\"\""))
             } else {
                 s.clone()
@@ -125,6 +128,19 @@ pub fn results_dir() -> io::Result<PathBuf> {
 pub fn save_csv(name: &str, table: &Table) -> io::Result<PathBuf> {
     let path = results_dir()?.join(format!("{name}.csv"));
     fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// Writes a run manifest as `manifest.json` into the results directory
+/// and returns the path. Each run overwrites the previous manifest, so
+/// the file always describes the most recent experiment.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_manifest(manifest: &RunManifest) -> io::Result<PathBuf> {
+    let path = results_dir()?.join("manifest.json");
+    fs::write(&path, manifest.to_json())?;
     Ok(path)
 }
 
@@ -169,6 +185,9 @@ pub fn read_result(path: &Path) -> io::Result<String> {
 mod tests {
     use super::*;
 
+    /// Serializes tests that mutate the process-global `CCRAFT_RESULTS`.
+    static RESULTS_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn markdown_rendering() {
         let mut t = Table::new(vec!["kernel", "ipc"]);
@@ -191,6 +210,21 @@ mod tests {
     }
 
     #[test]
+    fn csv_quotes_line_breaks_per_rfc4180() {
+        let mut t = Table::new(vec!["k", "v"]);
+        t.row(vec!["multi\nline", "cr\rcell"]);
+        t.row(vec!["plain", "also plain"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "k,v\n\"multi\nline\",\"cr\rcell\"\nplain,also plain\n");
+        // An unquoted cell must never contain a raw line break.
+        for field in csv.split(',').flat_map(|f| f.split('\n')) {
+            if !field.starts_with('"') {
+                assert!(!field.contains('\r'), "unquoted CR in {field:?}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "row width mismatch")]
     fn rejects_ragged_rows() {
         let mut t = Table::new(vec!["a", "b"]);
@@ -199,12 +233,32 @@ mod tests {
 
     #[test]
     fn save_and_read_round_trip() {
+        let _guard = RESULTS_ENV.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("ccraft-test-{}", std::process::id()));
         std::env::set_var("CCRAFT_RESULTS", &dir);
         let mut t = Table::new(vec!["k"]);
         t.row(vec!["v"]);
         let path = save_csv("unit-test", &t).unwrap();
         assert_eq!(read_result(&path).unwrap(), "k\nv\n");
+        std::env::remove_var("CCRAFT_RESULTS");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn manifest_lands_in_results_dir() {
+        let _guard = RESULTS_ENV.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("ccraft-manifest-{}", std::process::id()));
+        std::env::set_var("CCRAFT_RESULTS", &dir);
+        let mut m = RunManifest::new("unit-test");
+        m.size = "tiny".to_string();
+        m.seed = 9;
+        m.note("cells", 4.0);
+        let path = write_manifest(&m).unwrap();
+        assert!(path.ends_with("manifest.json"));
+        let text = read_result(&path).unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.experiment, "unit-test");
+        assert_eq!(back.seed, 9);
         std::env::remove_var("CCRAFT_RESULTS");
         let _ = std::fs::remove_dir_all(dir);
     }

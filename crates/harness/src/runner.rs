@@ -3,8 +3,21 @@
 use ccraft_core::factory::{run_scheme, SchemeKind};
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::stats::SimStats;
+use ccraft_telemetry::manifest::RunManifest;
 use ccraft_workloads::{SizeClass, Workload};
+use std::io::IsTerminal as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Usage text for the options shared by every experiment binary.
+pub const OPTIONS_USAGE: &str = "\
+common experiment options:
+  --size tiny|small|full   workload size class (default: small)
+  --seed N                 trace-generation seed (default: 1)
+  --threads N              worker threads, 0 = number of CPUs (default: 0)
+
+Unrecognized flags are ignored here so each binary can define its own.";
 
 /// Options shared by every experiment binary, parsed from the command
 /// line (`--size tiny|small|full`, `--seed N`, `--threads N`).
@@ -29,16 +42,16 @@ impl Default for ExpOptions {
 }
 
 impl ExpOptions {
-    /// Parses options from `std::env::args` (unknown arguments are
-    /// ignored so binaries can add their own).
+    /// Parses options from an argument list (without the binary name).
+    /// Unknown arguments are ignored so binaries can add their own.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed values.
-    pub fn from_args() -> Self {
+    /// Returns a human-readable message on a malformed or missing value
+    /// for a recognized flag.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut opts = ExpOptions::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--size" => {
@@ -47,28 +60,51 @@ impl ExpOptions {
                         Some("tiny") => SizeClass::Tiny,
                         Some("small") => SizeClass::Small,
                         Some("full") => SizeClass::Full,
-                        other => panic!("--size expects tiny|small|full, got {other:?}"),
+                        other => {
+                            return Err(format!("--size expects tiny|small|full, got {other:?}"))
+                        }
                     };
                 }
                 "--seed" => {
                     i += 1;
-                    opts.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed expects an integer");
+                    opts.seed = match args.get(i).map(|s| s.parse()) {
+                        Some(Ok(v)) => v,
+                        _ => {
+                            return Err(format!("--seed expects an integer, got {:?}", args.get(i)))
+                        }
+                    };
                 }
                 "--threads" => {
                     i += 1;
-                    opts.threads = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--threads expects an integer");
+                    opts.threads = match args.get(i).map(|s| s.parse()) {
+                        Some(Ok(v)) => v,
+                        _ => {
+                            return Err(format!(
+                                "--threads expects an integer, got {:?}",
+                                args.get(i)
+                            ))
+                        }
+                    };
                 }
                 _ => {}
             }
             i += 1;
         }
-        opts
+        Ok(opts)
+    }
+
+    /// Parses options from `std::env::args`. On a malformed value this
+    /// prints the error and [`OPTIONS_USAGE`] to stderr and exits with
+    /// status 2 instead of panicking.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{OPTIONS_USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Effective worker-thread count.
@@ -80,6 +116,29 @@ impl ExpOptions {
                 .map(|n| n.get())
                 .unwrap_or(4)
         }
+    }
+}
+
+/// Whether per-cell progress lines should be written to stderr.
+///
+/// Controlled by `CCRAFT_PROGRESS` (`0` forces off, anything else forces
+/// on); when unset, progress is shown only when stderr is a terminal, so
+/// test runs and redirected logs stay clean.
+fn progress_enabled() -> bool {
+    match std::env::var("CCRAFT_PROGRESS") {
+        Ok(v) => v != "0",
+        Err(_) => std::io::stderr().is_terminal(),
+    }
+}
+
+/// Renders one progress line: completed/total cells, the cell that just
+/// finished, elapsed wall time, and a linear-extrapolation ETA.
+fn progress_line(done: usize, total: usize, workload: &str, scheme: &str, elapsed: f64) -> String {
+    if done < total {
+        let eta = elapsed / done.max(1) as f64 * (total - done) as f64;
+        format!("[{done}/{total}] {workload}/{scheme} done ({elapsed:.1}s elapsed, ETA {eta:.1}s)")
+    } else {
+        format!("[{done}/{total}] {workload}/{scheme} done ({elapsed:.1}s total)")
     }
 }
 
@@ -120,9 +179,13 @@ pub fn run_matrix(
         .enumerate()
         .map(|(i, (w, s))| (i, w, s))
         .collect();
+    let total = jobs.len();
     let results: Mutex<Vec<Option<MatrixResult>>> = Mutex::new(vec![None; jobs.len()]);
     let queue = Mutex::new(jobs);
-    let workers = opts.effective_threads().min(64).max(1);
+    let workers = opts.effective_threads().clamp(1, 64);
+    let started = Instant::now();
+    let completed = AtomicUsize::new(0);
+    let show_progress = progress_enabled();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -137,6 +200,19 @@ pub fn run_matrix(
                     scheme,
                     stats,
                 });
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                if show_progress {
+                    eprintln!(
+                        "{}",
+                        progress_line(
+                            done,
+                            total,
+                            workload.name(),
+                            scheme.name(),
+                            started.elapsed().as_secs_f64(),
+                        )
+                    );
+                }
             });
         }
     });
@@ -146,6 +222,29 @@ pub fn run_matrix(
         .into_iter()
         .map(|r| r.expect("all jobs completed"))
         .collect()
+}
+
+/// Standard entry point for an experiment binary: parses [`ExpOptions`]
+/// from the command line, times `body`, and writes a
+/// `results/manifest.json` recording what produced the results directory
+/// (experiment id, argv, size class, seed, threads, wall time).
+///
+/// Manifest-write failures are reported on stderr but do not fail the
+/// run — the experiment's own artifacts are already on disk.
+pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions)) {
+    let opts = ExpOptions::from_args();
+    let started = Instant::now();
+    body(&opts);
+    let mut manifest = RunManifest::new(id);
+    manifest.size = opts.size.to_string();
+    manifest.seed = opts.seed;
+    manifest.threads = opts.effective_threads();
+    manifest.wall_time_secs = started.elapsed().as_secs_f64();
+    manifest.stamp();
+    match crate::report::write_manifest(&manifest) {
+        Ok(path) => eprintln!("manifest: {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write manifest.json: {e}"),
+    }
 }
 
 /// Finds the result of `(workload, scheme)` in a matrix.
@@ -162,6 +261,55 @@ pub fn find<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_valid_options() {
+        let o = ExpOptions::parse(&argv(&["--size", "tiny", "--seed", "7", "--threads", "3"]))
+            .expect("valid options parse");
+        assert_eq!(o.size, SizeClass::Tiny);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.threads, 3);
+        // Defaults survive an empty argument list.
+        let d = ExpOptions::parse(&[]).unwrap();
+        assert_eq!(d.size, SizeClass::Small);
+        assert_eq!(d.seed, 1);
+        assert_eq!(d.threads, 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_values() {
+        let e = ExpOptions::parse(&argv(&["--seed", "not-a-number"])).unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+        let e = ExpOptions::parse(&argv(&["--threads"])).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        let e = ExpOptions::parse(&argv(&["--size", "huge"])).unwrap_err();
+        assert!(e.contains("--size"), "{e}");
+    }
+
+    #[test]
+    fn parse_passes_unknown_flags_through() {
+        let o = ExpOptions::parse(&argv(&["--workload", "spmv", "--energy", "--seed", "4"]))
+            .expect("unknown flags are ignored");
+        assert_eq!(o.seed, 4);
+        assert_eq!(o.size, SizeClass::Small);
+    }
+
+    #[test]
+    fn progress_line_extrapolates_eta() {
+        let line = progress_line(2, 8, "spmv", "cachecraft", 4.0);
+        assert!(line.contains("[2/8]"), "{line}");
+        assert!(line.contains("spmv/cachecraft"), "{line}");
+        assert!(line.contains("ETA 12.0s"), "{line}");
+        let last = progress_line(8, 8, "spmv", "cachecraft", 16.0);
+        assert!(last.contains("16.0s total"), "{last}");
+        // Never divides by zero even if called before any completion.
+        let first = progress_line(0, 8, "w", "s", 1.0);
+        assert!(first.contains("[0/8]"), "{first}");
+    }
 
     #[test]
     fn matrix_runs_all_cells_in_order() {
@@ -245,7 +393,12 @@ mod tests {
             seed: 1,
             threads: 1,
         };
-        let results = run_matrix(&cfg, &[Workload::VecAdd], &[SchemeKind::NoProtection], &opts);
+        let results = run_matrix(
+            &cfg,
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+        );
         assert!(find(&results, Workload::VecAdd, "no-protection").is_some());
         assert!(find(&results, Workload::VecAdd, "cachecraft").is_none());
     }

@@ -118,7 +118,10 @@ impl SectorCache {
     }
 
     fn build(sets: u64, ways: u32, atoms_per_line: u64, hashed: bool) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be positive");
         assert!(
             matches!(atoms_per_line, 1 | 2 | 4),
@@ -413,11 +416,7 @@ mod tests {
         let mut c = SectorCache::new(2, 2, 4);
         c.fill(8, false);
         assert_eq!(c.lookup_write(9), LookupResult::Hit); // same line
-        let dirty: Vec<u64> = c
-            .iter_valid()
-            .filter(|&(_, d)| d)
-            .map(|(a, _)| a)
-            .collect();
+        let dirty: Vec<u64> = c.iter_valid().filter(|&(_, d)| d).map(|(a, _)| a).collect();
         assert_eq!(dirty, vec![9]);
         // Clean it back.
         c.clean(9);

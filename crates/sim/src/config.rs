@@ -341,10 +341,10 @@ impl GpuConfig {
         if m.channels == 0 {
             return err("need at least one channel".into());
         }
-        if m.capacity_per_channel % m.row_bytes != 0 {
+        if !m.capacity_per_channel.is_multiple_of(m.row_bytes) {
             return err("channel capacity not a whole number of rows".into());
         }
-        if m.row_bytes % ATOM_BYTES != 0 || m.row_bytes == 0 {
+        if !m.row_bytes.is_multiple_of(ATOM_BYTES) || m.row_bytes == 0 {
             return err("row size must be a positive multiple of 32 B".into());
         }
         if !m.interleave_atoms.is_power_of_two() {
@@ -353,7 +353,7 @@ impl GpuConfig {
         if m.banks == 0 || !m.banks.is_power_of_two() {
             return err("bank count must be a positive power of two".into());
         }
-        if (m.atoms_per_channel() / m.row_atoms()) % m.banks as u64 != 0 {
+        if !(m.atoms_per_channel() / m.row_atoms()).is_multiple_of(m.banks as u64) {
             return err("rows per channel must divide evenly across banks".into());
         }
         if m.write_drain_low >= m.write_drain_high || m.write_drain_high > m.write_queue {

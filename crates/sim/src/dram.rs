@@ -64,7 +64,7 @@ impl DramAddressMap {
     pub fn new(order: MapOrder, banks: u32, row_atoms: u64) -> Self {
         assert!(banks > 0, "banks must be positive");
         assert!(
-            row_atoms >= Self::LINE_ATOMS && row_atoms % Self::LINE_ATOMS == 0,
+            row_atoms >= Self::LINE_ATOMS && row_atoms.is_multiple_of(Self::LINE_ATOMS),
             "row_atoms must be a positive multiple of 4"
         );
         DramAddressMap {
@@ -186,6 +186,10 @@ pub struct DramChannel {
     pub row_conflicts: u64,
     /// Refresh operations performed.
     pub refreshes: u64,
+    /// Row activations (Empty and Conflict accesses both activate).
+    pub activates: u64,
+    /// Row precharges (Conflict accesses and refresh-closed rows).
+    pub precharges: u64,
 }
 
 impl DramChannel {
@@ -207,6 +211,8 @@ impl DramChannel {
             row_empties: 0,
             row_conflicts: 0,
             refreshes: 0,
+            activates: 0,
+            precharges: 0,
         }
     }
 
@@ -234,7 +240,9 @@ impl DramChannel {
             let end = start + self.timing.t_rfc as Cycle;
             for bank in &mut self.banks {
                 bank.ready_at = bank.ready_at.max(end);
-                bank.open_row = None;
+                if bank.open_row.take().is_some() {
+                    self.precharges += 1;
+                }
             }
             self.refreshes += 1;
             self.next_refresh += self.timing.t_refi as Cycle;
@@ -274,7 +282,11 @@ impl DramChannel {
         let cas = t.cas as Cycle;
         let data_start = now + col_delay + cas;
         // Bus availability, including direction turnaround.
-        let dir = if is_write { BusDir::Write } else { BusDir::Read };
+        let dir = if is_write {
+            BusDir::Write
+        } else {
+            BusDir::Read
+        };
         let turnaround: Cycle = match (self.bus_dir, dir) {
             (BusDir::Read, BusDir::Write) => t.t_rtw as Cycle,
             (BusDir::Write, BusDir::Read) => t.t_wtr as Cycle,
@@ -292,11 +304,14 @@ impl DramChannel {
             }
             RowOutcome::Empty => {
                 self.row_empties += 1;
+                self.activates += 1;
                 bank.row_opened_at = now;
                 bank.open_row = Some(coord.row);
             }
             RowOutcome::Conflict => {
                 self.row_conflicts += 1;
+                self.precharges += 1;
+                self.activates += 1;
                 bank.row_opened_at = now + t.t_rp as Cycle;
                 bank.open_row = Some(coord.row);
             }
@@ -346,14 +361,46 @@ mod tests {
     #[test]
     fn robaco_decomposition() {
         let map = DramAddressMap::new(MapOrder::RoBaCo, 4, 64);
-        assert_eq!(map.decompose(0), DramCoord { bank: 0, row: 0, col: 0 });
-        assert_eq!(map.decompose(63), DramCoord { bank: 0, row: 0, col: 63 });
-        assert_eq!(map.decompose(64), DramCoord { bank: 1, row: 0, col: 0 });
+        assert_eq!(
+            map.decompose(0),
+            DramCoord {
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+        );
+        assert_eq!(
+            map.decompose(63),
+            DramCoord {
+                bank: 0,
+                row: 0,
+                col: 63
+            }
+        );
+        assert_eq!(
+            map.decompose(64),
+            DramCoord {
+                bank: 1,
+                row: 0,
+                col: 0
+            }
+        );
         // Row 1: bank hashing XORs the row into the raw bank index.
-        assert_eq!(map.decompose(64 * 4), DramCoord { bank: 1, row: 1, col: 0 });
+        assert_eq!(
+            map.decompose(64 * 4),
+            DramCoord {
+                bank: 1,
+                row: 1,
+                col: 0
+            }
+        );
         assert_eq!(
             map.decompose(64 * 4 + 65),
-            DramCoord { bank: 0, row: 1, col: 1 }
+            DramCoord {
+                bank: 0,
+                row: 1,
+                col: 1
+            }
         );
     }
 
@@ -380,7 +427,10 @@ mod tests {
                 let c = map.decompose(atom);
                 assert!(c.col < 64);
                 assert!(c.bank < 4);
-                assert!(seen.insert((c.bank, c.row, c.col)), "{order:?}: collision at {atom}");
+                assert!(
+                    seen.insert((c.bank, c.row, c.col)),
+                    "{order:?}: collision at {atom}"
+                );
             }
         }
     }
@@ -409,9 +459,9 @@ mod tests {
     fn row_conflict_waits_for_tras() {
         let mut ch = channel();
         ch.try_issue(0, false, 0).unwrap(); // opens row 0 of bank 0 at t=0
-        // Same hashed bank, different row: atom 320 = row 1, raw bank 1,
-        // hashed bank 1^1 = 0 — conflicts with atom 0's bank.
-        // tRAS=12: precharge not allowed before cycle 12.
+                                            // Same hashed bank, different row: atom 320 = row 1, raw bank 1,
+                                            // hashed bank 1^1 = 0 — conflicts with atom 0's bank.
+                                            // tRAS=12: precharge not allowed before cycle 12.
         assert!(ch.try_issue(320, false, 6).is_none());
         let info = ch.try_issue(320, false, 12).expect("issue");
         assert_eq!(info.row_outcome, RowOutcome::Conflict);
@@ -423,7 +473,7 @@ mod tests {
     fn different_banks_overlap() {
         let mut ch = channel();
         ch.try_issue(0, false, 0).unwrap(); // bank 0
-        // Bank 1 (atom 64) can activate in parallel; only bus conflicts.
+                                            // Bank 1 (atom 64) can activate in parallel; only bus conflicts.
         let info = ch.try_issue(64, false, 1).expect("issue");
         assert_eq!(info.row_outcome, RowOutcome::Empty);
         assert_eq!(info.data_ready, 1 + 5 + 5 + 1);
@@ -434,7 +484,7 @@ mod tests {
         let mut ch = channel();
         // Two banks, data would collide on the bus at the same cycle.
         ch.try_issue(0, false, 0).unwrap(); // data 10..11
-        // bank 1 at now=0: data would start at 10 too -> bus_free 11 > 10.
+                                            // bank 1 at now=0: data would start at 10 too -> bus_free 11 > 10.
         assert!(ch.try_issue(64, false, 0).is_none());
         assert!(ch.try_issue(64, false, 1).is_some());
     }
@@ -443,8 +493,8 @@ mod tests {
     fn write_to_read_turnaround() {
         let mut ch = channel();
         ch.try_issue(0, true, 0).unwrap(); // write: data 10..11, dir=Write
-        // Read on another bank at now=5: data_start = 5+5+5 = 15,
-        // needs bus_free(11) + tWTR(3) = 14 <= 15: OK.
+                                           // Read on another bank at now=5: data_start = 5+5+5 = 15,
+                                           // needs bus_free(11) + tWTR(3) = 14 <= 15: OK.
         let info = ch.try_issue(64, false, 5).expect("issue");
         assert_eq!(info.data_ready, 16);
         // Immediately after, same-direction has no extra penalty.
@@ -454,8 +504,8 @@ mod tests {
     fn write_recovery_delays_precharge() {
         let mut ch = channel();
         ch.try_issue(0, true, 0).unwrap(); // write ends at 11
-        // Conflict in same bank: precharge needs tRAS(12) and
-        // last_write_end(11) + tWR(6) = 17.
+                                           // Conflict in same bank: precharge needs tRAS(12) and
+                                           // last_write_end(11) + tWR(6) = 17.
         assert!(ch.try_issue(320, false, 12).is_none());
         assert!(ch.try_issue(320, false, 16).is_none());
         assert!(ch.try_issue(320, false, 17).is_some());
@@ -498,5 +548,23 @@ mod tests {
         assert_eq!(ch.row_hits, 1);
         assert_eq!(ch.row_conflicts, 1);
         assert!((ch.row_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        // Row-state transitions: empty and conflict both activate, only
+        // the conflict precharged.
+        assert_eq!(ch.activates, 2);
+        assert_eq!(ch.precharges, 1);
+    }
+
+    #[test]
+    fn refresh_precharges_open_rows() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.mem.timing.t_refi = 100;
+        cfg.mem.timing.t_rfc = 20;
+        let mut ch = DramChannel::new(&cfg.mem, MapOrder::RoBaCo);
+        ch.try_issue(0, false, 0).unwrap(); // opens one row
+        ch.tick_refresh(100);
+        assert_eq!(ch.precharges, 1);
+        // A second refresh with no rows open precharges nothing.
+        ch.tick_refresh(200);
+        assert_eq!(ch.precharges, 1);
     }
 }

@@ -49,7 +49,7 @@ impl EnergyModel {
     pub fn gddr6() -> Self {
         EnergyModel {
             activate_pj: 2_000.0,
-            read_atom_pj: 3_800.0,  // ~15 pJ/bit x 256 bits
+            read_atom_pj: 3_800.0, // ~15 pJ/bit x 256 bits
             write_atom_pj: 3_800.0,
             refresh_pj: 190_000.0,
             background_pj_per_cycle: 80.0,
@@ -197,6 +197,8 @@ mod tests {
                 ecc_fetch_hits: 800,
                 ..ProtectionStats::default()
             },
+            latency_hist: None,
+            timeline: None,
         }
     }
 

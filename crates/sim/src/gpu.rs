@@ -25,13 +25,178 @@ use crate::protection::ProtectionScheme;
 use crate::sm::SmCore;
 use crate::stats::SimStats;
 use crate::trace::{KernelTrace, WarpTrace};
-use crate::types::{Cycle, SmId};
+use crate::types::{Cycle, SmId, TrafficClass};
 use crate::xbar::Crossbar;
+use ccraft_telemetry::chrome_trace::{ChromeTrace, TraceEvent};
+use ccraft_telemetry::{Histogram, Sampler, TelemetryConfig};
+
+/// Result of an instrumented run: the stats (with optional histogram and
+/// timeline attached) plus the Chrome trace when event tracing was on.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Aggregate statistics; `latency_hist` / `timeline` are populated
+    /// when telemetry was enabled.
+    pub stats: SimStats,
+    /// Collected trace events, when `trace_events` was enabled.
+    pub trace: Option<ChromeTrace>,
+}
+
+/// Trace-event track ids: SM `i` gets `SM_TID_BASE + i`, channel `c` gets
+/// `CH_TID_BASE + c`.
+const SM_TID_BASE: u32 = 1;
+/// Base tid for per-channel DRAM lanes.
+const CH_TID_BASE: u32 = 64;
+
+/// Cumulative counter snapshot used to turn running totals into per-epoch
+/// deltas for the timeline.
+#[derive(Debug, Clone, Copy, Default)]
+struct Snap {
+    issued: u64,
+    stall_no_ready: u64,
+    stall_lsu: u64,
+    dram_reads: u64,
+    dram_writes: u64,
+    row_hits: u64,
+    row_total: u64,
+    lat_sum: u64,
+    lat_n: u64,
+}
+
+impl Snap {
+    fn take(sms: &[SmCore], slices: &[L2Slice]) -> Self {
+        let mut s = Snap::default();
+        for sm in sms {
+            let st = sm.stats();
+            s.issued += st.issued_ops;
+            s.stall_no_ready += st.stall_no_ready_warp;
+            s.stall_lsu += st.stall_lsu_busy;
+        }
+        for slice in slices {
+            let mc = slice.mc_stats();
+            s.dram_reads +=
+                mc.class_count(TrafficClass::DataRead) + mc.class_count(TrafficClass::EccRead);
+            s.dram_writes +=
+                mc.class_count(TrafficClass::DataWrite) + mc.class_count(TrafficClass::EccWrite);
+            s.row_hits += mc.row_hits;
+            s.row_total += mc.row_hits + mc.row_empties + mc.row_conflicts;
+            s.lat_sum += mc.read_latency_sum;
+            s.lat_n += mc.read_latency_count;
+        }
+        s
+    }
+}
+
+/// The timeline series registered by the instrumented run, in order.
+const TIMELINE_SERIES: [&str; 10] = [
+    "ipc",
+    "sm.stall_no_ready_warp",
+    "sm.stall_lsu_busy",
+    "dram.reads",
+    "dram.writes",
+    "dram.row_hit_rate",
+    "dram.mean_read_latency",
+    "mc.read_q",
+    "mc.write_q",
+    "l2.mshrs",
+];
+
+/// Computes one epoch's sample values from the delta between snapshots
+/// plus instantaneous queue occupancies.
+fn epoch_values(prev: Snap, cur: Snap, epoch_len: u64, slices: &[L2Slice]) -> Vec<f64> {
+    let len = epoch_len.max(1) as f64;
+    let d_reads = cur.dram_reads - prev.dram_reads;
+    let d_writes = cur.dram_writes - prev.dram_writes;
+    let d_row_total = cur.row_total - prev.row_total;
+    let d_lat_n = cur.lat_n - prev.lat_n;
+    let mut read_q = 0usize;
+    let mut write_q = 0usize;
+    let mut mshrs = 0usize;
+    for slice in slices {
+        let (r, w) = slice.mc_queue_depth();
+        read_q += r;
+        write_q += w;
+        mshrs += slice.mshrs_in_use();
+    }
+    vec![
+        (cur.issued - prev.issued) as f64 / len,
+        (cur.stall_no_ready - prev.stall_no_ready) as f64,
+        (cur.stall_lsu - prev.stall_lsu) as f64,
+        d_reads as f64,
+        d_writes as f64,
+        if d_row_total == 0 {
+            1.0
+        } else {
+            (cur.row_hits - prev.row_hits) as f64 / d_row_total as f64
+        },
+        if d_lat_n == 0 {
+            0.0
+        } else {
+            (cur.lat_sum - prev.lat_sum) as f64 / d_lat_n as f64
+        },
+        read_q as f64,
+        write_q as f64,
+        mshrs as f64,
+    ]
+}
+
+/// Emits one per-component "epoch" slice event per SM and channel lane.
+fn emit_epoch_events(
+    trace_out: &mut ChromeTrace,
+    sms: &[SmCore],
+    slices: &[L2Slice],
+    epoch_start: Cycle,
+    epoch_end: Cycle,
+    prev: Snap,
+    cur: Snap,
+) {
+    if epoch_end <= epoch_start {
+        return;
+    }
+    let dur = epoch_end - epoch_start;
+    for (i, sm) in sms.iter().enumerate() {
+        let st = sm.stats();
+        trace_out.complete(TraceEvent {
+            name: "epoch".to_string(),
+            cat: "sm".to_string(),
+            tid: SM_TID_BASE + i as u32,
+            ts: epoch_start,
+            dur,
+            args: vec![
+                ("issued_ops".to_string(), st.issued_ops as f64),
+                ("idle_cycles".to_string(), st.idle_cycles as f64),
+            ],
+        });
+    }
+    for (ch, slice) in slices.iter().enumerate() {
+        let (r, w) = slice.mc_queue_depth();
+        trace_out.complete(TraceEvent {
+            name: "epoch".to_string(),
+            cat: "mem".to_string(),
+            tid: CH_TID_BASE + ch as u32,
+            ts: epoch_start,
+            dur,
+            args: vec![
+                ("read_q".to_string(), r as f64),
+                ("write_q".to_string(), w as f64),
+                ("mshrs".to_string(), slice.mshrs_in_use() as f64),
+                (
+                    "reads_total".to_string(),
+                    (cur.dram_reads - prev.dram_reads) as f64,
+                ),
+            ],
+        });
+    }
+}
 
 /// Runs `trace` on the machine described by `cfg` under `scheme`.
 ///
 /// Warps are assigned to SMs round-robin. The trace must fit within the
 /// machine's resident-warp capacity (`sms * warps_per_sm`).
+///
+/// Telemetry is off: this is the zero-overhead path, and the returned
+/// [`SimStats`] are bit-identical to an instrumented run's (minus the
+/// optional telemetry fields). Use [`simulate_with_telemetry`] to collect
+/// histograms, time-series or trace events.
 ///
 /// # Panics
 ///
@@ -43,6 +208,28 @@ pub fn simulate(
     trace: &KernelTrace,
     scheme: &mut dyn ProtectionScheme,
 ) -> SimStats {
+    simulate_with_telemetry(cfg, order, trace, scheme, &TelemetryConfig::disabled()).stats
+}
+
+/// [`simulate`], with observability: when `tel.enabled`, the run records a
+/// DRAM read-latency histogram and an epoch time-series into the returned
+/// stats; when `tel.trace_events`, it additionally collects Chrome trace
+/// events (per-transaction DRAM slices plus per-epoch activity slices per
+/// SM and channel lane).
+///
+/// The simulated machine behaves identically either way — probes observe,
+/// they never schedule.
+///
+/// # Panics
+///
+/// Panics as [`simulate`] does.
+pub fn simulate_with_telemetry(
+    cfg: &GpuConfig,
+    order: MapOrder,
+    trace: &KernelTrace,
+    scheme: &mut dyn ProtectionScheme,
+    tel: &TelemetryConfig,
+) -> SimOutput {
     cfg.validate().expect("invalid GpuConfig");
     let sms_n = cfg.core.sms as usize;
     let slots = sms_n * cfg.core.warps_per_sm as usize;
@@ -72,6 +259,43 @@ pub fn simulate(
         .collect();
     let mut xbar = Crossbar::new(&cfg.xbar, cfg.core.sms, cfg.mem.channels);
 
+    // Telemetry setup. `enabled` turns on the histogram + sampler;
+    // `tracing` additionally collects Chrome trace events. When both are
+    // off (the default) the per-cycle cost is one branch.
+    let enabled = tel.enabled || tel.trace_events;
+    let tracing = tel.trace_events;
+    let mut sampler = if enabled {
+        let mut s = Sampler::new(tel.epoch_cycles);
+        for name in TIMELINE_SERIES {
+            s.register(name);
+        }
+        Some(s)
+    } else {
+        None
+    };
+    let mut trace_out = if tracing {
+        let mut t = ChromeTrace::new(tel.max_trace_events);
+        for i in 0..sms.len() {
+            t.name_track(SM_TID_BASE + i as u32, &format!("SM {i}"));
+        }
+        for ch in 0..slices.len() {
+            t.name_track(CH_TID_BASE + ch as u32, &format!("DRAM ch{ch}"));
+        }
+        Some(t)
+    } else {
+        None
+    };
+    if enabled {
+        for slice in &mut slices {
+            slice.enable_mc_latency_hist();
+            if tracing {
+                slice.enable_mc_issue_trace();
+            }
+        }
+    }
+    let mut prev_snap = Snap::default();
+    let mut epoch_start: Cycle = 0;
+
     let mut now: Cycle = 0;
     let mut exec_cycles: Cycle = 0;
     let mut flushed = false;
@@ -86,8 +310,7 @@ pub fn simulate(
             }
         }
         // 2. Interconnect delivery.
-        for ch in 0..slices.len() {
-            let slice = &mut slices[ch];
+        for (ch, slice) in slices.iter_mut().enumerate() {
             xbar.deliver_requests(ch as u16, now, &mut |req| {
                 if slice.can_accept() {
                     slice.push(req);
@@ -97,20 +320,49 @@ pub fn simulate(
                 }
             });
         }
-        for i in 0..sms.len() {
+        for (i, sm) in sms.iter_mut().enumerate() {
             for resp in xbar.deliver_responses(i as u16, now) {
-                sms[i].l1.accept_response(resp);
+                sm.l1.accept_response(resp);
             }
         }
         // 3. Cores.
         for sm in &mut sms {
             let xbar_ref = &mut xbar;
             let scheme_map = &*scheme;
-            sm.tick(
-                now,
-                &mut |atom| scheme_map.map(atom),
-                &mut |req| xbar_ref.try_send_request(req, now),
-            );
+            sm.tick(now, &mut |atom| scheme_map.map(atom), &mut |req| {
+                xbar_ref.try_send_request(req, now)
+            });
+        }
+
+        // Telemetry: per-transaction DRAM events and epoch sampling.
+        if let Some(t) = &mut trace_out {
+            for (ch, slice) in slices.iter_mut().enumerate() {
+                for ev in slice.take_mc_issue_events() {
+                    t.complete(TraceEvent {
+                        name: ev.class.to_string(),
+                        cat: "dram".to_string(),
+                        tid: CH_TID_BASE + ch as u32,
+                        ts: ev.start,
+                        dur: ev.end - ev.start,
+                        args: vec![
+                            ("atom".to_string(), ev.atom as f64),
+                            ("queued_cycles".to_string(), ev.queued as f64),
+                        ],
+                    });
+                }
+            }
+        }
+        if let Some(s) = &mut sampler {
+            if s.due(now) {
+                let cur = Snap::take(&sms, &slices);
+                let epoch_len = now - epoch_start;
+                s.sample(&epoch_values(prev_snap, cur, epoch_len, &slices));
+                if let Some(t) = &mut trace_out {
+                    emit_epoch_events(t, &sms, &slices, epoch_start, now, prev_snap, cur);
+                }
+                prev_snap = cur;
+                epoch_start = now;
+            }
         }
 
         // Progress / termination.
@@ -145,6 +397,18 @@ pub fn simulate(
         }
     }
 
+    // Telemetry: close the final (partial) epoch so short runs still get
+    // a non-empty timeline and every lane at least one event.
+    if let Some(s) = &mut sampler {
+        if now > epoch_start {
+            let cur = Snap::take(&sms, &slices);
+            s.sample(&epoch_values(prev_snap, cur, now - epoch_start, &slices));
+            if let Some(t) = &mut trace_out {
+                emit_epoch_events(t, &sms, &slices, epoch_start, now, prev_snap, cur);
+            }
+        }
+    }
+
     // Aggregate statistics.
     let mut stats = SimStats {
         kernel: trace.name().to_string(),
@@ -167,6 +431,8 @@ pub fn simulate(
         refreshes: 0,
         mean_read_latency: 0.0,
         protection: scheme.stats(),
+        latency_hist: None,
+        timeline: None,
     };
     for sm in &sms {
         let l1 = sm.l1.stats();
@@ -197,7 +463,20 @@ pub fn simulate(
     } else {
         lat_sum as f64 / lat_n as f64
     };
-    stats
+    if enabled {
+        let mut merged = Histogram::new();
+        for slice in &slices {
+            if let Some(h) = slice.mc_read_latency_hist() {
+                merged.merge(h);
+            }
+        }
+        stats.latency_hist = Some(merged);
+        stats.timeline = sampler.map(Sampler::finish);
+    }
+    SimOutput {
+        stats,
+        trace: trace_out,
+    }
 }
 
 #[cfg(test)]
@@ -293,8 +572,15 @@ mod tests {
         let stats = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
         assert!(!stats.timed_out);
         assert_eq!(stats.dram_count(TrafficClass::DataWrite), 8);
-        assert_eq!(stats.dram_count(TrafficClass::DataRead), 0, "full stores fetch nothing");
-        assert!(stats.cycles > stats.exec_cycles, "flush happens after retire");
+        assert_eq!(
+            stats.dram_count(TrafficClass::DataRead),
+            0,
+            "full stores fetch nothing"
+        );
+        assert!(
+            stats.cycles > stats.exec_cycles,
+            "flush happens after retire"
+        );
     }
 
     #[test]
@@ -330,6 +616,89 @@ mod tests {
         let trace = streaming(9, 4);
         let mut scheme = tiny_scheme(&cfg);
         let _ = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut scheme);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_simulation() {
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(8, 128);
+        let mut s1 = tiny_scheme(&cfg);
+        let mut s2 = tiny_scheme(&cfg);
+        let plain = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut s1);
+        let mut probed = simulate_with_telemetry(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut s2,
+            &ccraft_telemetry::TelemetryConfig::full(),
+        )
+        .stats;
+        // Strip the telemetry-only fields: everything else must be
+        // bit-identical.
+        probed.latency_hist = None;
+        probed.timeline = None;
+        assert_eq!(plain, probed);
+    }
+
+    #[test]
+    fn enabled_run_attaches_histogram_and_timeline() {
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(8, 128);
+        let mut scheme = tiny_scheme(&cfg);
+        let tel = ccraft_telemetry::TelemetryConfig {
+            epoch_cycles: 64,
+            ..ccraft_telemetry::TelemetryConfig::enabled()
+        };
+        let out = simulate_with_telemetry(&cfg, MapOrder::RoBaCo, &trace, &mut scheme, &tel);
+        assert!(out.trace.is_none(), "trace events were not requested");
+        let h = out.stats.latency_hist.as_ref().expect("histogram");
+        assert_eq!(h.count, out.stats.dram[0] + out.stats.dram[2]);
+        assert!(h.p99() >= h.p50());
+        assert!(h.p50() >= 1);
+        assert!((h.mean() - out.stats.mean_read_latency).abs() < 1e-9);
+        let t = out.stats.timeline.as_ref().expect("timeline");
+        assert!(t.epochs() >= 1);
+        assert_eq!(t.series.len(), TIMELINE_SERIES.len());
+        // The reads series accounts for every DRAM read.
+        let total: f64 = t.series("dram.reads").unwrap().points.iter().sum();
+        assert_eq!(total as u64, h.count);
+    }
+
+    #[test]
+    fn full_telemetry_emits_events_for_every_lane() {
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(8, 128);
+        let mut scheme = tiny_scheme(&cfg);
+        let out = simulate_with_telemetry(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut scheme,
+            &ccraft_telemetry::TelemetryConfig::full(),
+        );
+        let tr = out.trace.expect("trace events");
+        assert!(!tr.is_empty());
+        // Every SM lane and every channel lane has at least one complete
+        // event (the epoch slices guarantee this even without traffic).
+        for i in 0..cfg.core.sms {
+            let tid = super::SM_TID_BASE + u32::from(i);
+            assert!(
+                tr.events().iter().any(|e| e.tid == tid),
+                "SM {i} lane empty"
+            );
+        }
+        for ch in 0..cfg.mem.channels {
+            let tid = super::CH_TID_BASE + u32::from(ch);
+            assert!(
+                tr.events().iter().any(|e| e.tid == tid),
+                "ch {ch} lane empty"
+            );
+        }
+        // Per-transaction DRAM events carry the dram category.
+        assert!(tr.events().iter().any(|e| e.cat == "dram"));
+        let json = tr.to_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
     }
 
     #[test]

@@ -133,7 +133,8 @@ impl L1Cache {
                 AccessKind::Read => match self.cache.lookup_read(access.atom.0) {
                     LookupResult::Hit => {
                         self.stats.read_hits += 1;
-                        self.hit_q.push_back((now + self.latency as Cycle, access.warp));
+                        self.hit_q
+                            .push_back((now + self.latency as Cycle, access.warp));
                         self.in_q.pop_front();
                     }
                     LookupResult::SectorMiss | LookupResult::LineMiss => {

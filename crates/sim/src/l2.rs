@@ -14,7 +14,7 @@
 use crate::cache::{CacheStats, LookupResult, SectorCache};
 use crate::config::GpuConfig;
 use crate::dram::MapOrder;
-use crate::mem_ctrl::{DramRequest, DramTag, MemCtrl, McStats};
+use crate::mem_ctrl::{DramRequest, DramTag, IssueEvent, McStats, MemCtrl};
 use crate::msg::{L2Request, L2Response};
 use crate::protection::ProtectionScheme;
 use crate::types::{AccessKind, Cycle, PhysLoc, TrafficClass};
@@ -127,7 +127,10 @@ impl L2Slice {
     /// channel.
     pub fn push(&mut self, req: L2Request) {
         assert!(self.can_accept(), "L2 slice input queue overflow");
-        assert_eq!(req.loc.channel, self.channel, "request routed to wrong slice");
+        assert_eq!(
+            req.loc.channel, self.channel,
+            "request routed to wrong slice"
+        );
         self.in_q.push_back(req);
     }
 
@@ -155,11 +158,9 @@ impl L2Slice {
     ) {
         for &atom in dirty_atoms {
             let cache = &self.cache;
-            let plan = scheme.writeback(
-                PhysLoc::new(self.channel, atom),
-                now,
-                &mut |a| cache.probe(a) || evicted_set.contains(&a),
-            );
+            let plan = scheme.writeback(PhysLoc::new(self.channel, atom), now, &mut |a| {
+                cache.probe(a) || evicted_set.contains(&a)
+            });
             self.pending_wb.push_back(WbTask {
                 data_atom: Some(atom),
                 ecc_reads: plan.ecc_reads,
@@ -196,8 +197,7 @@ impl L2Slice {
         let Some(task) = self.pending_wb.front() else {
             return false;
         };
-        let writes_needed =
-            task.data_atom.is_some() as usize + task.ecc_writes.len();
+        let writes_needed = task.data_atom.is_some() as usize + task.ecc_writes.len();
         let reads_needed = task.ecc_reads.len();
         if self.mc.write_free() < writes_needed || self.mc.read_free() < reads_needed {
             return false;
@@ -466,6 +466,41 @@ impl L2Slice {
     pub fn mc_stats(&self) -> McStats {
         self.mc.stats()
     }
+
+    /// MSHRs currently tracking an in-flight miss (telemetry accessor).
+    pub fn mshrs_in_use(&self) -> usize {
+        self.mshr_index.len()
+    }
+
+    /// Total MSHR slots.
+    pub fn mshr_capacity(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Controller queue depths `(reads, writes)` (telemetry accessor).
+    pub fn mc_queue_depth(&self) -> (usize, usize) {
+        (self.mc.read_q_len(), self.mc.write_q_len())
+    }
+
+    /// Turns on the controller's latency histograms (telemetry only).
+    pub fn enable_mc_latency_hist(&mut self) {
+        self.mc.enable_latency_hist();
+    }
+
+    /// The controller's read-latency histogram, when enabled.
+    pub fn mc_read_latency_hist(&self) -> Option<&ccraft_telemetry::Histogram> {
+        self.mc.read_latency_hist()
+    }
+
+    /// Turns on per-transaction DRAM issue tracing (telemetry only).
+    pub fn enable_mc_issue_trace(&mut self) {
+        self.mc.enable_issue_trace();
+    }
+
+    /// Drains collected DRAM issue events (empty when tracing is off).
+    pub fn take_mc_issue_events(&mut self) -> Vec<IssueEvent> {
+        self.mc.take_issue_events()
+    }
 }
 
 #[cfg(test)]
@@ -503,7 +538,11 @@ mod tests {
         }
     }
 
-    fn run_until_idle(slice: &mut L2Slice, scheme: &mut dyn ProtectionScheme, start: Cycle) -> (Vec<L2Response>, Cycle) {
+    fn run_until_idle(
+        slice: &mut L2Slice,
+        scheme: &mut dyn ProtectionScheme,
+        start: Cycle,
+    ) -> (Vec<L2Response>, Cycle) {
         let mut responses = Vec::new();
         let mut now = start;
         loop {
@@ -641,7 +680,10 @@ mod tests {
         slice.push(read_req(0));
         slice.tick(&mut scheme, end);
         for now in end..end + 8 {
-            assert!(slice.pop_responses(now).is_empty(), "early response at {now}");
+            assert!(
+                slice.pop_responses(now).is_empty(),
+                "early response at {now}"
+            );
         }
         assert_eq!(slice.pop_responses(end + 8).len(), 1);
     }

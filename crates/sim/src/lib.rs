@@ -69,6 +69,6 @@ pub mod types;
 pub mod xbar;
 
 pub use config::GpuConfig;
-pub use gpu::simulate;
+pub use gpu::{simulate, simulate_with_telemetry, SimOutput};
 pub use stats::SimStats;
 pub use types::{Cycle, LogicalAtom, PhysLoc, TrafficClass};

@@ -15,6 +15,7 @@
 use crate::config::MemConfig;
 use crate::dram::{DramChannel, MapOrder, RowOutcome};
 use crate::types::{Cycle, TrafficClass};
+use ccraft_telemetry::Histogram;
 use std::collections::VecDeque;
 
 /// Completion routing information carried by a DRAM request.
@@ -88,12 +89,19 @@ pub struct McStats {
     pub busy_cycles: u64,
     /// All-bank refresh operations performed.
     pub refreshes: u64,
+    /// Row activations (see [`DramChannel`]).
+    pub activates: u64,
+    /// Row precharges.
+    pub precharges: u64,
 }
 
 impl McStats {
     /// Transactions of one class.
     pub fn class_count(&self, class: TrafficClass) -> u64 {
-        let idx = TrafficClass::ALL.iter().position(|&c| c == class).expect("class");
+        let idx = TrafficClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class");
         self.count[idx]
     }
 
@@ -117,6 +125,24 @@ impl McStats {
     }
 }
 
+/// One DRAM transaction as issued to the channel, for trace-event export.
+/// Only collected when [`MemCtrl::enable_issue_trace`] was called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueEvent {
+    /// Channel-local atom.
+    pub atom: u64,
+    /// Traffic class of the transaction.
+    pub class: TrafficClass,
+    /// Cycle the command issued.
+    pub start: Cycle,
+    /// Cycle the last data beat was on the bus.
+    pub end: Cycle,
+    /// Row-buffer outcome.
+    pub row: RowOutcome,
+    /// Cycles the request waited in the controller queue before issue.
+    pub queued: Cycle,
+}
+
 /// The per-channel memory controller.
 #[derive(Debug)]
 pub struct MemCtrl {
@@ -132,6 +158,12 @@ pub struct MemCtrl {
     /// (data_ready, completion) pairs not yet collected.
     inflight: Vec<Completion>,
     stats: McStats,
+    /// Telemetry: read-latency histogram (enqueue to data), when enabled.
+    read_lat_hist: Option<Histogram>,
+    /// Telemetry: write service-latency histogram, when enabled.
+    write_lat_hist: Option<Histogram>,
+    /// Telemetry: per-transaction issue events, when enabled.
+    issue_trace: Option<Vec<IssueEvent>>,
 }
 
 impl MemCtrl {
@@ -149,7 +181,51 @@ impl MemCtrl {
             draining: false,
             inflight: Vec::new(),
             stats: McStats::default(),
+            read_lat_hist: None,
+            write_lat_hist: None,
+            issue_trace: None,
         }
+    }
+
+    /// Turns on the read/write latency histograms. Telemetry only; has no
+    /// effect on scheduling or timing.
+    pub fn enable_latency_hist(&mut self) {
+        self.read_lat_hist = Some(Histogram::new());
+        self.write_lat_hist = Some(Histogram::new());
+    }
+
+    /// The read-latency histogram, when enabled and non-empty.
+    pub fn read_latency_hist(&self) -> Option<&Histogram> {
+        self.read_lat_hist.as_ref()
+    }
+
+    /// The write service-latency histogram, when enabled.
+    pub fn write_latency_hist(&self) -> Option<&Histogram> {
+        self.write_lat_hist.as_ref()
+    }
+
+    /// Turns on per-transaction issue-event collection (drain with
+    /// [`take_issue_events`](Self::take_issue_events)).
+    pub fn enable_issue_trace(&mut self) {
+        self.issue_trace = Some(Vec::new());
+    }
+
+    /// Drains collected issue events (empty when tracing is off).
+    pub fn take_issue_events(&mut self) -> Vec<IssueEvent> {
+        match &mut self.issue_trace {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Current read-queue depth (telemetry accessor).
+    pub fn read_q_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Current write-queue depth (telemetry accessor).
+    pub fn write_q_len(&self) -> usize {
+        self.write_q.len()
     }
 
     /// Space available in the read queue.
@@ -201,7 +277,11 @@ impl MemCtrl {
     }
 
     fn pick_and_issue(&mut self, now: Cycle, from_writes: bool) -> bool {
-        let q = if from_writes { &self.write_q } else { &self.read_q };
+        let q = if from_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         if q.is_empty() {
             return false;
         }
@@ -210,9 +290,8 @@ impl MemCtrl {
         // the oldest request of any kind that can issue now.
         let mut fallback: Option<usize> = None;
         let mut chosen: Option<usize> = None;
-        for i in 0..window {
-            let atom = q[i].req.atom;
-            match self.chan.peek_outcome(atom) {
+        for (i, pending) in q.iter().enumerate().take(window) {
+            match self.chan.peek_outcome(pending.req.atom) {
                 RowOutcome::Hit => {
                     chosen = Some(i);
                     break;
@@ -234,7 +313,11 @@ impl MemCtrl {
                 continue;
             }
             tried.push(i);
-            let q = if from_writes { &self.write_q } else { &self.read_q };
+            let q = if from_writes {
+                &self.write_q
+            } else {
+                &self.read_q
+            };
             let pending = q[i];
             if let Some(info) = self
                 .chan
@@ -254,9 +337,24 @@ impl MemCtrl {
                 if !pending.req.is_write() {
                     self.stats.read_latency_sum += info.data_ready - pending.enqueued;
                     self.stats.read_latency_count += 1;
+                    if let Some(h) = &mut self.read_lat_hist {
+                        h.record(info.data_ready - pending.enqueued);
+                    }
                     self.inflight.push(Completion {
                         req: pending.req,
                         done: info.data_ready,
+                    });
+                } else if let Some(h) = &mut self.write_lat_hist {
+                    h.record(info.data_ready - pending.enqueued);
+                }
+                if let Some(buf) = &mut self.issue_trace {
+                    buf.push(IssueEvent {
+                        atom: pending.req.atom,
+                        class: pending.req.class,
+                        start: now,
+                        end: info.data_ready,
+                        row: info.row_outcome,
+                        queued: now - pending.enqueued,
                     });
                 }
                 return true;
@@ -312,6 +410,8 @@ impl MemCtrl {
         s.row_empties = self.chan.row_empties;
         s.row_conflicts = self.chan.row_conflicts;
         s.refreshes = self.chan.refreshes;
+        s.activates = self.chan.activates;
+        s.precharges = self.chan.precharges;
         s
     }
 }
@@ -502,6 +602,48 @@ mod tests {
         assert_eq!(s.class_count(TrafficClass::EccRead), 1);
         assert_eq!(s.class_count(TrafficClass::EccWrite), 1);
         assert_eq!(s.class_count(TrafficClass::DataRead), 0);
+    }
+
+    #[test]
+    fn latency_hist_matches_sum_when_enabled() {
+        let mut mc = ctrl();
+        mc.enable_latency_hist();
+        mc.push(read(0), 0);
+        mc.push(read(320), 0); // conflict: queues behind the first read
+        mc.push(write(64), 0);
+        let _ = run(&mut mc, 0, 120);
+        let s = mc.stats();
+        let h = mc.read_latency_hist().expect("enabled");
+        assert_eq!(h.count, s.read_latency_count);
+        assert_eq!(h.sum, s.read_latency_sum);
+        assert!(h.p99() >= h.p50());
+        assert!(h.p50() >= 1);
+        let w = mc.write_latency_hist().expect("enabled");
+        assert_eq!(w.count, 1);
+    }
+
+    #[test]
+    fn issue_trace_records_every_transaction() {
+        let mut mc = ctrl();
+        mc.enable_issue_trace();
+        mc.push(read(0), 0);
+        mc.push(write(64), 0);
+        let mut events = Vec::new();
+        for now in 0..80 {
+            mc.tick(now);
+            let _ = mc.pop_completions(now);
+            events.extend(mc.take_issue_events());
+        }
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.end > e.start));
+        assert!(events.iter().any(|e| e.class == TrafficClass::DataRead));
+        assert!(events.iter().any(|e| e.class == TrafficClass::DataWrite));
+        // Disabled controller yields nothing.
+        let mut quiet = ctrl();
+        quiet.push(read(0), 0);
+        let _ = run(&mut quiet, 0, 40);
+        assert!(quiet.take_issue_events().is_empty());
+        assert!(quiet.read_latency_hist().is_none());
     }
 
     #[test]

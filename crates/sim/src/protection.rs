@@ -133,6 +133,25 @@ pub struct ProtectionStats {
     pub coalesced_ecc_writes: u64,
     /// Dirty ECC-structure evictions that produced a DRAM ECC write.
     pub ecc_structure_writebacks: u64,
+    /// Demand fills served by a fragment-store hit specifically (a subset
+    /// of [`ecc_fetch_hits`](Self::ecc_fetch_hits)). Serialized only when
+    /// nonzero, so schemes without a fragment store emit unchanged JSON.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub fragment_store_hits: u64,
+    /// Peak occupancy observed across ECC write-coalescing buffers
+    /// (entries). Serialized only when nonzero.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub coalesce_peak_occupancy: u64,
+    /// Deepest merge chain on a single buffered ECC write (writes folded
+    /// into one entry). Serialized only when nonzero.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub coalesce_max_merge_depth: u64,
+}
+
+/// Serde helper: telemetry-ish counters are omitted while zero so output
+/// stays byte-compatible with earlier versions.
+fn is_zero(v: &u64) -> bool {
+    *v == 0
 }
 
 /// A memory-protection scheme plugged into the simulator.
@@ -288,7 +307,10 @@ mod tests {
         assert_eq!(loc, PhysLoc::new(ch, local));
         assert_eq!(scheme.demand_fill(loc, 0), FillPlan::none());
         let mut resident = |_: u64| true;
-        assert_eq!(scheme.writeback(loc, 0, &mut resident), WritebackPlan::none());
+        assert_eq!(
+            scheme.writeback(loc, 0, &mut resident),
+            WritebackPlan::none()
+        );
         assert!(scheme.is_drained());
         assert_eq!(scheme.stats(), ProtectionStats::default());
         assert_eq!(scheme.l2_tax_bytes(), 0);
@@ -299,5 +321,31 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_interleave() {
         let _ = ChannelInterleave::new(2, 7);
+    }
+
+    #[test]
+    fn zero_telemetry_counters_are_omitted_from_json() {
+        let base = ProtectionStats {
+            ecc_demand_fetches: 3,
+            ..ProtectionStats::default()
+        };
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(!json.contains("fragment_store_hits"));
+        assert!(!json.contains("coalesce_peak_occupancy"));
+        assert!(!json.contains("coalesce_max_merge_depth"));
+        // Old-format JSON (without them) still deserializes.
+        let back: ProtectionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(base, back);
+        // Nonzero values round-trip.
+        let full = ProtectionStats {
+            fragment_store_hits: 5,
+            coalesce_peak_occupancy: 9,
+            coalesce_max_merge_depth: 4,
+            ..base
+        };
+        let json = serde_json::to_string(&full).unwrap();
+        assert!(json.contains("coalesce_max_merge_depth"));
+        let back: ProtectionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(full, back);
     }
 }

@@ -50,6 +50,12 @@ pub struct SmStats {
     pub idle_cycles: u64,
     /// Cycles with at least one unfinished warp.
     pub active_cycles: u64,
+    /// Idle cycles where no warp was ready (all blocked on memory or
+    /// compute latency) — the latency-bound stall reason.
+    pub stall_no_ready_warp: u64,
+    /// Idle cycles where a ready warp could not issue its memory op
+    /// because the LSU was streaming another op — the structural hazard.
+    pub stall_lsu_busy: u64,
 }
 
 /// One SM: warps plus its private L1.
@@ -186,6 +192,7 @@ impl SmCore {
         let Some(widx) = self.pick_warp(now) else {
             if !self.all_warps_done(now) {
                 self.stats.idle_cycles += 1;
+                self.stats.stall_no_ready_warp += 1;
             }
             return;
         };
@@ -207,6 +214,7 @@ impl SmCore {
                 } else {
                     // LSU busy: structural hazard, no issue this cycle.
                     self.stats.idle_cycles += 1;
+                    self.stats.stall_lsu_busy += 1;
                 }
             }
         }
@@ -282,7 +290,7 @@ mod tests {
         let mut sm = mk_sm(vec![trace]);
         let end = run_with_memory(&mut sm, 1000, 1);
         // Issue at 0, ready at 10, issue at 10, ready at 15.
-        assert!(end >= 14 && end <= 16, "end={end}");
+        assert!((14..=16).contains(&end), "end={end}");
         assert_eq!(sm.stats().issued_ops, 2);
     }
 
@@ -389,6 +397,29 @@ mod tests {
         for w in sent_at.windows(2) {
             assert!(w[1] > w[0], "more than one LSU access in a cycle");
         }
+    }
+
+    #[test]
+    fn stall_reasons_partition_idle_cycles() {
+        // One warp blocked on a long load: every idle cycle while it waits
+        // is a "no ready warp" stall. Two warps with back-to-back memory
+        // ops add "LSU busy" structural stalls.
+        let t0 = WarpTrace::new(vec![WarpOp::Load {
+            atoms: (0..4).map(|i| LogicalAtom(i * 1000)).collect(),
+        }]);
+        let t1 = WarpTrace::new(vec![WarpOp::Load {
+            atoms: (0..4).map(|i| LogicalAtom(100_000 + i * 1000)).collect(),
+        }]);
+        let mut sm = mk_sm(vec![t0, t1]);
+        let _ = run_with_memory(&mut sm, 10_000, 100);
+        let s = sm.stats();
+        assert!(s.stall_no_ready_warp > 0, "{s:?}");
+        assert!(s.stall_lsu_busy > 0, "{s:?}");
+        assert_eq!(
+            s.idle_cycles,
+            s.stall_no_ready_warp + s.stall_lsu_busy,
+            "{s:?}"
+        );
     }
 
     #[test]

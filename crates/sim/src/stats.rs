@@ -8,6 +8,7 @@
 
 use crate::protection::ProtectionStats;
 use crate::types::{Cycle, TrafficClass, ATOM_BYTES};
+use ccraft_telemetry::{Histogram, Timeline};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -54,6 +55,15 @@ pub struct SimStats {
     pub mean_read_latency: f64,
     /// Protection-scheme counters.
     pub protection: ProtectionStats,
+    /// DRAM read-latency histogram, merged over channels. Only present
+    /// when the run was telemetry-enabled; `None` serializes to nothing,
+    /// keeping disabled-run output bit-identical to earlier versions.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub latency_hist: Option<Histogram>,
+    /// Cycle-resolved epoch time-series. Only present when the run was
+    /// telemetry-enabled.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeline: Option<Timeline>,
 }
 
 impl SimStats {
@@ -69,7 +79,10 @@ impl SimStats {
 
     /// DRAM transactions of one class.
     pub fn dram_count(&self, class: TrafficClass) -> u64 {
-        let idx = TrafficClass::ALL.iter().position(|&c| c == class).expect("class");
+        let idx = TrafficClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class");
         self.dram[idx]
     }
 
@@ -187,6 +200,8 @@ mod tests {
             refreshes: 4,
             mean_read_latency: 75.0,
             protection: ProtectionStats::default(),
+            latency_hist: None,
+            timeline: None,
         }
     }
 
@@ -230,6 +245,44 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: SimStats = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn disabled_telemetry_fields_are_absent_from_json() {
+        let json = serde_json::to_string(&sample()).unwrap();
+        assert!(!json.contains("latency_hist"));
+        assert!(!json.contains("timeline"));
+        // And JSON without them deserializes to None (old outputs load).
+        let back: SimStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.latency_hist, None);
+        assert_eq!(back.timeline, None);
+    }
+
+    #[test]
+    fn telemetry_fields_round_trip_when_present() {
+        let mut s = sample();
+        let mut h = Histogram::new();
+        for v in [11u64, 30, 95, 200] {
+            h.record(v);
+        }
+        s.latency_hist = Some(h);
+        let mut sampler = ccraft_telemetry::Sampler::new(128);
+        sampler.register("ipc");
+        sampler.register("dram.reads");
+        sampler.sample(&[0.5, 12.0]);
+        sampler.sample(&[0.75, 9.0]);
+        s.timeline = Some(sampler.finish());
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("latency_hist"));
+        assert!(json.contains("timeline"));
+        let back: SimStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        let t = back.timeline.unwrap();
+        assert_eq!(t.epochs(), 2);
+        assert_eq!(t.series("ipc").unwrap().points, vec![0.5, 0.75]);
+        let h = back.latency_hist.unwrap();
+        assert!(h.p99() >= h.p50());
+        assert!(h.p50() >= 1);
     }
 
     #[test]

@@ -181,9 +181,7 @@ impl KernelTrace {
             .iter()
             .flat_map(|w| w.ops())
             .filter_map(|op| match op {
-                WarpOp::Load { atoms } | WarpOp::Store { atoms, .. } => {
-                    atoms.iter().max().copied()
-                }
+                WarpOp::Load { atoms } | WarpOp::Store { atoms, .. } => atoms.iter().max().copied(),
                 WarpOp::Compute { .. } => None,
             })
             .max()

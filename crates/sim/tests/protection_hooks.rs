@@ -128,13 +128,19 @@ fn demand_fill_waits_for_ecc_piece() {
         assert!(now < 10_000, "no response");
     }
     assert_eq!(scheme.fills, 1);
-    assert_eq!(scheme.arrived, 1, "ECC completion must be routed to the scheme");
+    assert_eq!(
+        scheme.arrived, 1,
+        "ECC completion must be routed to the scheme"
+    );
     let mc = slice.mc_stats();
     assert_eq!(mc.class_count(TrafficClass::DataRead), 1);
     assert_eq!(mc.class_count(TrafficClass::EccRead), 1);
     // Two sequential reads on one channel: strictly later than a single
     // read + L2 latency (tiny: ~11 + 8).
-    assert!(responded_at.unwrap() > 19, "fill did not wait for the ECC piece");
+    assert!(
+        responded_at.unwrap() > 19,
+        "fill did not wait for the ECC piece"
+    );
 }
 
 #[test]
@@ -157,7 +163,11 @@ fn buffered_ecc_writes_are_drained_with_budget() {
     let mc = slice.mc_stats();
     assert_eq!(mc.class_count(TrafficClass::DataWrite), 8);
     assert_eq!(mc.class_count(TrafficClass::EccWrite), 8);
-    assert_eq!(mc.class_count(TrafficClass::EccRead), 0, "plan had no RMW reads");
+    assert_eq!(
+        mc.class_count(TrafficClass::EccRead),
+        0,
+        "plan had no RMW reads"
+    );
 }
 
 #[test]

@@ -1,0 +1,193 @@
+//! Chrome trace-event export.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! Perfetto: `{"traceEvents": [...], "displayTimeUnit": "ms"}` where each
+//! event is a *complete* event (`"ph": "X"`) with a start timestamp and a
+//! duration. Simulated cycles map 1:1 onto trace microseconds, so one
+//! trace millisecond reads as a thousand GPU cycles.
+
+use serde::{Serialize, Value};
+
+/// Process id used for all simulator events (the trace has one process).
+const PID: u32 = 1;
+
+/// One complete ("X") trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event label shown on the slice.
+    pub name: String,
+    /// Category, e.g. `"dram"`, `"sm"`, `"l2"`.
+    pub cat: String,
+    /// Track (thread) id; one lane per simulated component.
+    pub tid: u32,
+    /// Start cycle.
+    pub ts: u64,
+    /// Duration in cycles (rendered with a minimum of 1 so zero-length
+    /// events stay visible).
+    pub dur: u64,
+    /// Extra key/value payload shown in the event details pane.
+    pub args: Vec<(String, f64)>,
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            ("cat".to_string(), Value::String(self.cat.clone())),
+            ("ph".to_string(), Value::String("X".to_string())),
+            ("ts".to_string(), Value::Int(i128::from(self.ts))),
+            ("dur".to_string(), Value::Int(i128::from(self.dur.max(1)))),
+            ("pid".to_string(), Value::Int(i128::from(PID))),
+            ("tid".to_string(), Value::Int(i128::from(self.tid))),
+        ];
+        if !self.args.is_empty() {
+            obj.push((
+                "args".to_string(),
+                Value::Object(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Object(obj)
+    }
+}
+
+/// A bounded collection of trace events plus track-naming metadata.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<TraceEvent>,
+    /// `(tid, name)` pairs emitted as `thread_name` metadata events.
+    tracks: Vec<(u32, String)>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl ChromeTrace {
+    /// Creates a trace that keeps at most `cap` events (0 = unlimited).
+    pub fn new(cap: usize) -> Self {
+        ChromeTrace {
+            events: Vec::new(),
+            tracks: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Names a track (component lane) in the viewer.
+    pub fn name_track(&mut self, tid: u32, name: &str) {
+        self.tracks.push((tid, name.to_string()));
+    }
+
+    /// Appends a complete event; silently counts it as dropped once the
+    /// cap is reached.
+    pub fn complete(&mut self, event: TraceEvent) {
+        if self.cap != 0 && self.events.len() >= self.cap {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events discarded after the cap was hit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serializes the trace as a Chrome/Perfetto-loadable JSON object.
+    pub fn to_json(&self) -> String {
+        let mut all: Vec<Value> = Vec::with_capacity(self.events.len() + self.tracks.len());
+        for (tid, name) in &self.tracks {
+            all.push(Value::Object(vec![
+                ("name".to_string(), Value::String("thread_name".to_string())),
+                ("ph".to_string(), Value::String("M".to_string())),
+                ("pid".to_string(), Value::Int(i128::from(PID))),
+                ("tid".to_string(), Value::Int(i128::from(*tid))),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![("name".to_string(), Value::String(name.clone()))]),
+                ),
+            ]));
+        }
+        all.extend(self.events.iter().map(Serialize::to_value));
+        let root = Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(all)),
+            (
+                "displayTimeUnit".to_string(),
+                Value::String("ms".to_string()),
+            ),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        serde_json::to_string(&Raw(root)).expect("trace serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "test".to_string(),
+            tid: 3,
+            ts,
+            dur,
+            args: vec![("v".to_string(), 1.5)],
+        }
+    }
+
+    #[test]
+    fn emits_complete_events_and_track_names() {
+        let mut t = ChromeTrace::new(0);
+        t.name_track(3, "dram ch0");
+        t.complete(event("read", 100, 40));
+        let json = t.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("\"dur\":40"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("dram ch0"));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn zero_duration_renders_as_one() {
+        let mut t = ChromeTrace::new(0);
+        t.complete(event("tick", 5, 0));
+        assert!(t.to_json().contains("\"dur\":1"));
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let mut t = ChromeTrace::new(2);
+        for i in 0..5 {
+            t.complete(event("e", i, 1));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+}

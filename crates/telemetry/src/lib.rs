@@ -1,0 +1,454 @@
+//! Observability probes for the CacheCraft simulator.
+//!
+//! The simulator's headline numbers (`SimStats`) are end-of-run
+//! aggregates; this crate adds the instruments needed to see *inside* a
+//! run without perturbing it:
+//!
+//! * [`Histogram`] — log2-bucketed latency histogram with
+//!   `p50`/`p90`/`p99`/`max` summaries;
+//! * [`Counter`] — a named monotonic counter for probe sites;
+//! * [`Sampler`] / [`Timeline`] — epoch snapshots of registered counters
+//!   into a cycle-resolved time-series;
+//! * [`chrome_trace`] — Chrome trace-event (Perfetto-loadable) JSON
+//!   export of per-component activity;
+//! * [`manifest`] — per-run `manifest.json` describing what produced a
+//!   results directory.
+//!
+//! # Overhead discipline
+//!
+//! Every probe site in the simulator is gated on an `Option` (or an
+//! `enabled` flag) owned by the caller. When telemetry is disabled — the
+//! default — the per-cycle cost is a single predictable branch, and the
+//! emitted `SimStats` are bit-identical to a build without probes.
+
+pub mod chrome_trace;
+pub mod manifest;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets in a [`Histogram`]. Bucket 0 holds zeros,
+/// bucket `b >= 1` holds values in `[2^(b-1), 2^b - 1]`, and the top
+/// bucket saturates (holds everything at or above its lower bound).
+pub const HIST_BUCKETS: usize = 33;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Recording is O(1): one `leading_zeros`, one add. Percentiles are
+/// approximate — a quantile resolves to its bucket's upper bound, capped
+/// at the exact observed maximum — which is plenty for latency
+/// distributions spanning decades.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (for the exact mean).
+    pub sum: u64,
+    /// Exact maximum recorded sample.
+    pub max: u64,
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+/// Bucket index for a sample value.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (used as the quantile
+/// representative). The top bucket is unbounded, so callers cap it at
+/// the observed max.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Returns true if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th sample, capped at the
+    /// exact maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (approximate; see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (approximate).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (approximate).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+    }
+}
+
+/// A named monotonic counter for probe sites.
+///
+/// Thin wrapper over `u64`; exists so probe code reads as telemetry
+/// (`probe.stall_lsu.inc()`) and so counters can be registered with a
+/// [`Sampler`] by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One named series of epoch samples in a [`Timeline`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Metric name, e.g. `"dram.reads"`.
+    pub name: String,
+    /// One point per completed epoch.
+    pub points: Vec<f64>,
+}
+
+/// A cycle-resolved time-series: one point per registered metric per
+/// epoch of `epoch_cycles` simulated cycles.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Epoch length in cycles; point `i` of every series covers cycles
+    /// `[i * epoch_cycles, (i + 1) * epoch_cycles)`.
+    pub epoch_cycles: u64,
+    /// The registered series, in registration order.
+    pub series: Vec<Series>,
+}
+
+impl Timeline {
+    /// Number of completed epochs.
+    pub fn epochs(&self) -> usize {
+        self.series.first().map_or(0, |s| s.points.len())
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+/// Epoch sampler: snapshots registered counters every `epoch_cycles`
+/// cycles into a [`Timeline`].
+///
+/// The driving loop calls [`Sampler::due`] each cycle (one compare) and,
+/// when it fires, computes the current metric values and hands them to
+/// [`Sampler::sample`] in registration order.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    epoch_cycles: u64,
+    next_due: u64,
+    timeline: Timeline,
+}
+
+impl Sampler {
+    /// Creates a sampler that fires every `epoch_cycles` cycles
+    /// (minimum 1).
+    pub fn new(epoch_cycles: u64) -> Self {
+        let epoch_cycles = epoch_cycles.max(1);
+        Sampler {
+            epoch_cycles,
+            next_due: epoch_cycles,
+            timeline: Timeline {
+                epoch_cycles,
+                series: Vec::new(),
+            },
+        }
+    }
+
+    /// Registers a metric; returns its index for [`Sampler::sample`].
+    pub fn register(&mut self, name: &str) -> usize {
+        self.timeline.series.push(Series {
+            name: name.to_string(),
+            points: Vec::new(),
+        });
+        self.timeline.series.len() - 1
+    }
+
+    /// True when the epoch ending at `cycle` should be sampled.
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle >= self.next_due
+    }
+
+    /// Records one point per registered series (values in registration
+    /// order) and advances to the next epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of registered
+    /// series.
+    pub fn sample(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.timeline.series.len(),
+            "sample width must match registered series"
+        );
+        for (series, &v) in self.timeline.series.iter_mut().zip(values) {
+            series.points.push(v);
+        }
+        self.next_due += self.epoch_cycles;
+    }
+
+    /// Epoch length in cycles.
+    pub fn epoch_cycles(&self) -> u64 {
+        self.epoch_cycles
+    }
+
+    /// Consumes the sampler, returning the accumulated timeline.
+    pub fn finish(self) -> Timeline {
+        self.timeline
+    }
+}
+
+/// Run-wide telemetry switches, threaded from the CLI into the
+/// simulator. `Default` is everything off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch: when false, no probe allocates or records.
+    pub enabled: bool,
+    /// Epoch length for the time-series sampler, in cycles.
+    pub epoch_cycles: u64,
+    /// Collect Chrome trace events (bounded by `max_trace_events`).
+    pub trace_events: bool,
+    /// Hard cap on collected trace events; further events are counted
+    /// but dropped.
+    pub max_trace_events: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            epoch_cycles: 1024,
+            trace_events: false,
+            max_trace_events: 200_000,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Timeline + histograms on, trace events off.
+    pub fn enabled() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Everything on, including trace events.
+    pub fn full() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            trace_events: true,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        // Top-bucket saturation: everything >= 2^31 shares the last bucket.
+        assert_eq!(bucket_of(1 << 31), HIST_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max, 0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_capped_by_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 5, 9, 17, 33, 100, 400, 401] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 10);
+        assert!(h.p50() >= 1);
+        assert!(h.p90() >= h.p50());
+        assert!(h.p99() >= h.p90());
+        assert!(h.p99() <= h.max);
+        assert_eq!(h.max, 401);
+        // Single-value histogram: every quantile is that value's bucket,
+        // capped at the exact max.
+        let mut one = Histogram::new();
+        one.record(100);
+        assert_eq!(one.p50(), 100);
+        assert_eq!(one.p99(), 100);
+    }
+
+    #[test]
+    fn top_bucket_saturation_does_not_lose_counts() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 40);
+        h.record(1 << 32);
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 3);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.p50(), h.max);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(4);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.max, 1000);
+        assert_eq!(a.sum, 1004);
+    }
+
+    #[test]
+    fn sampler_epochs() {
+        let mut s = Sampler::new(100);
+        let reads = s.register("reads");
+        let lat = s.register("latency");
+        assert_eq!((reads, lat), (0, 1));
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        s.sample(&[10.0, 250.0]);
+        assert!(!s.due(150));
+        assert!(s.due(200));
+        s.sample(&[12.0, 240.0]);
+        let t = s.finish();
+        assert_eq!(t.epochs(), 2);
+        assert_eq!(t.series("reads").unwrap().points, vec![10.0, 12.0]);
+        assert_eq!(t.series("nope"), None);
+        assert_eq!(t.epoch_cycles, 100);
+    }
+
+    #[test]
+    fn histogram_serde_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 300, 1 << 20] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn timeline_serde_round_trip() {
+        let mut s = Sampler::new(64);
+        s.register("x");
+        s.sample(&[1.5]);
+        s.sample(&[2.5]);
+        let t = s.finish();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,101 @@
+//! Run manifests: a `manifest.json` written next to every experiment's
+//! results, recording what produced them.
+
+use serde::{Deserialize, Serialize};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Description of one completed experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Experiment name (e.g. `"f4-main"` or `"ccx-run"`).
+    pub experiment: String,
+    /// The argv the run was invoked with.
+    pub command: Vec<String>,
+    /// Size class the run used (`tiny` / `small` / `full`).
+    pub size: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time_secs: f64,
+    /// Completion time, milliseconds since the Unix epoch.
+    pub completed_unix_ms: u64,
+    /// Free-form telemetry summary (metric name, value), e.g. matrix
+    /// cell counts or headline latency percentiles.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub summary: Vec<(String, f64)>,
+    /// Files written by the run, relative to the results directory.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub outputs: Vec<String>,
+}
+
+impl RunManifest {
+    /// Creates a manifest skeleton for an experiment; the caller fills
+    /// in timing, summary and outputs as the run proceeds.
+    pub fn new(experiment: &str) -> Self {
+        RunManifest {
+            experiment: experiment.to_string(),
+            command: std::env::args().collect(),
+            size: String::new(),
+            seed: 0,
+            threads: 0,
+            wall_time_secs: 0.0,
+            completed_unix_ms: 0,
+            summary: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a named metric to the summary.
+    pub fn note(&mut self, name: &str, value: f64) {
+        self.summary.push((name.to_string(), value));
+    }
+
+    /// Records a written output file.
+    pub fn output(&mut self, path: &str) {
+        self.outputs.push(path.to_string());
+    }
+
+    /// Stamps the completion time from the system clock.
+    pub fn stamp(&mut self) {
+        self.completed_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+    }
+
+    /// Serializes the manifest as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trip() {
+        let mut m = RunManifest::new("f4-main");
+        m.size = "tiny".to_string();
+        m.seed = 42;
+        m.threads = 4;
+        m.wall_time_secs = 1.25;
+        m.note("cells", 8.0);
+        m.output("f4_main.csv");
+        m.stamp();
+        let json = m.to_json();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        assert!(back.completed_unix_ms > 0);
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let m = RunManifest::new("x");
+        let json = m.to_json();
+        assert!(!json.contains("summary"));
+        assert!(!json.contains("outputs"));
+    }
+}

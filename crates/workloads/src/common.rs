@@ -38,7 +38,7 @@ impl Layouter {
         let base = self.next_byte;
         let len_bytes = elems * elem_bytes;
         // Align the next array to a line boundary.
-        self.next_byte = (base + len_bytes + 127) / 128 * 128;
+        self.next_byte = (base + len_bytes).div_ceil(128) * 128;
         ArrayRef {
             base,
             len_bytes,

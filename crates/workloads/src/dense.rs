@@ -45,7 +45,10 @@ pub fn gemm(size: SizeClass, _seed: u64) -> KernelTrace {
                         // B[kt*32 + lane, jt*32..): the tile rows; model the
                         // per-step B access as one row of the B tile
                         // (shared across warps computing the same jt).
-                        ops.extend(warp_load(&b, (kt * WARP_THREADS + row % WARP_THREADS) * n + jt * WARP_THREADS));
+                        ops.extend(warp_load(
+                            &b,
+                            (kt * WARP_THREADS + row % WARP_THREADS) * n + jt * WARP_THREADS,
+                        ));
                         ops.push(WarpOp::Compute { cycles: 24 });
                     }
                     ops.extend(warp_store(&c, row * n + jt * WARP_THREADS));
@@ -245,7 +248,10 @@ mod tests {
                 }
             }
         }
-        assert!(partial_atoms > 10 * full_atoms.max(1), "transpose writes must scatter");
+        assert!(
+            partial_atoms > 10 * full_atoms.max(1),
+            "transpose writes must scatter"
+        );
     }
 
     #[test]

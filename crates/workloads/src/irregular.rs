@@ -37,9 +37,8 @@ pub fn spmv(size: SizeClass, seed: u64) -> KernelTrace {
                 for k in 0..nnz_per_row {
                     ops.extend(warp_load(&col_idx, r * nnz_per_row + k * WARP_THREADS));
                     ops.extend(warp_load(&vals, r * nnz_per_row + k * WARP_THREADS));
-                    let gathers: Vec<u64> = (0..WARP_THREADS)
-                        .map(|_| rng.gen_range(0..rows))
-                        .collect();
+                    let gathers: Vec<u64> =
+                        (0..WARP_THREADS).map(|_| rng.gen_range(0..rows)).collect();
                     ops.extend(gather_load(&x, &gathers));
                     ops.push(WarpOp::Compute { cycles: 4 });
                 }
@@ -71,13 +70,16 @@ pub fn bfs(size: SizeClass, seed: u64) -> KernelTrace {
                 // Each level visits a slice of the frontier.
                 let span = nodes / (levels * warps * WARP_THREADS).max(1);
                 for i in 0..span.max(1) {
-                    let base = (wid * WARP_THREADS + level * nodes / levels
-                        + i * warps * WARP_THREADS)
-                        % nodes;
+                    let base =
+                        (wid * WARP_THREADS + level * nodes / levels + i * warps * WARP_THREADS)
+                            % nodes;
                     ops.extend(warp_load(&frontier, base));
                     // Chase each lane's adjacency run (random node).
                     let node: u64 = rng.gen_range(0..nodes);
-                    ops.extend(warp_load(&adj, (node * degree) % (nodes * degree - WARP_THREADS)));
+                    ops.extend(warp_load(
+                        &adj,
+                        (node * degree) % (nodes * degree - WARP_THREADS),
+                    ));
                     // Check distances of 32 random neighbours.
                     let probes: Vec<u64> =
                         (0..WARP_THREADS).map(|_| rng.gen_range(0..nodes)).collect();
@@ -202,12 +204,12 @@ mod tests {
     fn montecarlo_is_compute_heavy() {
         let t = montecarlo(SizeClass::Tiny, 1);
         // Lots of Compute ops: intensity low-ish but gathers are wide.
-        let compute_ops = t.total_ops() - t
-            .warps()
-            .iter()
-            .flat_map(|w| w.ops())
-            .filter(|o| o.is_memory())
-            .count() as u64;
+        let compute_ops = t.total_ops()
+            - t.warps()
+                .iter()
+                .flat_map(|w| w.ops())
+                .filter(|o| o.is_memory())
+                .count() as u64;
         assert!(compute_ops > t.total_ops() / 4);
     }
 
@@ -216,7 +218,10 @@ mod tests {
         assert_eq!(spmv(SizeClass::Tiny, 9), spmv(SizeClass::Tiny, 9));
         assert_eq!(bfs(SizeClass::Tiny, 9), bfs(SizeClass::Tiny, 9));
         assert_eq!(histogram(SizeClass::Tiny, 9), histogram(SizeClass::Tiny, 9));
-        assert_eq!(montecarlo(SizeClass::Tiny, 9), montecarlo(SizeClass::Tiny, 9));
+        assert_eq!(
+            montecarlo(SizeClass::Tiny, 9),
+            montecarlo(SizeClass::Tiny, 9)
+        );
         assert_ne!(spmv(SizeClass::Tiny, 9), spmv(SizeClass::Tiny, 10));
     }
 

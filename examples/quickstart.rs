@@ -24,7 +24,10 @@ fn main() {
     // 3. Run it under each protection scheme.
     let schemes = [
         ("ECC off            ", SchemeKind::NoProtection),
-        ("naive inline ECC   ", SchemeKind::InlineNaive { coverage: 8 }),
+        (
+            "naive inline ECC   ",
+            SchemeKind::InlineNaive { coverage: 8 },
+        ),
         (
             "dedicated ECC cache",
             SchemeKind::EccCache {
@@ -38,7 +41,10 @@ fn main() {
         ),
     ];
     let baseline = run_scheme(&cfg, schemes[0].1, &trace);
-    println!("{:<20} {:>12} {:>10} {:>10} {:>10}", "scheme", "exec cycles", "perf", "ECC share", "row hits");
+    println!(
+        "{:<20} {:>12} {:>10} {:>10} {:>10}",
+        "scheme", "exec cycles", "perf", "ECC share", "row hits"
+    );
     for (label, kind) in schemes {
         let stats = run_scheme(&cfg, kind, &trace);
         println!(

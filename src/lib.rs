@@ -16,6 +16,8 @@
 //!   pipeline and storage accounting.
 //! * [`harness`] — the experiment harness regenerating every table and
 //!   figure of the evaluation.
+//! * [`telemetry`] — observability probes: latency histograms,
+//!   cycle-resolved time-series, Chrome-trace export, run manifests.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -39,4 +41,5 @@ pub use ccraft_core as schemes;
 pub use ccraft_ecc as ecc;
 pub use ccraft_harness as harness;
 pub use ccraft_sim as sim;
+pub use ccraft_telemetry as telemetry;
 pub use ccraft_workloads as workloads;

@@ -19,9 +19,7 @@ fn pinned_stats_vecadd_tiny() {
         ("ecc-cache", 43125, 42425, [16384, 8192, 3072, 984]),
         ("cachecraft", 38168, 37838, [16384, 8192, 2345, 1307]),
     ];
-    for (kind, (name, cycles, exec, dram)) in
-        SchemeKind::headline(&cfg).into_iter().zip(expect)
-    {
+    for (kind, (name, cycles, exec, dram)) in SchemeKind::headline(&cfg).into_iter().zip(expect) {
         let s = run_scheme(&cfg, kind, &trace);
         assert_eq!(kind.name(), name);
         assert_eq!(s.cycles, cycles, "{name}: total cycles drifted");

@@ -66,13 +66,15 @@ impl ProtectedDram {
             out[w * 8..w * 8 + 8].copy_from_slice(&word);
             worst = match (worst, outcome) {
                 (DecodeOutcome::DetectedUncorrectable, _)
-                | (_, DecodeOutcome::DetectedUncorrectable) => {
-                    DecodeOutcome::DetectedUncorrectable
-                }
-                (DecodeOutcome::Corrected { flipped_bits: a }, DecodeOutcome::Corrected { flipped_bits: b }) => {
-                    DecodeOutcome::Corrected { flipped_bits: a + b }
-                }
-                (c @ DecodeOutcome::Corrected { .. }, _) | (_, c @ DecodeOutcome::Corrected { .. }) => c,
+                | (_, DecodeOutcome::DetectedUncorrectable) => DecodeOutcome::DetectedUncorrectable,
+                (
+                    DecodeOutcome::Corrected { flipped_bits: a },
+                    DecodeOutcome::Corrected { flipped_bits: b },
+                ) => DecodeOutcome::Corrected {
+                    flipped_bits: a + b,
+                },
+                (c @ DecodeOutcome::Corrected { .. }, _)
+                | (_, c @ DecodeOutcome::Corrected { .. }) => c,
                 _ => DecodeOutcome::Clean,
             };
         }
@@ -83,7 +85,7 @@ impl ProtectedDram {
     /// index.
     fn flip_random_bit<R: Rng>(&mut self, rng: &mut R) -> usize {
         let byte = rng.gen_range(0..self.bytes.len());
-        let bit = rng.gen_range(0..8);
+        let bit = rng.gen_range(0..8u32);
         self.bytes[byte] ^= 1 << bit;
         byte
     }

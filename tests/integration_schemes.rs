@@ -116,18 +116,17 @@ fn cachecraft_beats_naive_on_average_and_on_traffic() {
             SchemeKind::CacheCraft(CacheCraftConfig::for_machine(&cfg)),
             &trace,
         );
-        let naive_ecc = naive.dram_count(TrafficClass::EccRead)
-            + naive.dram_count(TrafficClass::EccWrite);
-        let craft_ecc = craft.dram_count(TrafficClass::EccRead)
-            + craft.dram_count(TrafficClass::EccWrite);
+        let naive_ecc =
+            naive.dram_count(TrafficClass::EccRead) + naive.dram_count(TrafficClass::EccWrite);
+        let craft_ecc =
+            craft.dram_count(TrafficClass::EccRead) + craft.dram_count(TrafficClass::EccWrite);
         assert!(
             craft_ecc < naive_ecc,
             "{w}: cachecraft ECC traffic {craft_ecc} not below naive {naive_ecc}"
         );
         ratios.push(naive.exec_cycles as f64 / craft.exec_cycles as f64);
     }
-    let geomean =
-        (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
     assert!(
         geomean > 1.0,
         "cachecraft does not beat naive on average: geomean {geomean:.3}"
@@ -157,17 +156,14 @@ fn ablation_variants_all_complete_and_order_sanely() {
         CacheCraftConfig::for_machine(&cfg),
     ] {
         let cc = CacheCraftConfig {
-            fragment_bytes_per_slice: cc
-                .fragment_bytes_per_slice
-                .min(cfg.l2.capacity_bytes / 8),
+            fragment_bytes_per_slice: cc.fragment_bytes_per_slice.min(cfg.l2.capacity_bytes / 8),
             ..cc
         };
         let s = run_scheme(&cfg, SchemeKind::CacheCraft(cc), &trace);
         assert!(!s.timed_out);
-        let total_ecc =
-            s.dram_count(TrafficClass::EccRead) + s.dram_count(TrafficClass::EccWrite);
-        let naive_ecc = naive.dram_count(TrafficClass::EccRead)
-            + naive.dram_count(TrafficClass::EccWrite);
+        let total_ecc = s.dram_count(TrafficClass::EccRead) + s.dram_count(TrafficClass::EccWrite);
+        let naive_ecc =
+            naive.dram_count(TrafficClass::EccRead) + naive.dram_count(TrafficClass::EccWrite);
         assert!(
             total_ecc <= naive_ecc,
             "variant {cc:?} generated more ECC traffic than naive"

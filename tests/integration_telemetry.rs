@@ -1,0 +1,129 @@
+//! End-to-end telemetry acceptance: the observability subsystem must see
+//! inside a run without perturbing it.
+//!
+//! Covers the PR's acceptance criteria at the facade level:
+//! * disabled telemetry leaves `SimStats` bit-identical (and its JSON free
+//!   of telemetry keys);
+//! * an enabled run attaches a non-empty epoch time-series and a latency
+//!   histogram with sane percentiles (`p99 >= p50 >= 1` cycle);
+//! * a full-telemetry run produces a Chrome-trace JSON with at least one
+//!   complete event per simulated component lane.
+
+use cachecraft::schemes::cachecraft::CacheCraftConfig;
+use cachecraft::schemes::factory::{run_scheme, run_scheme_with_telemetry, SchemeKind};
+use cachecraft::sim::config::GpuConfig;
+use cachecraft::telemetry::TelemetryConfig;
+use cachecraft::workloads::{SizeClass, Workload};
+
+fn cachecraft_kind(cfg: &GpuConfig) -> SchemeKind {
+    SchemeKind::CacheCraft(CacheCraftConfig::for_machine(cfg))
+}
+
+#[test]
+fn disabled_telemetry_is_invisible() {
+    let cfg = GpuConfig::tiny();
+    let trace = Workload::Spmv.generate(SizeClass::Tiny, 1);
+    let kind = cachecraft_kind(&cfg);
+    let plain = run_scheme(&cfg, kind, &trace);
+    let off = run_scheme_with_telemetry(&cfg, kind, &trace, &TelemetryConfig::disabled());
+    assert_eq!(
+        off.stats, plain,
+        "disabled telemetry must not perturb stats"
+    );
+    assert!(off.trace.is_none());
+    let json = serde_json::to_string(&plain).unwrap();
+    assert!(
+        !json.contains("latency_hist") && !json.contains("timeline"),
+        "disabled run must serialize without telemetry keys: {json}"
+    );
+}
+
+#[test]
+fn enabled_run_reports_timeline_and_percentiles() {
+    let cfg = GpuConfig::tiny();
+    let trace = Workload::Spmv.generate(SizeClass::Tiny, 1);
+    let out = run_scheme_with_telemetry(
+        &cfg,
+        cachecraft_kind(&cfg),
+        &trace,
+        &TelemetryConfig::enabled(),
+    );
+    // Aggregates are unchanged relative to a plain run.
+    let plain = run_scheme(&cfg, cachecraft_kind(&cfg), &trace);
+    assert_eq!(out.stats.exec_cycles, plain.exec_cycles);
+    assert_eq!(out.stats.dram, plain.dram);
+
+    let hist = out.stats.latency_hist.as_ref().expect("histogram attached");
+    assert!(hist.count > 0);
+    assert!(
+        hist.p99() >= hist.p50(),
+        "p99 {} < p50 {}",
+        hist.p99(),
+        hist.p50()
+    );
+    assert!(hist.p50() >= 1, "p50 below one cycle");
+    assert!((hist.mean() - plain.mean_read_latency).abs() < 1e-9);
+
+    let tl = out.stats.timeline.as_ref().expect("timeline attached");
+    assert!(tl.epochs() >= 1, "timeline must be non-empty");
+    assert!(tl.series("ipc").is_some());
+    assert!(tl.series("dram.reads").is_some());
+    let reads: f64 = tl.series("dram.reads").unwrap().points.iter().sum();
+    assert!(
+        (reads - hist.count as f64).abs() < 1e-9,
+        "epoch reads must sum to total"
+    );
+}
+
+#[test]
+fn chrome_trace_covers_every_component() {
+    let cfg = GpuConfig::tiny();
+    let trace = Workload::Spmv.generate(SizeClass::Tiny, 1);
+    let out = run_scheme_with_telemetry(
+        &cfg,
+        cachecraft_kind(&cfg),
+        &trace,
+        &TelemetryConfig::full(),
+    );
+    let chrome = out.trace.expect("trace collected");
+    assert!(!chrome.is_empty());
+    // At least one complete event per SM lane and per DRAM-channel lane.
+    for sm in 0..cfg.core.sms {
+        let tid = 1 + sm as u32;
+        assert!(
+            chrome.events().iter().any(|e| e.tid == tid),
+            "no events for SM {sm}"
+        );
+    }
+    for ch in 0..cfg.mem.channels {
+        let tid = 64 + ch as u32;
+        assert!(
+            chrome.events().iter().any(|e| e.tid == tid),
+            "no events for DRAM channel {ch}"
+        );
+    }
+    let json = chrome.to_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(
+        json.contains("\"ph\":\"X\""),
+        "must contain complete events"
+    );
+    assert!(json.contains("\"ph\":\"M\""), "must name its tracks");
+}
+
+#[test]
+fn telemetry_round_trips_through_json() {
+    let cfg = GpuConfig::tiny();
+    let trace = Workload::Histogram.generate(SizeClass::Tiny, 3);
+    let out = run_scheme_with_telemetry(
+        &cfg,
+        cachecraft_kind(&cfg),
+        &trace,
+        &TelemetryConfig::enabled(),
+    );
+    let json = serde_json::to_string_pretty(&out.stats).unwrap();
+    let back: cachecraft::sim::SimStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, out.stats);
+    let h = back.latency_hist.expect("histogram survives round trip");
+    assert_eq!(h.p99(), out.stats.latency_hist.as_ref().unwrap().p99());
+}

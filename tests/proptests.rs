@@ -1,5 +1,9 @@
-//! Property-based tests over the core data structures and invariants,
-//! spanning all workspace crates through the facade.
+//! Randomized property tests over the core data structures and
+//! invariants, spanning all workspace crates through the facade.
+//!
+//! Each test drives a seeded `SmallRng` through a fixed number of cases,
+//! so failures are reproducible without an external shrinking framework:
+//! the case loop prints enough context (`case i`) to replay by hand.
 
 use cachecraft::ecc::code::{Codec, DecodeOutcome};
 use cachecraft::ecc::layout::{EccPlacement, InlineLayout};
@@ -13,15 +17,19 @@ use cachecraft::sim::config::GpuConfig;
 use cachecraft::sim::protection::ChannelInterleave;
 use cachecraft::sim::trace::{KernelTrace, WarpOp, WarpTrace};
 use cachecraft::sim::types::LogicalAtom;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// SEC-DED corrects any single-bit error in data or check.
-    #[test]
-    fn secded_corrects_any_single_bit(data: [u8; 8], pos in 0u32..72) {
-        let codec = SecDed64::new();
+/// SEC-DED corrects any single-bit error in data or check.
+#[test]
+fn secded_corrects_any_single_bit() {
+    let codec = SecDed64::new();
+    let mut rng = SmallRng::seed_from_u64(0xD0C1);
+    // Exhaustive over the flipped bit position, random over the payload.
+    for pos in 0u32..72 {
+        let data: [u8; 8] = rng.gen();
         let check = codec.encode(&data);
         let mut buf = data.to_vec();
         buf.extend_from_slice(&check);
@@ -29,15 +37,23 @@ proptest! {
         let (d, c) = buf.split_at_mut(8);
         let mut d = d.to_vec();
         let outcome = codec.decode(&mut d, c);
-        prop_assert!(outcome.is_usable());
-        prop_assert_eq!(&d[..], &data[..]);
+        assert!(outcome.is_usable(), "bit {pos}: outcome {outcome:?}");
+        assert_eq!(&d[..], &data[..], "bit {pos}: corrected to wrong data");
     }
+}
 
-    /// SEC-DED never silently corrupts on any double-bit error.
-    #[test]
-    fn secded_never_sdc_on_double_bits(data: [u8; 8], p1 in 0u32..72, p2 in 0u32..72) {
-        prop_assume!(p1 != p2);
-        let codec = SecDed64::new();
+/// SEC-DED never silently corrupts on any double-bit error.
+#[test]
+fn secded_never_sdc_on_double_bits() {
+    let codec = SecDed64::new();
+    let mut rng = SmallRng::seed_from_u64(0xD0C2);
+    for case in 0..CASES {
+        let data: [u8; 8] = rng.gen();
+        let p1: u32 = rng.gen_range(0..72);
+        let mut p2: u32 = rng.gen_range(0..72);
+        while p2 == p1 {
+            p2 = rng.gen_range(0..72);
+        }
         let check = codec.encode(&data);
         let mut buf = data.to_vec();
         buf.extend_from_slice(&check);
@@ -47,20 +63,28 @@ proptest! {
         let (d, c) = buf.split_at_mut(8);
         let mut d = d.to_vec();
         let outcome = codec.decode(&mut d, c);
-        prop_assert_eq!(outcome, DecodeOutcome::DetectedUncorrectable);
+        assert_eq!(
+            outcome,
+            DecodeOutcome::DetectedUncorrectable,
+            "case {case}: bits {p1},{p2}"
+        );
     }
+}
 
-    /// RS(36,32) corrects any error confined to at most 2 symbols.
-    #[test]
-    fn rs_corrects_up_to_t_symbols(
-        seed in 0u64..1000,
-        s1 in 0usize..36,
-        s2 in 0usize..36,
-        e1 in 1u8..=255,
-        e2 in 1u8..=255,
-    ) {
-        let rs = ReedSolomon::new(36, 32).unwrap();
-        let data: Vec<u8> = (0..32).map(|i| (seed as u8).wrapping_mul(17).wrapping_add(i)).collect();
+/// RS(36,32) corrects any error confined to at most 2 symbols.
+#[test]
+fn rs_corrects_up_to_t_symbols() {
+    let rs = ReedSolomon::new(36, 32).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xD0C3);
+    for case in 0..CASES {
+        let seed: u64 = rng.gen_range(0..1000);
+        let s1: usize = rng.gen_range(0..36);
+        let s2: usize = rng.gen_range(0..36);
+        let e1: u8 = rng.gen_range(1..=255);
+        let e2: u8 = rng.gen_range(1..=255);
+        let data: Vec<u8> = (0..32)
+            .map(|i| (seed as u8).wrapping_mul(17).wrapping_add(i))
+            .collect();
         let check = rs.encode(&data);
         let mut buf = data.clone();
         buf.extend_from_slice(&check);
@@ -71,73 +95,106 @@ proptest! {
         let (d, c) = buf.split_at_mut(32);
         let mut d = d.to_vec();
         let outcome = rs.decode(&mut d, c);
-        prop_assert!(outcome.is_usable(), "outcome {:?}", outcome);
-        prop_assert_eq!(&d[..], &data[..]);
+        assert!(outcome.is_usable(), "case {case}: outcome {outcome:?}");
+        assert_eq!(&d[..], &data[..], "case {case}: wrong correction");
     }
+}
 
-    /// Tagged SEC-DED: a wrong tag on clean data is always reported.
-    #[test]
-    fn tagged_mismatch_always_detected(data: [u8; 8], stored in 0u8..16, expected in 0u8..16) {
-        prop_assume!(stored != expected);
-        let codec = TaggedSecDed::new(4).unwrap();
+/// Tagged SEC-DED: a wrong tag on clean data is always reported.
+#[test]
+fn tagged_mismatch_always_detected() {
+    let codec = TaggedSecDed::new(4).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xD0C4);
+    for case in 0..CASES {
+        let data: [u8; 8] = rng.gen();
+        let stored: u8 = rng.gen_range(0..16);
+        let mut expected: u8 = rng.gen_range(0..16);
+        while expected == stored {
+            expected = rng.gen_range(0..16);
+        }
         let check = codec.encode(&data, stored);
         let mut buf = data;
         let outcome = codec.decode(&mut buf, &check, expected);
-        prop_assert_eq!(outcome, DecodeOutcome::TagMismatch);
-        prop_assert_eq!(buf, data);
+        assert_eq!(outcome, DecodeOutcome::TagMismatch, "case {case}");
+        assert_eq!(buf, data, "case {case}: data mutated on mismatch");
     }
+}
 
-    /// The inline layout is a bijection between logical data atoms and
-    /// non-ECC physical atoms, and ECC lookups are consistent.
-    #[test]
-    fn layout_bijectivity(
-        coverage in prop::sample::select(vec![8u32, 16, 32]),
-        colocated: bool,
-        probe in 0u64..10_000,
-    ) {
-        let placement = if colocated {
-            EccPlacement::RowColocated { row_atoms: 64 }
-        } else {
-            EccPlacement::ReservedRegion
-        };
-        let layout = InlineLayout::new(placement, coverage, 1 << 16);
-        let logical = probe % layout.data_atoms();
-        let phys = layout.logical_to_physical(logical);
-        prop_assert!(!layout.is_ecc_atom(phys));
-        prop_assert_eq!(layout.physical_to_logical(phys), Some(logical));
-        let ecc = layout.ecc_atom_for(phys);
-        prop_assert!(layout.is_ecc_atom(ecc));
-        let (first, count) = layout.covered_data_atoms(ecc);
-        prop_assert!((first..first + count).contains(&phys));
-    }
-
-    /// Channel interleave split/join round-trips and balances.
-    #[test]
-    fn interleave_round_trip(channels in 1u16..=16, atom in 0u64..1_000_000) {
-        let il = ChannelInterleave::new(channels, 8);
-        let (ch, local) = il.split(LogicalAtom(atom));
-        prop_assert!(ch < channels);
-        prop_assert_eq!(il.join(ch, local), LogicalAtom(atom));
-    }
-
-    /// Coalescing produces unique atoms covering exactly the input bytes.
-    #[test]
-    fn coalesce_unique_and_covering(addrs in prop::collection::vec(0u64..100_000, 1..32)) {
-        let atoms = coalesce(&addrs);
-        let set: std::collections::HashSet<_> = atoms.iter().collect();
-        prop_assert_eq!(set.len(), atoms.len(), "duplicate atoms");
-        for &a in &addrs {
-            prop_assert!(atoms.contains(&LogicalAtom(a / 32)), "address {} uncovered", a);
+/// The inline layout is a bijection between logical data atoms and
+/// non-ECC physical atoms, and ECC lookups are consistent.
+#[test]
+fn layout_bijectivity() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C5);
+    for coverage in [8u32, 16, 32] {
+        for colocated in [false, true] {
+            let placement = if colocated {
+                EccPlacement::RowColocated { row_atoms: 64 }
+            } else {
+                EccPlacement::ReservedRegion
+            };
+            let layout = InlineLayout::new(placement, coverage, 1 << 16);
+            for _ in 0..16 {
+                let probe: u64 = rng.gen_range(0..10_000);
+                let logical = probe % layout.data_atoms();
+                let phys = layout.logical_to_physical(logical);
+                assert!(!layout.is_ecc_atom(phys));
+                assert_eq!(layout.physical_to_logical(phys), Some(logical));
+                let ecc = layout.ecc_atom_for(phys);
+                assert!(layout.is_ecc_atom(ecc));
+                let (first, count) = layout.covered_data_atoms(ecc);
+                assert!(
+                    (first..first + count).contains(&phys),
+                    "coverage {coverage} colocated {colocated} probe {probe}"
+                );
+            }
         }
     }
+}
 
-    /// Write coalescing marks an atom full iff the lanes cover all 32
-    /// bytes (checked against a bitmap oracle).
-    #[test]
-    fn coalesce_writes_coverage_oracle(
-        addrs in prop::collection::vec(0u64..4096, 1..32),
-        width in prop::sample::select(vec![1u32, 2, 4, 8, 16, 32]),
-    ) {
+/// Channel interleave split/join round-trips and balances.
+#[test]
+fn interleave_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C6);
+    for channels in 1u16..=16 {
+        let il = ChannelInterleave::new(channels, 8);
+        for _ in 0..16 {
+            let atom: u64 = rng.gen_range(0..1_000_000);
+            let (ch, local) = il.split(LogicalAtom(atom));
+            assert!(ch < channels);
+            assert_eq!(il.join(ch, local), LogicalAtom(atom));
+        }
+    }
+}
+
+/// Coalescing produces unique atoms covering exactly the input bytes.
+#[test]
+fn coalesce_unique_and_covering() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C7);
+    for case in 0..CASES {
+        let len: usize = rng.gen_range(1..32);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..100_000)).collect();
+        let atoms = coalesce(&addrs);
+        let set: std::collections::HashSet<_> = atoms.iter().collect();
+        assert_eq!(set.len(), atoms.len(), "case {case}: duplicate atoms");
+        for &a in &addrs {
+            assert!(
+                atoms.contains(&LogicalAtom(a / 32)),
+                "case {case}: address {a} uncovered"
+            );
+        }
+    }
+}
+
+/// Write coalescing marks an atom full iff the lanes cover all 32
+/// bytes (checked against a bitmap oracle).
+#[test]
+fn coalesce_writes_coverage_oracle() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C8);
+    let widths = [1u32, 2, 4, 8, 16, 32];
+    for case in 0..CASES {
+        let len: usize = rng.gen_range(1..32);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..4096)).collect();
+        let width = widths[rng.gen_range(0..widths.len())];
         let result = coalesce_writes(&addrs, width);
         let mut oracle: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for &a in &addrs {
@@ -145,45 +202,59 @@ proptest! {
                 *oracle.entry(b / 32).or_default() |= 1u64 << (b % 32);
             }
         }
-        prop_assert_eq!(result.len(), oracle.len());
+        assert_eq!(result.len(), oracle.len(), "case {case}");
         for (atom, full) in result {
-            prop_assert_eq!(full, oracle[&atom.0] == (1u64 << 32) - 1, "atom {:?}", atom);
+            assert_eq!(
+                full,
+                oracle[&atom.0] == (1u64 << 32) - 1,
+                "case {case}: atom {atom:?}"
+            );
         }
     }
+}
 
-    /// Cache invariant: a filled atom probes true until evicted, and
-    /// capacity is never exceeded.
-    #[test]
-    fn cache_fill_probe_capacity(atoms in prop::collection::vec(0u64..10_000, 1..200)) {
+/// Cache invariant: a filled atom probes true until evicted, and
+/// capacity is never exceeded.
+#[test]
+fn cache_fill_probe_capacity() {
+    let mut rng = SmallRng::seed_from_u64(0xD0C9);
+    for case in 0..CASES {
         let mut c = SectorCache::new_hashed(16, 4, 1);
-        for &a in &atoms {
+        let len: usize = rng.gen_range(1..200);
+        for _ in 0..len {
+            let a: u64 = rng.gen_range(0..10_000);
             c.fill(a, false);
-            prop_assert!(c.probe(a), "atom {} lost right after fill", a);
+            assert!(c.probe(a), "case {case}: atom {a} lost right after fill");
         }
-        prop_assert!(c.valid_atoms() <= 64, "capacity exceeded");
+        assert!(c.valid_atoms() <= 64, "case {case}: capacity exceeded");
     }
+}
 
-    /// End-to-end: simulation of a random small trace is deterministic and
-    /// conserves demand reads across protection schemes.
-    #[test]
-    fn random_trace_scheme_invariants(
-        seed in 0u64..50,
-        ops_per_warp in 4usize..24,
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+/// End-to-end: simulation of a random small trace is deterministic and
+/// conserves demand reads across protection schemes.
+#[test]
+fn random_trace_scheme_invariants() {
+    for seed in 0u64..8 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ops_per_warp: usize = rng.gen_range(4..24);
         let warps: Vec<WarpTrace> = (0..4)
             .map(|_| {
                 let ops = (0..ops_per_warp)
                     .map(|_| {
                         if rng.gen_bool(0.3) {
-                            WarpOp::Compute { cycles: rng.gen_range(1..20) }
+                            WarpOp::Compute {
+                                cycles: rng.gen_range(1..20),
+                            }
                         } else {
                             let base: u64 = rng.gen_range(0..4096);
-                            let atoms: Vec<LogicalAtom> =
-                                (0..rng.gen_range(1..4)).map(|k| LogicalAtom(base + k)).collect();
+                            let atoms: Vec<LogicalAtom> = (0..rng.gen_range(1..4u64))
+                                .map(|k| LogicalAtom(base + k))
+                                .collect();
                             if rng.gen_bool(0.3) {
-                                WarpOp::Store { atoms, full: rng.gen_bool(0.7) }
+                                WarpOp::Store {
+                                    atoms,
+                                    full: rng.gen_bool(0.7),
+                                }
                             } else {
                                 WarpOp::Load { atoms }
                             }
@@ -197,14 +268,18 @@ proptest! {
         let cfg = GpuConfig::tiny();
         let a = run_scheme(&cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace);
         let b = run_scheme(&cfg, SchemeKind::InlineNaive { coverage: 8 }, &trace);
-        prop_assert_eq!(&a, &b, "nondeterministic simulation");
-        prop_assert!(!a.timed_out);
+        assert_eq!(a, b, "seed {seed}: nondeterministic simulation");
+        assert!(!a.timed_out, "seed {seed}");
         // Traces with reuse may refetch a few atoms depending on fill
         // timing (MSHR merge windows differ across schemes), so demand
         // reads match within a small tolerance rather than exactly.
         let none = run_scheme(&cfg, SchemeKind::NoProtection, &trace);
         let (lo, hi) = (none.dram[0].min(a.dram[0]), none.dram[0].max(a.dram[0]));
-        prop_assert!(hi - lo <= hi / 5 + 4,
-            "demand reads diverged: naive {} vs none {}", a.dram[0], none.dram[0]);
+        assert!(
+            hi - lo <= hi / 5 + 4,
+            "seed {seed}: demand reads diverged: naive {} vs none {}",
+            a.dram[0],
+            none.dram[0]
+        );
     }
 }

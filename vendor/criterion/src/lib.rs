@@ -1,0 +1,170 @@
+//! Vendored, offline-compatible subset of the `criterion` API.
+//!
+//! Provides just enough surface for this workspace's benches to compile
+//! and run: each `bench_function` / `bench_with_input` call executes its
+//! body a handful of timed iterations and prints a mean wall time. This
+//! is a smoke-test harness, not a statistics engine — use it to check the
+//! benches still run and for coarse relative numbers only.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Records the per-iteration throughput (printed only).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Bytes(b) => println!("  throughput: {b} bytes/iter"),
+            Throughput::Elements(e) => println!("  throughput: {e} elements/iter"),
+        }
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            budget: self.measurement_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            budget: self.measurement_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&id.id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            std::hint::black_box(routine());
+            self.iters += 1;
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+    }
+
+    fn report(&self, id: &str) {
+        let mean = if self.iters > 0 {
+            self.total / u32::try_from(self.iters).unwrap_or(u32::MAX)
+        } else {
+            Duration::ZERO
+        };
+        println!("  {id}: {mean:?}/iter over {} iters", self.iters);
+    }
+}
+
+/// Mirrors criterion's `black_box` re-export.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,57 @@
+//! Slice sampling helpers (`rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// Random selection and shuffling over slices.
+pub trait SliceRandom {
+    /// Element type of the underlying slice.
+    type Item;
+
+    /// Returns a uniformly chosen element, or `None` when empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffles the slice in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffles `amount` uniformly chosen elements to the end of the
+    /// slice and returns `(chosen, rest)`, matching rand 0.8 semantics.
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let len = self.len();
+        let end = len.saturating_sub(amount);
+        for i in (end..len).rev() {
+            if i > 0 {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+        let (rest, chosen) = self.split_at_mut(end);
+        (chosen, rest)
+    }
+}

@@ -1,0 +1,381 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the offline serde subset (see `vendor/README.md`).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields;
+//! * newtype structs (`struct Id(pub u64);`);
+//! * enums whose variants are unit or struct-like (externally tagged in
+//!   JSON, matching real serde: `"Variant"` / `{"Variant": {...}}`).
+//!
+//! Supported field attributes:
+//!
+//! * `#[serde(default)]` — a missing key deserializes via `Default`;
+//! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from
+//!   the serialized object when `path(&value)` is true.
+//!
+//! The macro parses the item token stream by hand (no `syn`), which is
+//! adequate because the supported grammar is small; unsupported shapes
+//! produce a compile error naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]` payload.
+    skip_if: Option<String>,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+/// Parsed derive input.
+enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Extracts serde attributes from an attribute group token sequence.
+/// `tokens` is the content inside `#[...]`.
+fn parse_serde_attr(tokens: &[TokenTree], default: &mut bool, skip_if: &mut Option<String>) {
+    // Expect: serde ( ... )
+    let mut it = tokens.iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(g)) = it.next() else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                *default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                // skip_serializing_if = "path"
+                i += 2; // skip ident and '='
+                if let Some(TokenTree::Literal(lit)) = inner.get(i) {
+                    let s = lit.to_string();
+                    *skip_if = Some(s.trim_matches('"').to_string());
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Consumes attribute groups (`#[...]`) at `*i`, collecting serde field
+/// attributes.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize, default: &mut bool, skip_if: &mut Option<String>) {
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_serde_attr(&inner, default, skip_if);
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses the fields of a named-field body group: `{ pub a: T, ... }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        let mut skip_if = None;
+        skip_attrs(&tokens, &mut i, &mut default, &mut skip_if);
+        // Optional visibility: `pub` possibly followed by `(...)`.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name.
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        // Skip `:` then the type, up to the next top-level comma. Angle
+        // brackets need depth tracking (`Vec<(u64, u64)>`); parens/brackets
+        // arrive as single groups.
+        i += 1; // ':'
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
+    }
+    fields
+}
+
+/// Parses the variants of an enum body group.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        let mut skip_if = None;
+        skip_attrs(&tokens, &mut i, &mut default, &mut skip_if);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Brace {
+                fields = Some(parse_named_fields(g));
+                i += 1;
+            } else if g.delimiter() == Delimiter::Parenthesis {
+                panic!("vendored serde_derive: tuple enum variants are not supported ({name})");
+            }
+        }
+        // Skip an optional trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Parses the derive input item.
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: unexpected input start {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic types are not supported ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                // Count top-level commas to reject multi-field tuples.
+                let commas = inner
+                    .iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                let trailing_comma = matches!(
+                    inner.last(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ','
+                );
+                if commas > usize::from(trailing_comma) {
+                    panic!(
+                        "vendored serde_derive: multi-field tuple structs are not supported ({name})"
+                    );
+                }
+                Input::NewtypeStruct { name }
+            }
+            other => panic!("vendored serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("vendored serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("vendored serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n    let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n"
+            ));
+            for f in &fields {
+                let fname = &f.name;
+                if let Some(skip) = &f.skip_if {
+                    out.push_str(&format!(
+                        "    if !{skip}(&self.{fname}) {{ entries.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname}))); }}\n"
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "    entries.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));\n"
+                    ));
+                }
+            }
+            out.push_str("    ::serde::Value::Object(entries)\n  }\n}\n");
+        }
+        Input::NewtypeStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n    ::serde::Serialize::to_value(&self.0)\n  }}\n}}\n"
+            ));
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n    match self {{\n"
+            ));
+            for v in &variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => out.push_str(&format!(
+                        "      {name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let pat: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        out.push_str(&format!(
+                            "      {name}::{vname} {{ {} }} => {{\n        let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                            pat.join(", ")
+                        ));
+                        for f in fields {
+                            let fname = &f.name;
+                            out.push_str(&format!(
+                                "        entries.push((\"{fname}\".to_string(), ::serde::Serialize::to_value({fname})));\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "        ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(entries))])\n      }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("    }\n  }\n}\n");
+        }
+    }
+    out.parse().expect("vendored serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_input(input) {
+        Input::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n  fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n    if !matches!(v, ::serde::Value::Object(_)) {{\n      return Err(::serde::Error::msg(format!(\"{name}: expected object, found {{}}\", v.kind())));\n    }}\n    Ok({name} {{\n"
+            ));
+            for f in &fields {
+                let fname = &f.name;
+                if f.default {
+                    out.push_str(&format!(
+                        "      {fname}: match v.get(\"{fname}\") {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => Default::default() }},\n"
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "      {fname}: ::serde::Deserialize::from_value(v.get(\"{fname}\").ok_or_else(|| ::serde::Error::msg(\"{name}: missing field `{fname}`\"))?)?,\n"
+                    ));
+                }
+            }
+            out.push_str("    })\n  }\n}\n");
+        }
+        Input::NewtypeStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n  fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n    Ok({name}(::serde::Deserialize::from_value(v)?))\n  }}\n}}\n"
+            ));
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n  fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n    match v {{\n      ::serde::Value::String(s) => match s.as_str() {{\n"
+            ));
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                let vname = &v.name;
+                out.push_str(&format!("        \"{vname}\" => Ok({name}::{vname}),\n"));
+            }
+            out.push_str(&format!(
+                "        other => Err(::serde::Error::msg(format!(\"{name}: unknown variant `{{other}}`\"))),\n      }},\n      ::serde::Value::Object(entries) if entries.len() == 1 => {{\n        let (tag, body) = &entries[0];\n        match tag.as_str() {{\n"
+            ));
+            for v in variants.iter() {
+                if let Some(fields) = &v.fields {
+                    let vname = &v.name;
+                    out.push_str(&format!("          \"{vname}\" => Ok({name}::{vname} {{\n"));
+                    for f in fields {
+                        let fname = &f.name;
+                        if f.default {
+                            out.push_str(&format!(
+                                "            {fname}: match body.get(\"{fname}\") {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => Default::default() }},\n"
+                            ));
+                        } else {
+                            out.push_str(&format!(
+                                "            {fname}: ::serde::Deserialize::from_value(body.get(\"{fname}\").ok_or_else(|| ::serde::Error::msg(\"{name}::{vname}: missing field `{fname}`\"))?)?,\n"
+                            ));
+                        }
+                    }
+                    out.push_str("          }),\n");
+                }
+            }
+            out.push_str(&format!(
+                "          other => Err(::serde::Error::msg(format!(\"{name}: unknown variant `{{other}}`\"))),\n        }}\n      }}\n      other => Err(::serde::Error::msg(format!(\"{name}: expected string or single-key object, found {{}}\", other.kind()))),\n    }}\n  }}\n}}\n"
+            ));
+        }
+    }
+    out.parse().expect("vendored serde_derive: generated invalid Deserialize impl")
+}
