@@ -142,6 +142,8 @@ impl CoalesceBuffer {
     ///
     /// Panics if the atom is not pending; callers check
     /// [`contains`](Self::contains) first.
+    // Documented invariant panic: callers check `contains` first.
+    #[allow(clippy::expect_used)]
     fn merge_into(&mut self, atom: u64) -> u64 {
         let count = self
             .members
@@ -393,6 +395,11 @@ impl ProtectionScheme for CacheCraft {
         } else {
             0
         }
+    }
+
+    fn fault_codec(&self) -> ccraft_sim::faults::ProtectionCodec {
+        // Reconstructed codewords use the symbol-correcting RS(36,32) code.
+        ccraft_sim::faults::ProtectionCodec::Rs36_32
     }
 
     fn stats(&self) -> ProtectionStats {

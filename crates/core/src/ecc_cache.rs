@@ -119,6 +119,11 @@ impl ProtectionScheme for EccCache {
         self.store.is_drained()
     }
 
+    fn fault_codec(&self) -> ccraft_sim::faults::ProtectionCodec {
+        // Same SEC-DED storage code as inline-naive; only fetch policy differs.
+        ccraft_sim::faults::ProtectionCodec::SecDed64
+    }
+
     fn stats(&self) -> ProtectionStats {
         self.stats
     }

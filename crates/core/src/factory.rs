@@ -116,8 +116,30 @@ pub fn run_scheme_with_telemetry(
     trace: &KernelTrace,
     tel: &ccraft_telemetry::TelemetryConfig,
 ) -> ccraft_sim::SimOutput {
+    run_scheme_instrumented(cfg, kind, trace, tel, None)
+}
+
+/// Like [`run_scheme_with_telemetry`], plus optional in-situ fault
+/// injection: when `faults` is given, DRAM reads are exposed to the
+/// configured error pattern, decode trials run through the scheme's
+/// storage codec, and benign/corrected/DUE/SDC counters land in
+/// [`SimStats::faults`](ccraft_sim::SimStats).
+pub fn run_scheme_instrumented(
+    cfg: &GpuConfig,
+    kind: SchemeKind,
+    trace: &KernelTrace,
+    tel: &ccraft_telemetry::TelemetryConfig,
+    faults: Option<&ccraft_sim::faults::FaultConfig>,
+) -> ccraft_sim::SimOutput {
     let mut scheme = kind.build(cfg);
-    ccraft_sim::gpu::simulate_with_telemetry(cfg, MapOrder::RoBaCo, trace, scheme.as_mut(), tel)
+    ccraft_sim::gpu::simulate_instrumented(
+        cfg,
+        MapOrder::RoBaCo,
+        trace,
+        scheme.as_mut(),
+        tel,
+        faults,
+    )
 }
 
 #[cfg(test)]
@@ -218,6 +240,42 @@ mod tests {
         assert!(hist.p99() >= hist.p50());
         assert!(hist.p50() >= 1);
         assert!(on.stats.timeline.as_ref().expect("timeline").epochs() >= 1);
+    }
+
+    #[test]
+    fn schemes_decode_injected_faults_with_their_own_codec() {
+        use ccraft_ecc::inject::ErrorPattern;
+        use ccraft_sim::faults::{FaultConfig, FaultRate};
+        let cfg = GpuConfig::tiny();
+        let trace = small_stream();
+        let fc = FaultConfig {
+            pattern: ErrorPattern::SymbolError,
+            rate: FaultRate::PerAccess { p: 1.0 },
+            seed: 42,
+        };
+        let tel = ccraft_telemetry::TelemetryConfig::disabled();
+        let run = |kind| {
+            run_scheme_instrumented(&cfg, kind, &trace, &tel, Some(&fc))
+                .stats
+                .faults
+                .expect("fault stats")
+        };
+        // No protection: every faulted data read is silent corruption.
+        let none = run(SchemeKind::NoProtection);
+        assert!(none.injected > 0);
+        assert_eq!(none.sdc, none.injected);
+        assert_eq!(none.ecc_reads, 0);
+        // CacheCraft decodes RS(36,32): whole-symbol faults are corrected.
+        let craft = run(SchemeKind::CacheCraft(CacheCraftConfig::for_machine(&cfg)));
+        assert!(craft.corrected > 0, "{craft:?}");
+        assert_eq!(craft.sdc, 0, "RS corrects every single-symbol fault");
+        // Inline SEC-DED cannot correct multi-bit symbol faults: some
+        // become DUE or SDC.
+        let naive = run(SchemeKind::InlineNaive { coverage: 8 });
+        assert!(naive.due + naive.sdc > 0, "{naive:?}");
+        // CacheCraft's cached/reconstructed ECC exposes fewer ECC reads
+        // to faults than fetch-per-access naive.
+        assert!(craft.ecc_reads <= naive.ecc_reads);
     }
 
     #[test]

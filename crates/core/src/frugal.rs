@@ -115,6 +115,11 @@ impl ProtectionScheme for CompressedInline {
         true
     }
 
+    fn fault_codec(&self) -> ccraft_sim::faults::ProtectionCodec {
+        // Compressed layouts still decode SEC-DED codewords.
+        ccraft_sim::faults::ProtectionCodec::SecDed64
+    }
+
     fn stats(&self) -> ProtectionStats {
         self.stats
     }

@@ -33,7 +33,10 @@
 //! let normalized = baseline.exec_cycles as f64 / craft.exec_cycles as f64;
 //! assert!(normalized > 0.0);
 //! ```
-
+// Library crates must not abort the process on recoverable conditions:
+// panicking escapes are denied outside tests, and the few justified
+// invariant panics carry scoped `#[allow]`s with a safety comment.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -48,6 +51,6 @@ pub mod storage;
 
 pub use cachecraft::{CacheCraft, CacheCraftConfig};
 pub use ecc_cache::EccCache;
-pub use factory::{run_scheme, SchemeKind};
+pub use factory::{run_scheme, run_scheme_instrumented, run_scheme_with_telemetry, SchemeKind};
 pub use frugal::CompressedInline;
 pub use naive::InlineNaive;

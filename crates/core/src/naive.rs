@@ -76,6 +76,11 @@ impl ProtectionScheme for InlineNaive {
         true
     }
 
+    fn fault_codec(&self) -> ccraft_sim::faults::ProtectionCodec {
+        // SEC-DED(72,64) per inline codeword.
+        ccraft_sim::faults::ProtectionCodec::SecDed64
+    }
+
     fn stats(&self) -> ProtectionStats {
         self.stats
     }

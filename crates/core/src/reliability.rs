@@ -132,6 +132,9 @@ pub struct Campaign {
     pub seed: u64,
 }
 
+// The RS parameters here are compile-time constants known to satisfy
+// n > k and n <= 255; `new` cannot fail on them.
+#[allow(clippy::expect_used)]
 fn build_codec(kind: CodecKind) -> Box<dyn Codec> {
     match kind {
         CodecKind::SecDed64 => Box::new(SecDed64::new()),
@@ -203,6 +206,8 @@ impl Campaign {
         Self::classify(outcome, data == original)
     }
 
+    // 4-bit tags are a compile-time constant within TaggedSecDed's range.
+    #[allow(clippy::expect_used)]
     fn tagged_trial<R: Rng>(injector: &Injector, rng: &mut R) -> TrialOutcome {
         let codec = TaggedSecDed::new(4).expect("4-bit tags fit");
         let tag: u8 = rng.gen_range(0..16);

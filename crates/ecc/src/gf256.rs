@@ -210,6 +210,9 @@ impl Div for Gf256 {
     ///
     /// Panics on division by zero.
     #[inline]
+    // Documented invariant panic: division by zero is a caller bug, same
+    // as integer `/`.
+    #[allow(clippy::expect_used)]
     fn div(self, rhs: Gf256) -> Gf256 {
         let inv = rhs.inverse().expect("division by zero in GF(256)");
         self * inv

@@ -82,20 +82,41 @@ impl Injector {
     /// Flips bits in `buf` according to the pattern, returning the flipped
     /// bit positions (bit `i` = byte `i / 8`, bit `i % 8`), sorted.
     ///
+    /// Patterns sized beyond the buffer are clamped to its bit-width rather
+    /// than panicking or wrapping: `RandomBits { count }` flips at most
+    /// `nbits` distinct bits (and `count == 0` is a no-op), an
+    /// `AdjacentBurst` longer than the buffer covers the whole buffer, and
+    /// a burst placed near the end stays inside it — bursts never wrap
+    /// around the codeword boundary. `ChipLane` strides wider than the
+    /// buffer degenerate to a single-bit lane. Requested-vs-clamped
+    /// mismatches trip a `debug_assert` so test builds still catch
+    /// misconfigured campaigns.
+    ///
     /// # Panics
     ///
-    /// Panics if `buf` is empty or smaller than the pattern requires.
+    /// Panics if `buf` is empty.
     pub fn apply<R: Rng + ?Sized>(&self, buf: &mut [u8], rng: &mut R) -> Vec<u32> {
         assert!(!buf.is_empty(), "cannot inject into an empty buffer");
         let nbits = (buf.len() * 8) as u32;
         let mut positions: Vec<u32> = match self.pattern {
             ErrorPattern::RandomBits { count } => {
-                assert!(count <= nbits, "more flips than bits");
-                let mut all: Vec<u32> = (0..nbits).collect();
-                all.partial_shuffle(rng, count as usize).0.to_vec()
+                debug_assert!(count <= nbits, "more flips requested than bits in buffer");
+                let count = count.min(nbits);
+                if count == 0 {
+                    Vec::new()
+                } else {
+                    let mut all: Vec<u32> = (0..nbits).collect();
+                    all.partial_shuffle(rng, count as usize).0.to_vec()
+                }
             }
             ErrorPattern::AdjacentBurst { len } => {
-                assert!(len >= 1 && len <= nbits, "burst length out of range");
+                debug_assert!(
+                    len >= 1 && len <= nbits,
+                    "burst length outside buffer bit-width"
+                );
+                let len = len.clamp(1, nbits);
+                // `start` is drawn so the burst always fits: a burst touching
+                // the last bit ends there; it never wraps to bit 0.
                 let start = rng.gen_range(0..=(nbits - len));
                 (start..start + len).collect()
             }
@@ -108,17 +129,22 @@ impl Injector {
                     .collect()
             }
             ErrorPattern::ChipLane { stride } => {
-                assert!(stride >= 1 && stride <= nbits, "stride out of range");
+                debug_assert!(
+                    stride >= 1 && stride <= nbits,
+                    "stride outside buffer bit-width"
+                );
+                let stride = stride.clamp(1, nbits);
                 let lane = rng.gen_range(0..stride);
                 let candidates: Vec<u32> = (lane..nbits).step_by(stride as usize).collect();
-                assert!(!candidates.is_empty());
+                debug_assert!(!candidates.is_empty());
                 let mut picked: Vec<u32> = candidates
                     .iter()
                     .copied()
                     .filter(|_| rng.gen_bool(0.5))
                     .collect();
                 if picked.is_empty() {
-                    picked.push(*candidates.choose(rng).expect("nonempty"));
+                    let idx = rng.gen_range(0..candidates.len());
+                    picked.push(candidates[idx]);
                 }
                 picked
             }
@@ -217,6 +243,64 @@ mod tests {
         inj.apply(&mut a, &mut rng(5));
         inj.apply(&mut b, &mut rng(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_at_codeword_boundary_stays_in_bounds() {
+        // A burst as long as the buffer must cover exactly the whole buffer;
+        // shorter bursts placed anywhere must never produce a position past
+        // the last bit (i.e. no wrap-around).
+        let nbits = 64u32;
+        let full = Injector::new(ErrorPattern::AdjacentBurst { len: nbits });
+        let mut buf = [0u8; 8];
+        let pos = full.apply(&mut buf, &mut rng(1));
+        assert_eq!(pos, (0..nbits).collect::<Vec<_>>());
+        assert!(buf.iter().all(|&b| b == 0xFF));
+
+        let near = Injector::new(ErrorPattern::AdjacentBurst { len: nbits - 1 });
+        for seed in 0..100 {
+            let mut buf = [0u8; 8];
+            let pos = near.apply(&mut buf, &mut rng(seed));
+            assert_eq!(pos.len(), (nbits - 1) as usize);
+            assert!(*pos.last().unwrap() < nbits, "seed {seed}: wrapped");
+        }
+    }
+
+    #[test]
+    fn random_bits_full_width_flips_every_bit() {
+        let inj = Injector::new(ErrorPattern::RandomBits { count: 64 });
+        let mut buf = [0u8; 8];
+        let pos = inj.apply(&mut buf, &mut rng(3));
+        assert_eq!(pos.len(), 64);
+        assert!(buf.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn random_bits_zero_count_is_noop() {
+        let inj = Injector::new(ErrorPattern::RandomBits { count: 0 });
+        let mut buf = [0xA5u8; 8];
+        let pos = inj.apply(&mut buf, &mut rng(4));
+        assert!(pos.is_empty());
+        assert!(buf.iter().all(|&b| b == 0xA5));
+    }
+
+    // Clamping of oversize patterns trips a debug_assert in debug builds,
+    // so the release-mode contract is verified only there.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn oversize_patterns_clamp_to_buffer_width() {
+        let mut buf = [0u8; 2];
+        let pos =
+            Injector::new(ErrorPattern::RandomBits { count: 1000 }).apply(&mut buf, &mut rng(5));
+        assert_eq!(pos.len(), 16);
+        let mut buf = [0u8; 2];
+        let pos =
+            Injector::new(ErrorPattern::AdjacentBurst { len: 1000 }).apply(&mut buf, &mut rng(6));
+        assert_eq!(pos, (0..16).collect::<Vec<_>>());
+        let mut buf = [0u8; 2];
+        let pos =
+            Injector::new(ErrorPattern::ChipLane { stride: 1000 }).apply(&mut buf, &mut rng(7));
+        assert!(!pos.is_empty());
     }
 
     #[test]

@@ -259,6 +259,9 @@ impl InlineLayout {
     ///
     /// Panics when unprotected or when `data_physical` is an ECC atom or
     /// out of range.
+    // Documented invariant panic (see `# Panics`): passing an ECC atom
+    // here is a caller bug, not a recoverable condition.
+    #[allow(clippy::expect_used)]
     pub fn ecc_atom_for(&self, data_physical: u64) -> u64 {
         assert!(self.coverage != 0, "layout is unprotected");
         let logical = self
@@ -282,6 +285,8 @@ impl InlineLayout {
     /// # Panics
     ///
     /// Same conditions as [`ecc_atom_for`](Self::ecc_atom_for).
+    // Documented invariant panic, same conditions as `ecc_atom_for`.
+    #[allow(clippy::expect_used)]
     pub fn check_bytes_in_ecc_atom(&self, data_physical: u64) -> (u64, u64) {
         assert!(self.coverage != 0, "layout is unprotected");
         let len = self.check_bytes_per_atom();

@@ -38,7 +38,10 @@
 //! let ecc_atom = layout.ecc_atom_for(layout.logical_to_physical(0));
 //! assert!(layout.is_ecc_atom(ecc_atom));
 //! ```
-
+// Library crates must not abort the process on recoverable conditions:
+// panicking escapes are denied outside tests, and the few justified
+// invariant panics carry scoped `#[allow]`s with a safety comment.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

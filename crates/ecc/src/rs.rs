@@ -213,6 +213,10 @@ impl ReedSolomon {
     }
 
     /// Forney algorithm: error magnitudes for the found positions.
+    // Invariant: locators are alpha^k with k in range, hence nonzero and
+    // invertible; a zero locator would mean Chien search returned a
+    // position outside the codeword.
+    #[allow(clippy::expect_used)]
     fn forney(&self, syndromes: &[Gf256], sigma: &[Gf256], positions: &[usize]) -> Vec<Gf256> {
         // Error evaluator omega(x) = [S(x) * sigma(x)] mod x^(2t),
         // with S(x) = sum S_i x^i (lowest degree first).

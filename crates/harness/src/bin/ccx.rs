@@ -11,7 +11,7 @@
 //! ```
 
 use ccraft_core::cachecraft::CacheCraftConfig;
-use ccraft_core::factory::{run_scheme, run_scheme_with_telemetry, SchemeKind};
+use ccraft_core::factory::{run_scheme, run_scheme_instrumented, SchemeKind};
 use ccraft_core::reliability::{Campaign, CodecKind};
 use ccraft_ecc::inject::ErrorPattern;
 use ccraft_harness::report::write_manifest;
@@ -31,9 +31,20 @@ USAGE:
   ccx list
   ccx run --workload <name|all> [--scheme <name|all>] [--size tiny|small|full]
           [--machine gddr6|hbm2] [--seed N] [--energy]
+          [--inject <pattern>:<rate>]
           [--hist] [--timeline <file>] [--trace <file>]
   ccx reliability [--codec <secded|rs36|rs18|crc32|tagged4>]
                   [--pattern <bit1|bit2|bit3|burst4|symbol|chiplane>] [--trials N] [--seed N]
+
+FAULT INJECTION (ccx run):
+  --inject <pattern>:<rate>  expose DRAM reads to in-situ faults while the
+                     simulation runs: pattern is bit1|bit2|bit3|burst4|
+                     symbol|chiplane, rate is a per-access probability
+                     (e.g. symbol:1e-6) or FIT-style (bit2:fit=5000@24 =
+                     5000 FIT/GB for a 24-hour exposure). Decode outcomes
+                     (benign/corrected/DUE/SDC) go through each scheme's
+                     stored codec and are reported per cell. Injection is
+                     observational: timing and traffic are unchanged.
 
 TELEMETRY (ccx run):
   --hist             print read-latency percentiles (p50/p90/p99/max) per cell
@@ -111,6 +122,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let fault_cfg = match parse_flag(args, "--inject") {
+        None => None,
+        Some(spec) => match ccraft_sim::faults::FaultConfig::parse(&spec) {
+            Ok(fc) => Some(fc.with_seed(seed)),
+            Err(e) => {
+                eprintln!("{e}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let show_energy = args.iter().any(|a| a == "--energy");
     let show_hist = args.iter().any(|a| a == "--hist");
     let timeline_path = parse_flag(args, "--timeline");
@@ -161,13 +182,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut timeline_cells: Vec<Value> = Vec::new();
     let mut last_trace: Option<(String, ChromeTrace)> = None;
     let mut last_percentiles: Option<(u64, u64, u64, u64)> = None;
+    let mut fault_totals = ccraft_sim::faults::FaultStats::default();
     let mut cells = 0u64;
     for w in workloads {
         let trace = w.generate(size, seed);
         println!("\n{trace}");
         for &kind in &schemes {
-            let s = if telemetry_on {
-                let out = run_scheme_with_telemetry(&cfg, kind, &trace, &tel);
+            let s = if telemetry_on || fault_cfg.is_some() {
+                let out = run_scheme_instrumented(&cfg, kind, &trace, &tel, fault_cfg.as_ref());
                 if let Some(chrome) = out.trace {
                     last_trace = Some((format!("{}/{}", w.name(), kind.name()), chrome));
                 }
@@ -184,6 +206,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
             };
             cells += 1;
             println!("{s}");
+            if let Some(fs) = &s.faults {
+                println!(
+                    "  faults: {} injected over {} data + {} ecc reads -> \
+                     {} benign / {} corrected / {} DUE / {} SDC",
+                    fs.injected,
+                    fs.data_reads,
+                    fs.ecc_reads,
+                    fs.benign,
+                    fs.corrected,
+                    fs.due,
+                    fs.sdc,
+                );
+                fault_totals.data_reads += fs.data_reads;
+                fault_totals.ecc_reads += fs.ecc_reads;
+                fault_totals.injected += fs.injected;
+                fault_totals.benign += fs.benign;
+                fault_totals.corrected += fs.corrected;
+                fault_totals.due += fs.due;
+                fault_totals.sdc += fs.sdc;
+            }
             if let Some(h) = &s.latency_hist {
                 last_percentiles = Some((h.p50(), h.p90(), h.p99(), h.max));
                 if show_hist {
@@ -210,6 +252,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
     manifest.threads = 1;
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
     manifest.note("cells", cells as f64);
+    if fault_cfg.is_some() {
+        manifest.note("faults_injected", fault_totals.injected as f64);
+        manifest.note("faults_corrected", fault_totals.corrected as f64);
+        manifest.note("faults_due", fault_totals.due as f64);
+        manifest.note("faults_sdc", fault_totals.sdc as f64);
+    }
     if let Some((p50, p90, p99, max)) = last_percentiles {
         manifest.note("read_latency_p50", p50 as f64);
         manifest.note("read_latency_p90", p90 as f64);

@@ -23,6 +23,7 @@ fn main() {
         exp::frugal::run(opts);
         exp::scheduler::run(opts);
         exp::reliability::run(opts);
+        exp::faults::run(opts);
         exp::storage::run(opts);
         exp::tagged::run(opts);
     });

@@ -1,0 +1,11 @@
+//! T6: fault injection under load (see `experiments::faults`).
+//!
+//! ```text
+//! exp-faults [--inject <pattern>:<rate>] [--size ...] [--seed N]
+//! ```
+
+fn main() {
+    ccraft_harness::run_experiment("exp-faults", |opts| {
+        ccraft_harness::experiments::faults::run(opts);
+    });
+}

@@ -1,0 +1,117 @@
+//! Typed errors for the experiment harness.
+//!
+//! The harness distinguishes four failure classes: bad user input
+//! ([`Error::Config`]), filesystem trouble ([`Error::Io`]), a simulation
+//! cell that panicked ([`Error::WorkerPanic`]), and a cell that exceeded
+//! its watchdog ([`Error::Timeout`]). Binaries convert these to exit
+//! status + stderr; the runner converts the last two into per-cell
+//! outcomes instead of aborting the whole matrix.
+
+use std::fmt;
+
+/// A harness-level failure.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed or contradictory user-supplied configuration (CLI flags,
+    /// environment, spec strings).
+    Config(String),
+    /// An I/O operation failed; `context` names what was being done.
+    Io {
+        /// Human-readable description of the operation.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A simulation cell panicked.
+    WorkerPanic {
+        /// `workload/scheme` identifier of the cell.
+        cell: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A simulation cell exceeded its per-cell watchdog.
+    Timeout {
+        /// `workload/scheme` identifier of the cell.
+        cell: String,
+        /// The configured timeout.
+        secs: u64,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::Io`].
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`Error::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "{msg}"),
+            Error::Io { context, source } => write!(f, "{context}: {source}"),
+            Error::WorkerPanic { cell, message } => {
+                write!(f, "cell {cell} panicked: {message}")
+            }
+            Error::Timeout { cell, secs } => {
+                write!(f, "cell {cell} timed out after {secs}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_salient_fields() {
+        let e = Error::config("--seed expects an integer");
+        assert!(e.to_string().contains("--seed"));
+        let e = Error::io(
+            "writing results/x.csv",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("results/x.csv") && s.contains("denied"), "{s}");
+        let e = Error::WorkerPanic {
+            cell: "spmv/cachecraft".into(),
+            message: "index out of bounds".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("spmv/cachecraft") && s.contains("index out of bounds"));
+        let e = Error::Timeout {
+            cell: "spmv/cachecraft".into(),
+            secs: 30,
+        };
+        assert!(e.to_string().contains("30s"));
+    }
+
+    #[test]
+    fn io_errors_expose_their_source() {
+        use std::error::Error as _;
+        let e = Error::io(
+            "open",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "x"),
+        );
+        assert!(e.source().is_some());
+        assert!(Error::config("bad").source().is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! T6 — fault injection under load: decode outcomes when live DRAM read
+//! traffic is exposed to an in-situ error pattern, per workload × scheme.
+//!
+//! Unlike the T3 reliability table (isolated codec trials at a fixed
+//! trial count), every row here is a full timed simulation: faults arrive
+//! at the rate the workload actually reads DRAM, ECC traffic is exposed
+//! in proportion to how much of it each scheme issues, and the outcome
+//! mix reflects the codec each scheme really stores (SEC-DED for the
+//! inline/cached baselines, RS(36,32) for CacheCraft's reconstructed
+//! codewords).
+
+use crate::experiments::SWEEP_SUBSET;
+use crate::report::{banner, save_csv, Table};
+use crate::runner::{run_matrix, ExpOptions};
+use ccraft_core::factory::SchemeKind;
+use ccraft_sim::config::GpuConfig;
+use ccraft_sim::faults::{FaultConfig, FaultStats};
+
+/// Injection spec used when the caller did not pass `--inject`: one
+/// whole-symbol (chip) error per thousand DRAM read accesses — frequent
+/// enough that every small-size cell sees faults, rare enough that the
+/// outcome mix, not saturation, dominates the table.
+pub const DEFAULT_SPEC: &str = "symbol:1e-3";
+
+/// Prints and saves T6.
+pub fn run(opts: &ExpOptions) {
+    let mut opts = *opts;
+    let spec = match opts.inject {
+        Some(_) => "(--inject)".to_string(),
+        None => {
+            // Hard-coded spec: parse failure here is a programming error,
+            // not user input.
+            opts.inject =
+                Some(FaultConfig::parse(DEFAULT_SPEC).expect("default inject spec is valid"));
+            DEFAULT_SPEC.to_string()
+        }
+    };
+    banner(
+        "T6",
+        &format!("Fault injection under load ({spec}): decode outcomes through the timed pipeline"),
+    );
+    let cfg = GpuConfig::gddr6();
+    let schemes = SchemeKind::headline(&cfg);
+    let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, &opts);
+    let mut t = Table::new(vec![
+        "workload",
+        "scheme",
+        "data reads",
+        "ecc reads",
+        "injected",
+        "benign",
+        "corrected",
+        "DUE",
+        "SDC",
+        "detected",
+    ]);
+    for r in &results {
+        let fs: FaultStats = r.stats.faults.unwrap_or_default();
+        t.row(vec![
+            r.workload.name().to_string(),
+            r.scheme.name().to_string(),
+            fs.data_reads.to_string(),
+            fs.ecc_reads.to_string(),
+            fs.injected.to_string(),
+            fs.benign.to_string(),
+            fs.corrected.to_string(),
+            fs.due.to_string(),
+            fs.sdc.to_string(),
+            fs.detected().to_string(),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    if let Err(e) = save_csv("t6_faults", &t) {
+        eprintln!("warning: failed to save t6_faults.csv: {e}");
+    }
+}

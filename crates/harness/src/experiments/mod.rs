@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod config_table;
 pub mod ecchit;
 pub mod energy;
+pub mod faults;
 pub mod frugal;
 pub mod hbm;
 pub mod main_result;

@@ -10,11 +10,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
+pub mod error;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{run_experiment, run_matrix, ExpOptions, MatrixResult, OPTIONS_USAGE};
+pub use error::Error;
+pub use runner::{
+    run_experiment, run_matrix, run_matrix_cells, CellOutcome, CellStatus, ExpOptions,
+    MatrixResult, OPTIONS_USAGE,
+};
 
 /// Geometric mean of positive values; 0.0 for an empty slice.
 ///

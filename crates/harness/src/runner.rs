@@ -1,14 +1,29 @@
-//! Parallel execution of workload × scheme simulation matrices.
+//! Parallel, crash-resilient execution of workload × scheme simulation
+//! matrices.
+//!
+//! Every cell runs under [`std::panic::catch_unwind`] (optionally behind a
+//! watchdog timeout), so one diverging or panicking simulation marks only
+//! its own cell as failed instead of poisoning the worker pool. Completed
+//! cells are persisted to `results/checkpoint.json` through the
+//! process-global [`crate::checkpoint`] session installed by
+//! [`run_experiment`], and a killed run restarted with `--resume` skips
+//! the cells that already finished.
 
-use ccraft_core::factory::{run_scheme, SchemeKind};
+use crate::checkpoint::{self, CellRecord, STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT};
+use crate::error::Error;
+use ccraft_core::factory::{run_scheme, run_scheme_instrumented, SchemeKind};
 use ccraft_sim::config::GpuConfig;
+use ccraft_sim::faults::FaultConfig;
 use ccraft_sim::stats::SimStats;
 use ccraft_telemetry::manifest::RunManifest;
+use ccraft_telemetry::TelemetryConfig;
 use ccraft_workloads::{SizeClass, Workload};
 use std::io::IsTerminal as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Usage text for the options shared by every experiment binary.
 pub const OPTIONS_USAGE: &str = "\
@@ -16,11 +31,18 @@ common experiment options:
   --size tiny|small|full   workload size class (default: small)
   --seed N                 trace-generation seed (default: 1)
   --threads N              worker threads, 0 = number of CPUs (default: 0)
+  --inject <pat>:<rate>    in-situ DRAM fault injection, e.g. symbol:1e-6
+                           or bit2:fit=5000@24 (pattern bit1|bit2|bit3|
+                           burst4|symbol|chiplane; rate per access or
+                           fit=<FIT>[@hours])
+  --resume                 skip cells already in results/checkpoint.json
+  --cell-timeout N         per-cell watchdog in seconds (default: none)
+  --retries N              re-run a failed/timed-out cell N times (default: 0)
 
 Unrecognized flags are ignored here so each binary can define its own.";
 
 /// Options shared by every experiment binary, parsed from the command
-/// line (`--size tiny|small|full`, `--seed N`, `--threads N`).
+/// line.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpOptions {
     /// Workload size class.
@@ -29,6 +51,14 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Worker threads (0 = number of CPUs).
     pub threads: usize,
+    /// In-situ fault injection, when configured (`--inject`).
+    pub inject: Option<FaultConfig>,
+    /// Resume from `results/checkpoint.json`, skipping finished cells.
+    pub resume: bool,
+    /// Per-cell watchdog timeout in seconds (`None` = unlimited).
+    pub cell_timeout_secs: Option<u64>,
+    /// Bounded retries for failed or timed-out cells.
+    pub retries: u32,
 }
 
 impl Default for ExpOptions {
@@ -37,6 +67,10 @@ impl Default for ExpOptions {
             size: SizeClass::Small,
             seed: 1,
             threads: 0,
+            inject: None,
+            resume: false,
+            cell_timeout_secs: None,
+            retries: 0,
         }
     }
 }
@@ -47,9 +81,9 @@ impl ExpOptions {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message on a malformed or missing value
-    /// for a recognized flag.
-    pub fn parse(args: &[String]) -> Result<Self, String> {
+    /// Returns [`Error::Config`] on a malformed or missing value for a
+    /// recognized flag.
+    pub fn parse(args: &[String]) -> Result<Self, Error> {
         let mut opts = ExpOptions::default();
         let mut i = 0;
         while i < args.len() {
@@ -61,30 +95,39 @@ impl ExpOptions {
                         Some("small") => SizeClass::Small,
                         Some("full") => SizeClass::Full,
                         other => {
-                            return Err(format!("--size expects tiny|small|full, got {other:?}"))
+                            return Err(Error::config(format!(
+                                "--size expects tiny|small|full, got {other:?}"
+                            )))
                         }
                     };
                 }
                 "--seed" => {
                     i += 1;
-                    opts.seed = match args.get(i).map(|s| s.parse()) {
-                        Some(Ok(v)) => v,
-                        _ => {
-                            return Err(format!("--seed expects an integer, got {:?}", args.get(i)))
-                        }
-                    };
+                    opts.seed = parse_value(args, i, "--seed", "an integer")?;
                 }
                 "--threads" => {
                     i += 1;
-                    opts.threads = match args.get(i).map(|s| s.parse()) {
-                        Some(Ok(v)) => v,
-                        _ => {
-                            return Err(format!(
-                                "--threads expects an integer, got {:?}",
-                                args.get(i)
-                            ))
-                        }
-                    };
+                    opts.threads = parse_value(args, i, "--threads", "an integer")?;
+                }
+                "--inject" => {
+                    i += 1;
+                    let spec = args.get(i).ok_or_else(|| {
+                        Error::config("--inject expects <pattern>:<rate>".to_string())
+                    })?;
+                    opts.inject = Some(FaultConfig::parse(spec).map_err(Error::Config)?);
+                }
+                "--resume" => opts.resume = true,
+                "--cell-timeout" => {
+                    i += 1;
+                    let secs: u64 = parse_value(args, i, "--cell-timeout", "seconds")?;
+                    if secs == 0 {
+                        return Err(Error::config("--cell-timeout must be at least 1 second"));
+                    }
+                    opts.cell_timeout_secs = Some(secs);
+                }
+                "--retries" => {
+                    i += 1;
+                    opts.retries = parse_value(args, i, "--retries", "an integer")?;
                 }
                 _ => {}
             }
@@ -116,6 +159,39 @@ impl ExpOptions {
                 .map(|n| n.get())
                 .unwrap_or(4)
         }
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(
+    args: &[String],
+    i: usize,
+    flag: &str,
+    wants: &str,
+) -> Result<T, Error> {
+    match args.get(i).map(|s| s.parse()) {
+        Some(Ok(v)) => Ok(v),
+        _ => Err(Error::config(format!(
+            "{flag} expects {wants}, got {:?}",
+            args.get(i)
+        ))),
+    }
+}
+
+/// Acquires a mutex even when a previous holder panicked: the protected
+/// data in this runner (job queues, result slots, checkpoint state) stays
+/// structurally valid across a cell panic, so poisoning is recoverable.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -162,44 +238,246 @@ impl MatrixResult {
     }
 }
 
-/// Runs every `(workload, scheme)` pair in parallel and returns results in
-/// deterministic (workload-major, scheme-minor) order.
-///
-/// Each cell is an independent simulation with its own scheme instance, so
-/// results are identical to sequential execution.
-pub fn run_matrix(
-    cfg: &GpuConfig,
+/// Terminal state of one executed matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Completed normally.
+    Ok,
+    /// Panicked; the payload message is recorded.
+    Failed {
+        /// Panic message.
+        message: String,
+    },
+    /// Exceeded the per-cell watchdog.
+    TimedOut {
+        /// The configured timeout.
+        secs: u64,
+    },
+    /// Replayed from a `--resume`d checkpoint without executing.
+    Resumed,
+}
+
+impl CellStatus {
+    /// `true` for [`CellStatus::Ok`] and [`CellStatus::Resumed`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellStatus::Ok | CellStatus::Resumed)
+    }
+}
+
+/// Full outcome of one matrix cell, successful or not.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The workload.
+    pub workload: Workload,
+    /// The scheme.
+    pub scheme: SchemeKind,
+    /// Terminal state.
+    pub status: CellStatus,
+    /// Simulation results, present when `status.is_ok()`.
+    pub stats: Option<SimStats>,
+    /// Execution attempts consumed (0 for resumed cells).
+    pub attempts: u32,
+}
+
+impl CellOutcome {
+    /// `workload/scheme` identifier used in logs and checkpoints.
+    pub fn cell_name(&self) -> String {
+        format!("{}/{}", self.workload.name(), self.scheme.name())
+    }
+
+    /// The error equivalent of a non-ok outcome.
+    pub fn as_error(&self) -> Option<Error> {
+        match &self.status {
+            CellStatus::Ok | CellStatus::Resumed => None,
+            CellStatus::Failed { message } => Some(Error::WorkerPanic {
+                cell: self.cell_name(),
+                message: message.clone(),
+            }),
+            CellStatus::TimedOut { secs } => Some(Error::Timeout {
+                cell: self.cell_name(),
+                secs: *secs,
+            }),
+        }
+    }
+}
+
+/// The simulation body of one cell. Must be `'static` so a watchdogged
+/// cell can run on its own abandonable thread.
+type CellBody = dyn Fn(usize, Workload, SchemeKind) -> SimStats + Send + Sync;
+
+/// Runs one attempt of a cell: inline under `catch_unwind` without a
+/// timeout, or on a watchdogged helper thread with one. On timeout the
+/// helper thread is abandoned (it finishes in the background and its
+/// result is dropped); the worker moves on.
+fn execute_once(
+    body: &Arc<CellBody>,
+    idx: usize,
+    workload: Workload,
+    scheme: SchemeKind,
+    timeout: Option<Duration>,
+) -> Result<SimStats, CellStatus> {
+    match timeout {
+        None => catch_unwind(AssertUnwindSafe(|| body(idx, workload, scheme))).map_err(|p| {
+            CellStatus::Failed {
+                message: panic_message(p),
+            }
+        }),
+        Some(dur) => {
+            let (tx, rx) = mpsc::channel();
+            let body = Arc::clone(body);
+            let spawned = std::thread::Builder::new()
+                .name(format!("cell-{}-{}", workload.name(), scheme.name()))
+                .spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| body(idx, workload, scheme)))
+                        .map_err(panic_message);
+                    let _ = tx.send(result);
+                });
+            if let Err(e) = spawned {
+                return Err(CellStatus::Failed {
+                    message: format!("failed to spawn cell thread: {e}"),
+                });
+            }
+            match rx.recv_timeout(dur) {
+                Ok(Ok(stats)) => Ok(stats),
+                Ok(Err(message)) => Err(CellStatus::Failed { message }),
+                Err(_) => Err(CellStatus::TimedOut {
+                    secs: dur.as_secs(),
+                }),
+            }
+        }
+    }
+}
+
+/// Runs a cell to its terminal state, consuming up to `1 + retries`
+/// attempts.
+fn run_one_cell(
+    body: &Arc<CellBody>,
+    idx: usize,
+    workload: Workload,
+    scheme: SchemeKind,
+    opts: &ExpOptions,
+) -> CellOutcome {
+    let timeout = opts.cell_timeout_secs.map(Duration::from_secs);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match execute_once(body, idx, workload, scheme, timeout) {
+            Ok(stats) => {
+                return CellOutcome {
+                    workload,
+                    scheme,
+                    status: CellStatus::Ok,
+                    stats: Some(stats),
+                    attempts,
+                }
+            }
+            Err(status) => {
+                if attempts > opts.retries {
+                    return CellOutcome {
+                        workload,
+                        scheme,
+                        status,
+                        stats: None,
+                        attempts,
+                    };
+                }
+                eprintln!(
+                    "warning: cell {}/{} attempt {attempts} failed; retrying",
+                    workload.name(),
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+/// The generic matrix engine: fans `workloads × schemes` out over a
+/// worker pool, isolates each cell, checkpoints completions through the
+/// global session, and returns every outcome in deterministic
+/// (workload-major, scheme-minor) order.
+fn run_matrix_engine(
     workloads: &[Workload],
     schemes: &[SchemeKind],
     opts: &ExpOptions,
-) -> Vec<MatrixResult> {
-    let jobs: Vec<(usize, Workload, SchemeKind)> = workloads
+    body: Arc<CellBody>,
+) -> Vec<CellOutcome> {
+    let session = checkpoint::current();
+    let prefix = match &session {
+        Some(s) => lock_clean(s).next_matrix_prefix(),
+        None => "m0".to_string(),
+    };
+
+    let all: Vec<(usize, Workload, SchemeKind)> = workloads
         .iter()
         .flat_map(|&w| schemes.iter().map(move |&s| (w, s)))
         .enumerate()
         .map(|(i, (w, s))| (i, w, s))
         .collect();
-    let total = jobs.len();
-    let results: Mutex<Vec<Option<MatrixResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let total = all.len();
+
+    // Resume pass: cells already completed in the checkpoint replay their
+    // recorded stats and never enter the queue.
+    let mut slots: Vec<Option<CellOutcome>> = (0..total).map(|_| None).collect();
+    let mut jobs: Vec<(usize, Workload, SchemeKind)> = Vec::with_capacity(total);
+    for &(idx, w, s) in &all {
+        let key = format!("{prefix}/{}/{}", w.name(), s.name());
+        let replay = session.as_ref().and_then(|sess| {
+            lock_clean(sess)
+                .resumable(&key)
+                .and_then(|r| r.stats.clone())
+        });
+        match replay {
+            Some(stats) => {
+                slots[idx] = Some(CellOutcome {
+                    workload: w,
+                    scheme: s,
+                    status: CellStatus::Resumed,
+                    stats: Some(stats),
+                    attempts: 0,
+                });
+            }
+            None => jobs.push((idx, w, s)),
+        }
+    }
+    let resumed = total - jobs.len();
+    if resumed > 0 {
+        eprintln!("resume: skipping {resumed}/{total} cells already in checkpoint");
+    }
+
+    let results: Mutex<&mut Vec<Option<CellOutcome>>> = Mutex::new(&mut slots);
     let queue = Mutex::new(jobs);
     let workers = opts.effective_threads().clamp(1, 64);
     let started = Instant::now();
-    let completed = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(resumed);
     let show_progress = progress_enabled();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
+                let job = lock_clean(&queue).pop();
                 let Some((idx, workload, scheme)) = job else {
                     break;
                 };
-                let trace = workload.generate(opts.size, opts.seed);
-                let stats = run_scheme(cfg, scheme, &trace);
-                results.lock().expect("results lock")[idx] = Some(MatrixResult {
-                    workload,
-                    scheme,
-                    stats,
-                });
+                let outcome = run_one_cell(&body, idx, workload, scheme, opts);
+                if let Some(err) = outcome.as_error() {
+                    eprintln!("warning: {err}");
+                }
+                if let Some(sess) = &session {
+                    let record = CellRecord {
+                        key: format!("{prefix}/{}", outcome.cell_name()),
+                        status: match &outcome.status {
+                            CellStatus::Ok | CellStatus::Resumed => STATUS_OK.to_string(),
+                            CellStatus::Failed { .. } => STATUS_FAILED.to_string(),
+                            CellStatus::TimedOut { .. } => STATUS_TIMEOUT.to_string(),
+                        },
+                        message: outcome.as_error().map(|e| e.to_string()),
+                        attempts: outcome.attempts,
+                        stats: outcome.stats.clone(),
+                    };
+                    if let Err(e) = lock_clean(sess).record(record) {
+                        eprintln!("warning: failed to write checkpoint: {e}");
+                    }
+                }
+                lock_clean(&results)[idx] = Some(outcome);
                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 if show_progress {
                     eprintln!(
@@ -216,30 +494,126 @@ pub fn run_matrix(
             });
         }
     });
-    results
-        .into_inner()
-        .expect("results lock")
+    slots
         .into_iter()
-        .map(|r| r.expect("all jobs completed"))
+        .map(|o| match o {
+            Some(o) => o,
+            // Unreachable: every index is either prefilled or queued, and
+            // workers drain the queue before the scope joins.
+            None => unreachable!("matrix cell left without an outcome"),
+        })
+        .collect()
+}
+
+/// Builds the standard cell body: generate the workload trace, run the
+/// scheme, with per-cell-seeded fault injection when configured.
+fn standard_body(cfg: &GpuConfig, opts: &ExpOptions) -> Arc<CellBody> {
+    let cfg = *cfg;
+    let opts = *opts;
+    Arc::new(move |idx, workload, scheme| {
+        let trace = workload.generate(opts.size, opts.seed);
+        match opts.inject {
+            None => run_scheme(&cfg, scheme, &trace),
+            Some(fc) => {
+                // Each cell gets its own injection stream, derived from the
+                // experiment seed and the cell index so runs reproduce.
+                let seed = opts
+                    .seed
+                    .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                run_scheme_instrumented(
+                    &cfg,
+                    scheme,
+                    &trace,
+                    &TelemetryConfig::disabled(),
+                    Some(&fc.with_seed(seed)),
+                )
+                .stats
+            }
+        }
+    })
+}
+
+/// Runs every `(workload, scheme)` pair in parallel and returns the full
+/// per-cell outcomes — including failed and timed-out cells — in
+/// deterministic (workload-major, scheme-minor) order.
+///
+/// Each cell is an independent simulation with its own scheme instance,
+/// isolated by `catch_unwind`; a panicking cell is reported in its
+/// outcome and the rest of the matrix completes.
+pub fn run_matrix_cells(
+    cfg: &GpuConfig,
+    workloads: &[Workload],
+    schemes: &[SchemeKind],
+    opts: &ExpOptions,
+) -> Vec<CellOutcome> {
+    run_matrix_engine(workloads, schemes, opts, standard_body(cfg, opts))
+}
+
+/// Runs every `(workload, scheme)` pair in parallel and returns the
+/// successful results in deterministic (workload-major, scheme-minor)
+/// order.
+///
+/// Failed or timed-out cells are reported on stderr (and in the
+/// checkpoint/manifest via the active session) and omitted from the
+/// returned vector; callers that need them use [`run_matrix_cells`].
+pub fn run_matrix(
+    cfg: &GpuConfig,
+    workloads: &[Workload],
+    schemes: &[SchemeKind],
+    opts: &ExpOptions,
+) -> Vec<MatrixResult> {
+    run_matrix_cells(cfg, workloads, schemes, opts)
+        .into_iter()
+        .filter_map(|o| {
+            let (workload, scheme) = (o.workload, o.scheme);
+            o.stats.map(|stats| MatrixResult {
+                workload,
+                scheme,
+                stats,
+            })
+        })
         .collect()
 }
 
 /// Standard entry point for an experiment binary: parses [`ExpOptions`]
-/// from the command line, times `body`, and writes a
-/// `results/manifest.json` recording what produced the results directory
-/// (experiment id, argv, size class, seed, threads, wall time).
+/// from the command line, installs a checkpoint session at
+/// `results/checkpoint.json` (resuming it under `--resume`), times
+/// `body`, and writes a `results/manifest.json` recording what produced
+/// the results directory — including a warning per failed or timed-out
+/// cell.
 ///
-/// Manifest-write failures are reported on stderr but do not fail the
-/// run — the experiment's own artifacts are already on disk.
+/// Manifest- and checkpoint-write failures are reported on stderr but do
+/// not fail the run — the experiment's own artifacts are already on disk.
 pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions)) {
     let opts = ExpOptions::from_args();
     let started = Instant::now();
+    let fingerprint = format!("{id}/{}/{}", opts.size, opts.seed);
+    let session = match crate::report::results_dir() {
+        Ok(dir) => Some(checkpoint::install(checkpoint::Session::start(
+            &fingerprint,
+            dir.join("checkpoint.json"),
+            opts.resume,
+        ))),
+        Err(e) => {
+            eprintln!("warning: results dir unavailable ({e}); checkpointing disabled");
+            None
+        }
+    };
     body(&opts);
     let mut manifest = RunManifest::new(id);
     manifest.size = opts.size.to_string();
     manifest.seed = opts.seed;
     manifest.threads = opts.effective_threads();
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
+    if let Some(sess) = &session {
+        let sess = lock_clean(sess);
+        manifest.note("checkpoint_cells", sess.cells().len() as f64);
+        for warning in sess.failure_messages() {
+            eprintln!("warning: {warning}");
+            manifest.warn(warning);
+        }
+    }
+    checkpoint::clear();
     manifest.stamp();
     match crate::report::write_manifest(&manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
@@ -266,6 +640,15 @@ mod tests {
         args.iter().map(|s| s.to_string()).collect()
     }
 
+    fn tiny_opts(threads: usize) -> ExpOptions {
+        ExpOptions {
+            size: SizeClass::Tiny,
+            seed: 1,
+            threads,
+            ..ExpOptions::default()
+        }
+    }
+
     #[test]
     fn parse_accepts_valid_options() {
         let o = ExpOptions::parse(&argv(&["--size", "tiny", "--seed", "7", "--threads", "3"]))
@@ -278,16 +661,57 @@ mod tests {
         assert_eq!(d.size, SizeClass::Small);
         assert_eq!(d.seed, 1);
         assert_eq!(d.threads, 0);
+        assert!(d.inject.is_none());
+        assert!(!d.resume);
+        assert_eq!(d.cell_timeout_secs, None);
+        assert_eq!(d.retries, 0);
+    }
+
+    #[test]
+    fn parse_accepts_resilience_options() {
+        let o = ExpOptions::parse(&argv(&[
+            "--inject",
+            "symbol:1e-4",
+            "--resume",
+            "--cell-timeout",
+            "30",
+            "--retries",
+            "2",
+        ]))
+        .expect("resilience options parse");
+        assert!(o.inject.is_some());
+        assert!(o.resume);
+        assert_eq!(o.cell_timeout_secs, Some(30));
+        assert_eq!(o.retries, 2);
     }
 
     #[test]
     fn parse_rejects_malformed_values() {
-        let e = ExpOptions::parse(&argv(&["--seed", "not-a-number"])).unwrap_err();
+        let e = ExpOptions::parse(&argv(&["--seed", "not-a-number"]))
+            .unwrap_err()
+            .to_string();
         assert!(e.contains("--seed"), "{e}");
-        let e = ExpOptions::parse(&argv(&["--threads"])).unwrap_err();
+        let e = ExpOptions::parse(&argv(&["--threads"]))
+            .unwrap_err()
+            .to_string();
         assert!(e.contains("--threads"), "{e}");
-        let e = ExpOptions::parse(&argv(&["--size", "huge"])).unwrap_err();
+        let e = ExpOptions::parse(&argv(&["--size", "huge"]))
+            .unwrap_err()
+            .to_string();
         assert!(e.contains("--size"), "{e}");
+        let e = ExpOptions::parse(&argv(&["--inject", "nosuch:1"]))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("--inject"), "{e}");
+        let e = ExpOptions::parse(&argv(&["--cell-timeout", "0"]))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("--cell-timeout"), "{e}");
+        // Typed: all of these are configuration errors.
+        assert!(matches!(
+            ExpOptions::parse(&argv(&["--retries", "x"])),
+            Err(Error::Config(_))
+        ));
     }
 
     #[test]
@@ -313,12 +737,9 @@ mod tests {
 
     #[test]
     fn matrix_runs_all_cells_in_order() {
+        let _guard = crate::checkpoint::test_guard();
         let cfg = GpuConfig::tiny();
-        let opts = ExpOptions {
-            size: SizeClass::Tiny,
-            seed: 1,
-            threads: 2,
-        };
+        let opts = tiny_opts(2);
         let workloads = [Workload::VecAdd, Workload::Histogram];
         let schemes = [
             SchemeKind::NoProtection,
@@ -337,6 +758,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
+        let _guard = crate::checkpoint::test_guard();
         let cfg = GpuConfig::tiny();
         let workloads = [Workload::Saxpy];
         let schemes = [SchemeKind::InlineNaive { coverage: 8 }];
@@ -345,9 +767,8 @@ mod tests {
             &workloads,
             &schemes,
             &ExpOptions {
-                size: SizeClass::Tiny,
                 seed: 5,
-                threads: 4,
+                ..tiny_opts(4)
             },
         );
         let seq = run_matrix(
@@ -355,9 +776,8 @@ mod tests {
             &workloads,
             &schemes,
             &ExpOptions {
-                size: SizeClass::Tiny,
                 seed: 5,
-                threads: 1,
+                ..tiny_opts(1)
             },
         );
         assert_eq!(par[0].stats, seq[0].stats);
@@ -365,12 +785,9 @@ mod tests {
 
     #[test]
     fn normalized_perf_is_relative() {
+        let _guard = crate::checkpoint::test_guard();
         let cfg = GpuConfig::tiny();
-        let opts = ExpOptions {
-            size: SizeClass::Tiny,
-            seed: 1,
-            threads: 1,
-        };
+        let opts = tiny_opts(1);
         let results = run_matrix(
             &cfg,
             &[Workload::VecAdd],
@@ -387,12 +804,9 @@ mod tests {
 
     #[test]
     fn find_locates_cells() {
+        let _guard = crate::checkpoint::test_guard();
         let cfg = GpuConfig::tiny();
-        let opts = ExpOptions {
-            size: SizeClass::Tiny,
-            seed: 1,
-            threads: 1,
-        };
+        let opts = tiny_opts(1);
         let results = run_matrix(
             &cfg,
             &[Workload::VecAdd],
@@ -401,5 +815,263 @@ mod tests {
         );
         assert!(find(&results, Workload::VecAdd, "no-protection").is_some());
         assert!(find(&results, Workload::VecAdd, "cachecraft").is_none());
+    }
+
+    #[test]
+    fn panicking_cell_fails_alone() {
+        let _guard = crate::checkpoint::test_guard();
+        // A body that panics for exactly one cell: the rest of the matrix
+        // completes and the failure carries the panic message.
+        let opts = tiny_opts(2);
+        let body: Arc<CellBody> = Arc::new(|_, workload, scheme| {
+            if workload == Workload::Saxpy && scheme.name() == "no-protection" {
+                panic!("deliberate test panic");
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd, Workload::Saxpy],
+            &[
+                SchemeKind::NoProtection,
+                SchemeKind::InlineNaive { coverage: 8 },
+            ],
+            &opts,
+            body,
+        );
+        assert_eq!(outcomes.len(), 4);
+        let failed: Vec<_> = outcomes.iter().filter(|o| !o.status.is_ok()).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].cell_name(), "saxpy/no-protection");
+        match &failed[0].status {
+            CellStatus::Failed { message } => {
+                assert!(message.contains("deliberate test panic"), "{message}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert!(failed[0].stats.is_none());
+        assert_eq!(failed[0].attempts, 1);
+        // Every other cell completed with stats.
+        assert_eq!(outcomes.iter().filter(|o| o.status.is_ok()).count(), 3);
+        // And the lossy view simply omits the failed cell.
+        let err = failed[0].as_error().expect("non-ok maps to an error");
+        assert!(matches!(err, Error::WorkerPanic { .. }));
+    }
+
+    #[test]
+    fn retries_rerun_failing_cells() {
+        let _guard = crate::checkpoint::test_guard();
+        use std::sync::atomic::AtomicU32;
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls_in = Arc::clone(&calls);
+        let body: Arc<CellBody> = Arc::new(move |_, workload, scheme| {
+            // Fail the first attempt, succeed on retry.
+            if calls_in.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky once");
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        let opts = ExpOptions {
+            retries: 1,
+            ..tiny_opts(1)
+        };
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+            body,
+        );
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].status.is_ok());
+        assert_eq!(outcomes[0].attempts, 2);
+    }
+
+    #[test]
+    fn watchdog_times_out_hung_cells() {
+        let _guard = crate::checkpoint::test_guard();
+        let body: Arc<CellBody> = Arc::new(|_, workload, scheme| {
+            if workload == Workload::VecAdd {
+                // A hung cell: far longer than the watchdog.
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        let opts = ExpOptions {
+            cell_timeout_secs: Some(1),
+            ..tiny_opts(2)
+        };
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd, Workload::Saxpy],
+            &[SchemeKind::NoProtection],
+            &opts,
+            body,
+        );
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(
+            outcomes[0].status,
+            CellStatus::TimedOut { secs: 1 },
+            "vecadd must hit the watchdog"
+        );
+        assert!(outcomes[1].status.is_ok(), "saxpy completes normally");
+        assert!(matches!(
+            outcomes[0].as_error(),
+            Some(Error::Timeout { secs: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn injection_reaches_matrix_cells() {
+        let _guard = crate::checkpoint::test_guard();
+        let cfg = GpuConfig::tiny();
+        let opts = ExpOptions {
+            inject: Some(FaultConfig::parse("symbol:1.0").expect("valid spec")),
+            ..tiny_opts(2)
+        };
+        let results = run_matrix(
+            &cfg,
+            &[Workload::VecAdd],
+            &[
+                SchemeKind::NoProtection,
+                SchemeKind::InlineNaive { coverage: 8 },
+            ],
+            &opts,
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            let fs = r.stats.faults.expect("fault stats attached");
+            assert!(fs.injected > 0, "{}", r.scheme.name());
+        }
+        // Same options reproduce bit-identically (per-cell derived seeds).
+        let again = run_matrix(
+            &cfg,
+            &[Workload::VecAdd],
+            &[
+                SchemeKind::NoProtection,
+                SchemeKind::InlineNaive { coverage: 8 },
+            ],
+            &opts,
+        );
+        for (a, b) in results.iter().zip(&again) {
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn checkpoint_session_records_and_resumes_cells() {
+        let _guard = crate::checkpoint::test_guard();
+        // First run: one cell panics, three succeed; all four land in the
+        // checkpoint. Second run with --resume: only the failed cell (and
+        // nothing else) executes.
+        let dir = std::env::temp_dir().join(format!("ccraft-runner-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(&path);
+        let workloads = [Workload::VecAdd, Workload::Saxpy];
+        let schemes = [
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage: 8 },
+        ];
+
+        let panicky: Arc<CellBody> = Arc::new(|_, workload, scheme| {
+            if workload == Workload::Saxpy && scheme.name() == "inline-naive" {
+                panic!("first-run casualty");
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        checkpoint::install(checkpoint::Session::start("t", path.clone(), false));
+        let first = run_matrix_engine(&workloads, &schemes, &tiny_opts(2), panicky);
+        checkpoint::clear();
+        assert_eq!(first.iter().filter(|o| o.status.is_ok()).count(), 3);
+
+        // The checkpoint file holds all four cells, one failed.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("first-run casualty"), "{text}");
+
+        // Resumed run: executing any previously-successful cell panics
+        // the test, proving only the failed cell re-runs.
+        let executed = Arc::new(Mutex::new(Vec::new()));
+        let executed_in = Arc::clone(&executed);
+        let strict: Arc<CellBody> = Arc::new(move |_, workload, scheme| {
+            lock_clean(&executed_in).push(format!("{}/{}", workload.name(), scheme.name()));
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        checkpoint::install(checkpoint::Session::start("t", path.clone(), true));
+        let second = run_matrix_engine(&workloads, &schemes, &tiny_opts(2), strict);
+        checkpoint::clear();
+        assert_eq!(second.len(), 4);
+        assert!(second.iter().all(|o| o.status.is_ok()));
+        assert_eq!(
+            second
+                .iter()
+                .filter(|o| o.status == CellStatus::Resumed)
+                .count(),
+            3
+        );
+        let ran = lock_clean(&executed).clone();
+        assert_eq!(ran, vec!["saxpy/inline-naive".to_string()]);
+        // After the resume, the checkpoint holds four completed cells.
+        let cp: crate::checkpoint::Checkpoint =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(cp.cells.len(), 4);
+        assert!(cp.cells.iter().all(|c| c.is_ok()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_stats_match_executed_stats() {
+        let _guard = crate::checkpoint::test_guard();
+        let dir = std::env::temp_dir().join(format!("ccraft-runner-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(&path);
+        let cfg = GpuConfig::tiny();
+        let opts = tiny_opts(1);
+        let fresh = run_matrix(
+            &cfg,
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+        );
+
+        checkpoint::install(checkpoint::Session::start("r", path.clone(), false));
+        let recorded = run_matrix(
+            &cfg,
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+        );
+        checkpoint::clear();
+
+        checkpoint::install(checkpoint::Session::start("r", path.clone(), true));
+        let replayed = run_matrix(
+            &cfg,
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+        );
+        checkpoint::clear();
+
+        assert_eq!(fresh[0].stats, recorded[0].stats);
+        assert_eq!(fresh[0].stats, replayed[0].stats, "replay is bit-identical");
+        let _ = std::fs::remove_file(&path);
     }
 }

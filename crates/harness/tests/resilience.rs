@@ -1,0 +1,147 @@
+//! Process-level crash-resilience: kill a running experiment binary and
+//! resume it through `results/checkpoint.json`.
+//!
+//! Drives the actual `exp-faults` executable (not an in-process harness),
+//! so the whole chain is exercised: option parsing, the global checkpoint
+//! session, atomic checkpoint writes surviving a SIGKILL, and `--resume`
+//! replaying finished cells.
+
+use ccraft_harness::checkpoint::Checkpoint;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Cells exp-faults runs: SWEEP_SUBSET (6 workloads) × 4 headline schemes.
+const TOTAL_CELLS: usize = 24;
+
+fn read_checkpoint(path: &Path) -> Option<Checkpoint> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn ok_cells(cp: &Checkpoint) -> usize {
+    cp.cells.iter().filter(|c| c.is_ok()).count()
+}
+
+#[test]
+fn killed_experiment_resumes_from_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("ccraft-kill-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint_path = dir.join("checkpoint.json");
+    let exe = env!("CARGO_BIN_EXE_exp-faults");
+    let base_args = ["--size", "tiny", "--threads", "1", "--seed", "3"];
+
+    // First run: kill it as soon as some (but not all) cells are
+    // checkpointed. Single-threaded tiny cells take long enough that the
+    // poll wins the race in practice; if the run still finishes first,
+    // the resume below degenerates to "skip everything", which is also a
+    // valid round-trip.
+    let mut child = Command::new(exe)
+        .args(base_args)
+        .env("CCRAFT_RESULTS", &dir)
+        .env("CCRAFT_PROGRESS", "0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn exp-faults");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut first_run_completed = false;
+    loop {
+        if let Some(cp) = read_checkpoint(&checkpoint_path) {
+            if ok_cells(&cp) >= 2 {
+                break;
+            }
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            first_run_completed = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "first run made no progress");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if !first_run_completed {
+        child.kill().expect("kill exp-faults");
+        let _ = child.wait();
+    }
+
+    let cp = read_checkpoint(&checkpoint_path).expect("checkpoint exists after kill");
+    let cells_after_kill = ok_cells(&cp);
+    assert!(cells_after_kill >= 2, "kill happened after >= 2 cells");
+    assert_eq!(cp.fingerprint, "exp-faults/tiny/3");
+    if !first_run_completed {
+        assert!(
+            cells_after_kill < TOTAL_CELLS,
+            "kill should interrupt mid-run (got all {TOTAL_CELLS} cells)"
+        );
+    }
+
+    // Second run resumes: it must skip everything already checkpointed
+    // and finish the rest.
+    let out = Command::new(exe)
+        .args(base_args)
+        .arg("--resume")
+        .env("CCRAFT_RESULTS", &dir)
+        .env("CCRAFT_PROGRESS", "0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run exp-faults --resume");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "resume run failed: {stderr}");
+    let skipped: usize = stderr
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("resume: skipping ")
+                .and_then(|rest| rest.split('/').next())
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("resume run reports skipped cells");
+    assert!(
+        skipped >= cells_after_kill,
+        "resume must skip at least the {cells_after_kill} cells present at kill time, skipped {skipped}"
+    );
+    assert!(skipped <= TOTAL_CELLS);
+
+    // Final checkpoint: the full matrix, all ok.
+    let final_cp = read_checkpoint(&checkpoint_path).expect("final checkpoint");
+    assert_eq!(final_cp.cells.len(), TOTAL_CELLS);
+    assert_eq!(ok_cells(&final_cp), TOTAL_CELLS);
+    // Cells executed by the resume run = total - skipped; together with
+    // the skipped set they cover the matrix exactly once.
+    assert_eq!(final_cp.fingerprint, "exp-faults/tiny/3");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_of_a_complete_run_executes_nothing() {
+    let dir = std::env::temp_dir().join(format!("ccraft-full-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = env!("CARGO_BIN_EXE_exp-faults");
+    let base_args = ["--size", "tiny", "--threads", "2", "--seed", "9"];
+
+    let run = |resume: bool| {
+        let mut cmd = Command::new(exe);
+        cmd.args(base_args);
+        if resume {
+            cmd.arg("--resume");
+        }
+        cmd.env("CCRAFT_RESULTS", &dir)
+            .env("CCRAFT_PROGRESS", "0")
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .output()
+            .expect("run exp-faults")
+    };
+    let first = run(false);
+    assert!(first.status.success());
+    let second = run(true);
+    assert!(second.status.success());
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains(&format!("resume: skipping {TOTAL_CELLS}/{TOTAL_CELLS}")),
+        "complete run must be skipped wholesale: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

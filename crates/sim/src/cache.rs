@@ -257,6 +257,8 @@ impl SectorCache {
 
     /// Installs the atom (valid, optionally dirty), allocating its line if
     /// needed. Returns the eviction performed to make room, if any.
+    // Invariant: every set has ways > 0, so a victim always exists.
+    #[allow(clippy::expect_used)]
     pub fn fill(&mut self, atom: u64, dirty: bool) -> Option<Eviction> {
         let tag = self.tag_of(atom);
         let s = self.sector_of(atom);

@@ -199,6 +199,7 @@ mod tests {
             },
             latency_hist: None,
             timeline: None,
+            faults: None,
         }
     }
 

@@ -19,6 +19,7 @@
 
 use crate::config::GpuConfig;
 use crate::dram::MapOrder;
+use crate::faults::{FaultConfig, FaultInjector};
 use crate::l1::L1Cache;
 use crate::l2::L2Slice;
 use crate::protection::ProtectionScheme;
@@ -230,6 +231,32 @@ pub fn simulate_with_telemetry(
     scheme: &mut dyn ProtectionScheme,
     tel: &TelemetryConfig,
 ) -> SimOutput {
+    simulate_instrumented(cfg, order, trace, scheme, tel, None)
+}
+
+/// [`simulate_with_telemetry`], plus optional in-situ fault injection.
+///
+/// When `faults` is given, every DRAM read transaction is exposed to the
+/// configured error pattern at the configured rate, decode trials run
+/// through the scheme's [`fault_codec`](ProtectionScheme::fault_codec),
+/// and the resulting benign/corrected/DUE/SDC counters land in
+/// [`SimStats::faults`]. Injection is observational: timing, traffic and
+/// every other stats field are bit-identical to an uninjected run.
+///
+/// # Panics
+///
+/// Panics as [`simulate`] does.
+pub fn simulate_instrumented(
+    cfg: &GpuConfig,
+    order: MapOrder,
+    trace: &KernelTrace,
+    scheme: &mut dyn ProtectionScheme,
+    tel: &TelemetryConfig,
+    faults: Option<&FaultConfig>,
+) -> SimOutput {
+    // The config is validated up front; running with a broken machine
+    // description is a programming error, not a recoverable condition.
+    #[allow(clippy::expect_used)]
     cfg.validate().expect("invalid GpuConfig");
     let sms_n = cfg.core.sms as usize;
     let slots = sms_n * cfg.core.warps_per_sm as usize;
@@ -296,6 +323,16 @@ pub fn simulate_with_telemetry(
     let mut prev_snap = Snap::default();
     let mut epoch_start: Cycle = 0;
 
+    // In-situ fault injection: sample the per-slice DRAM read counters
+    // each cycle and expose the delta to the injector. Observational only
+    // — nothing feeds back into scheduling.
+    let mut fault_inj = faults.map(|f| {
+        let mut fi = FaultInjector::new(f, scheme.fault_codec());
+        fi.set_record_events(tracing);
+        fi
+    });
+    let mut prev_reads: Vec<[u64; 4]> = vec![[0; 4]; slices.len()];
+
     let mut now: Cycle = 0;
     let mut exec_cycles: Cycle = 0;
     let mut flushed = false;
@@ -332,6 +369,21 @@ pub fn simulate_with_telemetry(
             sm.tick(now, &mut |atom| scheme_map.map(atom), &mut |req| {
                 xbar_ref.try_send_request(req, now)
             });
+        }
+
+        // Fault injection: expose this cycle's newly-issued DRAM reads.
+        if let Some(fi) = &mut fault_inj {
+            for (ch, slice) in slices.iter().enumerate() {
+                let counts = slice.mc_stats().count;
+                for class in [TrafficClass::DataRead, TrafficClass::EccRead] {
+                    let i = class.index();
+                    let delta = counts[i] - prev_reads[ch][i];
+                    if delta > 0 {
+                        fi.observe(class, ch as u16, delta, now);
+                    }
+                }
+                prev_reads[ch] = counts;
+            }
         }
 
         // Telemetry: per-transaction DRAM events and epoch sampling.
@@ -433,7 +485,24 @@ pub fn simulate_with_telemetry(
         protection: scheme.stats(),
         latency_hist: None,
         timeline: None,
+        faults: fault_inj.as_ref().map(FaultInjector::stats),
     };
+    // Injected-fault instants land on the channel lanes of the trace.
+    if let (Some(fi), Some(t)) = (&mut fault_inj, &mut trace_out) {
+        for ev in fi.take_events() {
+            t.complete(TraceEvent {
+                name: format!("fault:{}", ev.outcome),
+                cat: "fault".to_string(),
+                tid: CH_TID_BASE + u32::from(ev.channel),
+                ts: ev.cycle,
+                dur: 1,
+                args: vec![(
+                    "ecc_read".to_string(),
+                    f64::from(u8::from(ev.class == TrafficClass::EccRead)),
+                )],
+            });
+        }
+    }
     for sm in &sms {
         let l1 = sm.l1.stats();
         stats.l1_read_hits += l1.read_hits;
@@ -699,6 +768,97 @@ mod tests {
         let json = tr.to_json();
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn fault_injection_is_observational() {
+        use crate::faults::{FaultConfig, FaultRate};
+        use ccraft_ecc::inject::ErrorPattern;
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(8, 128);
+        let mut s1 = tiny_scheme(&cfg);
+        let mut s2 = tiny_scheme(&cfg);
+        let plain = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut s1);
+        let fc = FaultConfig {
+            pattern: ErrorPattern::SymbolError,
+            rate: FaultRate::PerAccess { p: 1.0 },
+            seed: 11,
+        };
+        let mut injected = simulate_instrumented(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut s2,
+            &TelemetryConfig::disabled(),
+            Some(&fc),
+        )
+        .stats;
+        let fs = injected.faults.take().expect("fault stats attached");
+        // Every DRAM data read was exposed and (at p=1) faulted; under
+        // NoProtection each is an SDC.
+        assert_eq!(fs.data_reads, plain.dram_count(TrafficClass::DataRead));
+        assert_eq!(fs.injected, fs.data_reads);
+        assert_eq!(fs.sdc, fs.injected);
+        // Minus the faults block, the run is bit-identical: injection
+        // observed, never scheduled.
+        assert_eq!(plain, injected);
+    }
+
+    #[test]
+    fn rate_zero_injects_nothing_and_perturbs_nothing() {
+        use crate::faults::{FaultConfig, FaultRate};
+        use ccraft_ecc::inject::ErrorPattern;
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(8, 128);
+        let mut s1 = tiny_scheme(&cfg);
+        let mut s2 = tiny_scheme(&cfg);
+        let plain = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut s1);
+        let fc = FaultConfig {
+            pattern: ErrorPattern::RandomBits { count: 1 },
+            rate: FaultRate::PerAccess { p: 0.0 },
+            seed: 7,
+        };
+        let mut out = simulate_instrumented(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut s2,
+            &TelemetryConfig::disabled(),
+            Some(&fc),
+        )
+        .stats;
+        let fs = out.faults.take().expect("fault stats attached");
+        assert_eq!(fs.injected, 0);
+        assert_eq!(fs.benign + fs.corrected + fs.due + fs.sdc, 0);
+        assert!(fs.data_reads > 0, "reads still counted");
+        assert_eq!(plain, out);
+    }
+
+    #[test]
+    fn fault_events_reach_the_chrome_trace() {
+        use crate::faults::{FaultConfig, FaultRate};
+        use ccraft_ecc::inject::ErrorPattern;
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(4, 64);
+        let mut scheme = tiny_scheme(&cfg);
+        let fc = FaultConfig {
+            pattern: ErrorPattern::SymbolError,
+            rate: FaultRate::PerAccess { p: 1.0 },
+            seed: 3,
+        };
+        let out = simulate_instrumented(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut scheme,
+            &ccraft_telemetry::TelemetryConfig::full(),
+            Some(&fc),
+        );
+        let tr = out.trace.expect("trace events");
+        assert!(
+            tr.events().iter().any(|e| e.cat == "fault"),
+            "no fault events in trace"
+        );
     }
 
     #[test]

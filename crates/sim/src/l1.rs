@@ -97,6 +97,9 @@ impl L1Cache {
     }
 
     /// Accepts a fill response from the L2 (via the crossbar).
+    // Invariant: responses carry the MSHR index this L1 allocated, so
+    // the slot is occupied until its response arrives.
+    #[allow(clippy::expect_used)]
     pub fn accept_response(&mut self, resp: L2Response) {
         debug_assert_eq!(resp.dest, self.sm);
         let idx = resp.l1_mshr as usize;
@@ -112,6 +115,8 @@ impl L1Cache {
     /// Advances the pipeline one cycle. `send` forwards a request toward
     /// the L2 (returns `false` on backpressure); `map` is the protection
     /// scheme's logical→physical translation.
+    // Invariant: `mshr_index` only maps to occupied MSHR slots.
+    #[allow(clippy::expect_used)]
     pub fn tick(
         &mut self,
         now: Cycle,

@@ -139,6 +139,8 @@ impl L2Slice {
         self.cache.probe(atom)
     }
 
+    // Invariant: callers check MSHR availability before allocating.
+    #[allow(clippy::expect_used)]
     fn alloc_mshr(&mut self, m: Mshr) -> usize {
         let idx = self.free_mshrs.pop().expect("caller checked availability");
         self.mshr_index.insert(m.atom, idx);
@@ -170,6 +172,8 @@ impl L2Slice {
     }
 
     /// Installs a completed fill, handling any eviction it causes.
+    // Invariant: the fill's MSHR slot stays occupied until installed.
+    #[allow(clippy::expect_used)]
     fn install_fill(&mut self, mshr_idx: usize, scheme: &mut dyn ProtectionScheme, now: Cycle) {
         let m = self.mshrs[mshr_idx].take().expect("mshr present");
         self.mshr_index.remove(&m.atom);
@@ -193,6 +197,8 @@ impl L2Slice {
     }
 
     /// Attempts to issue the head write-back task (all-or-nothing).
+    // Invariant: guarded by a non-empty writeback queue check.
+    #[allow(clippy::expect_used)]
     fn try_issue_wb(&mut self, now: Cycle) -> bool {
         let Some(task) = self.pending_wb.front() else {
             return false;
@@ -239,6 +245,8 @@ impl L2Slice {
 
     /// Processes one request from the input queue. Returns `false` when the
     /// head request must stall (left at the front).
+    // Invariant: `mshr_index` only maps to occupied MSHR slots.
+    #[allow(clippy::expect_used)]
     fn process_request(&mut self, scheme: &mut dyn ProtectionScheme, now: Cycle) -> bool {
         let Some(&req) = self.in_q.front() else {
             return false;

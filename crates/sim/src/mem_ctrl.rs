@@ -98,11 +98,7 @@ pub struct McStats {
 impl McStats {
     /// Transactions of one class.
     pub fn class_count(&self, class: TrafficClass) -> u64 {
-        let idx = TrafficClass::ALL
-            .iter()
-            .position(|&c| c == class)
-            .expect("class");
-        self.count[idx]
+        self.count[class.index()]
     }
 
     /// Mean read latency in cycles (0 when no reads completed).
@@ -329,11 +325,7 @@ impl MemCtrl {
                     &mut self.read_q
                 };
                 q.remove(i);
-                let idx = TrafficClass::ALL
-                    .iter()
-                    .position(|&c| c == pending.req.class)
-                    .expect("class");
-                self.stats.count[idx] += 1;
+                self.stats.count[pending.req.class.index()] += 1;
                 if !pending.req.is_write() {
                     self.stats.read_latency_sum += info.data_ready - pending.enqueued;
                     self.stats.read_latency_count += 1;

@@ -202,6 +202,14 @@ pub trait ProtectionScheme: fmt::Debug + Send {
         0
     }
 
+    /// The codec the in-situ fault injector should run decode trials
+    /// through (see [`crate::faults`]). Defaults to
+    /// [`ProtectionCodec::Unprotected`]: any injected data fault is silent
+    /// corruption. Real schemes override this with their storage codec.
+    fn fault_codec(&self) -> crate::faults::ProtectionCodec {
+        crate::faults::ProtectionCodec::Unprotected
+    }
+
     /// Aggregate counters.
     fn stats(&self) -> ProtectionStats;
 }

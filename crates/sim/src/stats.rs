@@ -64,6 +64,12 @@ pub struct SimStats {
     /// telemetry-enabled.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub timeline: Option<Timeline>,
+    /// In-situ fault-injection counters. Only present when the run was
+    /// configured with a [`crate::faults::FaultConfig`]; absent (and
+    /// serialized to nothing) otherwise, keeping injection-free output
+    /// bit-identical to earlier versions.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<crate::faults::FaultStats>,
 }
 
 impl SimStats {
@@ -79,11 +85,7 @@ impl SimStats {
 
     /// DRAM transactions of one class.
     pub fn dram_count(&self, class: TrafficClass) -> u64 {
-        let idx = TrafficClass::ALL
-            .iter()
-            .position(|&c| c == class)
-            .expect("class");
-        self.dram[idx]
+        self.dram[class.index()]
     }
 
     /// Total DRAM traffic in bytes.
@@ -202,6 +204,7 @@ mod tests {
             protection: ProtectionStats::default(),
             latency_hist: None,
             timeline: None,
+            faults: None,
         }
     }
 
@@ -252,10 +255,31 @@ mod tests {
         let json = serde_json::to_string(&sample()).unwrap();
         assert!(!json.contains("latency_hist"));
         assert!(!json.contains("timeline"));
+        assert!(!json.contains("faults"));
         // And JSON without them deserializes to None (old outputs load).
         let back: SimStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back.latency_hist, None);
         assert_eq!(back.timeline, None);
+        assert_eq!(back.faults, None);
+    }
+
+    #[test]
+    fn fault_stats_round_trip_when_present() {
+        let mut s = sample();
+        s.faults = Some(crate::faults::FaultStats {
+            data_reads: 100,
+            ecc_reads: 20,
+            injected: 5,
+            benign: 1,
+            corrected: 2,
+            due: 1,
+            sdc: 1,
+        });
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("faults"));
+        assert!(json.contains("sdc"));
+        let back: SimStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

@@ -147,6 +147,13 @@ impl TrafficClass {
         TrafficClass::EccWrite,
     ];
 
+    /// Index of this class in [`TrafficClass::ALL`] (the enum is declared
+    /// in `ALL` order, so this is just the discriminant).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// `true` for the two ECC classes.
     pub fn is_ecc(self) -> bool {
         matches!(self, TrafficClass::EccRead | TrafficClass::EccWrite)
@@ -207,6 +214,9 @@ mod tests {
         assert!(TrafficClass::EccRead.is_read());
         assert!(!TrafficClass::DataWrite.is_read());
         assert_eq!(TrafficClass::ALL.len(), 4);
+        for (i, c) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
     }
 
     #[test]

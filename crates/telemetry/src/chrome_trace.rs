@@ -112,6 +112,9 @@ impl ChromeTrace {
     }
 
     /// Serializes the trace as a Chrome/Perfetto-loadable JSON object.
+    // Serializing an owned Value tree cannot fail; a panic here means the
+    // vendored serde_json itself is broken.
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         let mut all: Vec<Value> = Vec::with_capacity(self.events.len() + self.tracks.len());
         for (tid, name) in &self.tracks {

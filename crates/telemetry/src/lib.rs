@@ -20,6 +20,10 @@
 //! `enabled` flag) owned by the caller. When telemetry is disabled — the
 //! default — the per-cycle cost is a single predictable branch, and the
 //! emitted `SimStats` are bit-identical to a build without probes.
+// Library crates must not abort the process on recoverable conditions:
+// panicking escapes are denied outside tests, and the few justified
+// invariant panics carry scoped `#[allow]`s with a safety comment.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chrome_trace;
 pub mod manifest;

@@ -28,6 +28,10 @@ pub struct RunManifest {
     /// Files written by the run, relative to the results directory.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub outputs: Vec<String>,
+    /// Non-fatal problems the run survived: failed or timed-out matrix
+    /// cells (with their panic messages), skipped artifacts, and similar.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub warnings: Vec<String>,
 }
 
 impl RunManifest {
@@ -44,6 +48,7 @@ impl RunManifest {
             completed_unix_ms: 0,
             summary: Vec::new(),
             outputs: Vec::new(),
+            warnings: Vec::new(),
         }
     }
 
@@ -57,6 +62,11 @@ impl RunManifest {
         self.outputs.push(path.to_string());
     }
 
+    /// Records a non-fatal problem (e.g. a failed matrix cell).
+    pub fn warn(&mut self, message: impl Into<String>) {
+        self.warnings.push(message.into());
+    }
+
     /// Stamps the completion time from the system clock.
     pub fn stamp(&mut self) {
         self.completed_unix_ms = SystemTime::now()
@@ -66,6 +76,9 @@ impl RunManifest {
     }
 
     /// Serializes the manifest as pretty JSON.
+    // Serializing a plain-old-data struct cannot fail; a panic here means
+    // the derive or the vendored serde_json is broken.
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
     }
@@ -84,11 +97,13 @@ mod tests {
         m.wall_time_secs = 1.25;
         m.note("cells", 8.0);
         m.output("f4_main.csv");
+        m.warn("cell m0/spmv/cachecraft failed: boom");
         m.stamp();
         let json = m.to_json();
         let back: RunManifest = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
         assert!(back.completed_unix_ms > 0);
+        assert_eq!(back.warnings.len(), 1);
     }
 
     #[test]
@@ -97,5 +112,6 @@ mod tests {
         let json = m.to_json();
         assert!(!json.contains("summary"));
         assert!(!json.contains("outputs"));
+        assert!(!json.contains("warnings"));
     }
 }

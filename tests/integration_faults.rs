@@ -1,0 +1,172 @@
+//! End-to-end fault-injection and crash-resilience acceptance.
+//!
+//! Covers this PR's criteria at the facade level:
+//! * in-situ injection is observational — rate 0 (and injection disabled)
+//!   leaves `SimStats` bit-identical, and any rate leaves timing and
+//!   traffic untouched;
+//! * injected faults flow through each scheme's real stored codec:
+//!   CacheCraft's RS(36,32) corrects whole-symbol (chip) errors that
+//!   SEC-DED baselines can only detect or miss;
+//! * a panicking matrix cell is reported as a failed cell while the rest
+//!   of the matrix completes;
+//! * a checkpoint written by an interrupted run resumes through
+//!   `results/checkpoint.json` with only unfinished cells executing.
+
+use cachecraft::harness::checkpoint::{self, Session};
+use cachecraft::harness::runner::{run_matrix, CellStatus, ExpOptions};
+use cachecraft::schemes::cachecraft::CacheCraftConfig;
+use cachecraft::schemes::factory::{run_scheme, run_scheme_instrumented, SchemeKind};
+use cachecraft::sim::config::GpuConfig;
+use cachecraft::sim::faults::FaultConfig;
+use cachecraft::telemetry::TelemetryConfig;
+use cachecraft::workloads::{SizeClass, Workload};
+
+#[test]
+fn rate_zero_injection_is_bit_identical() {
+    let cfg = GpuConfig::tiny();
+    let trace = Workload::Spmv.generate(SizeClass::Tiny, 1);
+    let kind = SchemeKind::CacheCraft(CacheCraftConfig::for_machine(&cfg));
+    let plain = run_scheme(&cfg, kind, &trace);
+    let fc = FaultConfig::parse("symbol:0").expect("valid spec");
+    let zero = run_scheme_instrumented(&cfg, kind, &trace, &TelemetryConfig::disabled(), Some(&fc));
+    let mut stats = zero.stats.clone();
+    let faults = stats.faults.take().expect("fault stats attached");
+    assert_eq!(faults.injected, 0, "rate 0 must inject nothing");
+    assert_eq!(stats, plain, "rate-0 injection must not perturb the run");
+}
+
+#[test]
+fn injection_never_perturbs_timing() {
+    let cfg = GpuConfig::tiny();
+    let trace = Workload::Transpose.generate(SizeClass::Tiny, 2);
+    let kind = SchemeKind::InlineNaive { coverage: 8 };
+    let plain = run_scheme(&cfg, kind, &trace);
+    let fc = FaultConfig::parse("bit2:1.0").expect("valid spec");
+    let hot = run_scheme_instrumented(&cfg, kind, &trace, &TelemetryConfig::disabled(), Some(&fc));
+    let mut stats = hot.stats.clone();
+    let faults = stats.faults.take().expect("fault stats attached");
+    assert!(faults.injected > 0, "p=1.0 must inject");
+    assert_eq!(
+        stats, plain,
+        "injection is observational: timing and traffic unchanged"
+    );
+}
+
+#[test]
+fn cachecraft_corrects_symbol_faults_baselines_cannot() {
+    let cfg = GpuConfig::tiny();
+    let trace = Workload::Spmv.generate(SizeClass::Tiny, 1);
+    let fc = FaultConfig::parse("symbol:1.0")
+        .expect("valid spec")
+        .with_seed(7);
+    let tel = TelemetryConfig::disabled();
+    let run = |kind| {
+        run_scheme_instrumented(&cfg, kind, &trace, &tel, Some(&fc))
+            .stats
+            .faults
+            .expect("fault stats attached")
+    };
+    let craft = run(SchemeKind::CacheCraft(CacheCraftConfig::for_machine(&cfg)));
+    assert!(craft.injected > 0);
+    assert_eq!(craft.sdc, 0, "RS(36,32) corrects every single-symbol fault");
+    assert_eq!(craft.corrected + craft.benign, craft.injected);
+    let naive = run(SchemeKind::InlineNaive { coverage: 8 });
+    assert!(
+        naive.due + naive.sdc > 0,
+        "SEC-DED cannot correct whole-symbol faults: {naive:?}"
+    );
+}
+
+/// Serializes tests that run matrices: the checkpoint session consulted
+/// by `run_matrix` is process-global.
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn matrix_results_come_back_in_deterministic_order() {
+    let _guard = guard();
+    let cfg = GpuConfig::tiny();
+    let opts = ExpOptions {
+        size: SizeClass::Tiny,
+        threads: 2,
+        ..ExpOptions::default()
+    };
+    let results = run_matrix(
+        &cfg,
+        &[Workload::VecAdd, Workload::Saxpy],
+        &[
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage: 8 },
+        ],
+        &opts,
+    );
+    assert_eq!(results.len(), 4);
+    let names: Vec<_> = results
+        .iter()
+        .map(|r| format!("{}/{}", r.workload.name(), r.scheme.name()))
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "vecadd/no-protection",
+            "vecadd/inline-naive",
+            "saxpy/no-protection",
+            "saxpy/inline-naive",
+        ]
+    );
+}
+
+#[test]
+fn checkpoint_round_trips_across_sessions() {
+    let _guard = guard();
+    let dir = std::env::temp_dir().join(format!("ccraft-facade-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("checkpoint.json");
+    let _ = std::fs::remove_file(&path);
+    let cfg = GpuConfig::tiny();
+    let opts = ExpOptions {
+        size: SizeClass::Tiny,
+        threads: 1,
+        ..ExpOptions::default()
+    };
+    let workloads = [Workload::VecAdd];
+    let schemes = [
+        SchemeKind::NoProtection,
+        SchemeKind::InlineNaive { coverage: 8 },
+    ];
+
+    // Run 1 records both cells.
+    checkpoint::install(Session::start("facade/tiny/1", path.clone(), false));
+    let first = run_matrix(&cfg, &workloads, &schemes, &opts);
+    checkpoint::clear();
+    assert_eq!(first.len(), 2);
+
+    // Simulate an interruption: drop one cell from the file, as if the
+    // process died before completing it.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut cp: checkpoint::Checkpoint = serde_json::from_str(&text).unwrap();
+    assert_eq!(cp.cells.len(), 2);
+    cp.cells.retain(|c| c.key.contains("no-protection"));
+    std::fs::write(&path, serde_json::to_string(&cp).unwrap()).unwrap();
+
+    // Run 2 resumes: the surviving cell replays, the dropped one re-runs,
+    // and results are bit-identical to the uninterrupted run.
+    checkpoint::install(Session::start("facade/tiny/1", path.clone(), true));
+    let second = cachecraft::harness::run_matrix_cells(&cfg, &workloads, &schemes, &opts);
+    checkpoint::clear();
+    assert_eq!(second.len(), 2);
+    assert_eq!(second[0].status, CellStatus::Resumed);
+    assert_eq!(second[1].status, CellStatus::Ok);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(Some(&a.stats), b.stats.as_ref(), "resume is bit-identical");
+    }
+    // The repaired checkpoint again holds both cells.
+    let cp: checkpoint::Checkpoint =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(cp.cells.len(), 2);
+    assert!(cp.cells.iter().all(|c| c.is_ok()));
+    let _ = std::fs::remove_file(&path);
+}
