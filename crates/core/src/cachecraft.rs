@@ -186,6 +186,13 @@ impl CoalesceBuffer {
         }
     }
 
+    /// Due cycle of the oldest pending entry, if any. Dues are stamped
+    /// monotonically (`now + coalesce_age` with a constant age), so the
+    /// FIFO front is the minimum.
+    fn next_due(&self) -> Option<Cycle> {
+        self.queue.front().map(|&(_, due)| due)
+    }
+
     fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
@@ -387,6 +394,16 @@ impl ProtectionScheme for CacheCraft {
     fn is_drained(&self) -> bool {
         self.coalesce.iter().all(|b| b.is_empty())
             && self.store.as_ref().is_none_or(|s| s.is_drained())
+    }
+
+    fn next_timed_event(&self) -> Option<Cycle> {
+        // The coalesce buffers are the scheme's only age-triggered state:
+        // an entry that yields nothing today drains by itself once its
+        // due cycle passes, so idle fast-forwards must stop there. (The
+        // fragment store drains purely on demand/capacity and needs no
+        // event.) After `flush` all dues are 0, which reads as "busy now"
+        // and correctly pins the end-of-kernel drain to real cycles.
+        self.coalesce.iter().filter_map(|b| b.next_due()).min()
     }
 
     fn l2_tax_bytes(&self) -> u64 {

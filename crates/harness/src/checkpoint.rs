@@ -5,8 +5,9 @@
 //! crashed or killed experiment can be re-run with `--resume` and only
 //! the unfinished cells execute. A checkpoint belongs to one experiment
 //! configuration, captured in its *fingerprint* (experiment id + size +
-//! seed); resuming against a different configuration discards the stale
-//! file rather than mixing results.
+//! seed + canonical fault-injection spec, or `none`); resuming against a
+//! different configuration — including a changed `--inject` — discards
+//! the stale file rather than mixing results.
 //!
 //! Cell keys are `m<call>/<workload>/<scheme>`: experiments may invoke
 //! the matrix runner several times, and calls are numbered in execution

@@ -160,6 +160,22 @@ impl ExpOptions {
                 .unwrap_or(4)
         }
     }
+
+    /// Worker count the matrix engine actually spawns: the effective
+    /// thread count clamped to `[1, 64]`. This — not the raw request —
+    /// is what run manifests record.
+    pub fn effective_workers(&self) -> usize {
+        self.effective_threads().clamp(1, 64)
+    }
+
+    /// Canonical inject spec for checkpoint fingerprints (`"none"` when
+    /// no injection is configured). A resumed run whose `--inject`
+    /// differs must not replay cells recorded under the old fault
+    /// configuration.
+    pub fn inject_fingerprint(&self) -> String {
+        self.inject
+            .map_or_else(|| "none".to_string(), |cfg| cfg.canonical_spec())
+    }
 }
 
 fn parse_value<T: std::str::FromStr>(
@@ -446,7 +462,7 @@ fn run_matrix_engine(
 
     let results: Mutex<&mut Vec<Option<CellOutcome>>> = Mutex::new(&mut slots);
     let queue = Mutex::new(jobs);
-    let workers = opts.effective_threads().clamp(1, 64);
+    let workers = opts.effective_workers();
     let started = Instant::now();
     let completed = AtomicUsize::new(resumed);
     let show_progress = progress_enabled();
@@ -575,6 +591,23 @@ pub fn run_matrix(
         .collect()
 }
 
+/// Checkpoint fingerprint for one experiment invocation.
+///
+/// Covers everything that changes what a cell computes: experiment id,
+/// problem size, base seed, and the canonical `--inject` spec. A
+/// checkpoint recorded under a different fingerprint is discarded on
+/// resume (the session starts fresh), so e.g. rerunning `exp-faults
+/// --resume` with a different fault pattern or rate re-runs every cell
+/// instead of silently replaying stale results.
+pub fn experiment_fingerprint(id: &str, opts: &ExpOptions) -> String {
+    format!(
+        "{id}/{}/{}/{}",
+        opts.size,
+        opts.seed,
+        opts.inject_fingerprint()
+    )
+}
+
 /// Standard entry point for an experiment binary: parses [`ExpOptions`]
 /// from the command line, installs a checkpoint session at
 /// `results/checkpoint.json` (resuming it under `--resume`), times
@@ -587,7 +620,7 @@ pub fn run_matrix(
 pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions)) {
     let opts = ExpOptions::from_args();
     let started = Instant::now();
-    let fingerprint = format!("{id}/{}/{}", opts.size, opts.seed);
+    let fingerprint = experiment_fingerprint(id, &opts);
     let session = match crate::report::results_dir() {
         Ok(dir) => Some(checkpoint::install(checkpoint::Session::start(
             &fingerprint,
@@ -603,7 +636,7 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions)) {
     let mut manifest = RunManifest::new(id);
     manifest.size = opts.size.to_string();
     manifest.seed = opts.seed;
-    manifest.threads = opts.effective_threads();
+    manifest.threads = opts.effective_workers();
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
     if let Some(sess) = &session {
         let sess = lock_clean(sess);
@@ -1034,6 +1067,112 @@ mod tests {
         assert_eq!(cp.cells.len(), 4);
         assert!(cp.cells.iter().all(|c| c.is_ok()));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_changed_inject_reruns_all_cells() {
+        let _guard = crate::checkpoint::test_guard();
+        let dir = std::env::temp_dir().join(format!("ccraft-runner-inject-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(&path);
+        let workloads = [Workload::VecAdd];
+        let schemes = [
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage: 8 },
+        ];
+
+        // First run records both cells under the symbol:1.0 fingerprint.
+        let opts_a = ExpOptions {
+            inject: Some(FaultConfig::parse("symbol:1.0").expect("valid spec")),
+            ..tiny_opts(1)
+        };
+        let fp_a = experiment_fingerprint("exp-faults", &opts_a);
+        checkpoint::install(checkpoint::Session::start(&fp_a, path.clone(), false));
+        let first = run_matrix_engine(
+            &workloads,
+            &schemes,
+            &opts_a,
+            standard_body(&GpuConfig::tiny(), &opts_a),
+        );
+        checkpoint::clear();
+        assert!(first.iter().all(|o| o.status.is_ok()));
+
+        // Resuming with a *different* inject spec must not replay those
+        // cells: the fingerprint differs, so the session starts fresh and
+        // every cell executes again.
+        let opts_b = ExpOptions {
+            inject: Some(FaultConfig::parse("bit2:1.0").expect("valid spec")),
+            ..tiny_opts(1)
+        };
+        let fp_b = experiment_fingerprint("exp-faults", &opts_b);
+        assert_ne!(fp_a, fp_b, "inject spec must reach the fingerprint");
+        let executed = Arc::new(Mutex::new(Vec::new()));
+        let executed_in = Arc::clone(&executed);
+        let inner = standard_body(&GpuConfig::tiny(), &opts_b);
+        let tracking: Arc<CellBody> = Arc::new(move |idx, workload, scheme| {
+            lock_clean(&executed_in).push(format!("{}/{}", workload.name(), scheme.name()));
+            inner(idx, workload, scheme)
+        });
+        checkpoint::install(checkpoint::Session::start(&fp_b, path.clone(), true));
+        let second = run_matrix_engine(&workloads, &schemes, &opts_b, tracking);
+        checkpoint::clear();
+        assert!(second.iter().all(|o| o.status.is_ok()));
+        assert!(
+            second.iter().all(|o| o.status != CellStatus::Resumed),
+            "no cell may be resumed across an inject change"
+        );
+        assert_eq!(lock_clean(&executed).len(), 2, "both cells re-ran");
+
+        // Sanity inverse: an unchanged spec still resumes.
+        checkpoint::install(checkpoint::Session::start(&fp_b, path.clone(), true));
+        let third = run_matrix_engine(
+            &workloads,
+            &schemes,
+            &opts_b,
+            standard_body(&GpuConfig::tiny(), &opts_b),
+        );
+        checkpoint::clear();
+        assert!(third.iter().all(|o| o.status == CellStatus::Resumed));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_stats() {
+        let _guard = crate::checkpoint::test_guard();
+        // Guards the idle-skip and buffer-reuse rewrites against any
+        // order-dependence: an 8-worker run of a mixed matrix must produce
+        // bit-identical SimStats to a sequential run.
+        let cfg = GpuConfig::tiny();
+        let workloads = [Workload::VecAdd, Workload::Saxpy, Workload::Histogram];
+        let schemes = [
+            SchemeKind::NoProtection,
+            SchemeKind::InlineNaive { coverage: 8 },
+            SchemeKind::CacheCraft(ccraft_core::CacheCraftConfig::for_machine(&cfg)),
+        ];
+        let opts_1 = ExpOptions {
+            seed: 7,
+            ..tiny_opts(1)
+        };
+        let opts_8 = ExpOptions {
+            seed: 7,
+            ..tiny_opts(8)
+        };
+        let seq = run_matrix(&cfg, &workloads, &schemes, &opts_1);
+        let par = run_matrix(&cfg, &workloads, &schemes, &opts_8);
+        assert_eq!(seq.len(), 9);
+        assert_eq!(par.len(), 9);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.scheme.name(), b.scheme.name());
+            assert_eq!(
+                a.stats,
+                b.stats,
+                "{}/{}",
+                a.workload.name(),
+                a.scheme.name()
+            );
+        }
     }
 
     #[test]

@@ -68,7 +68,9 @@ fn killed_experiment_resumes_from_checkpoint() {
     let cp = read_checkpoint(&checkpoint_path).expect("checkpoint exists after kill");
     let cells_after_kill = ok_cells(&cp);
     assert!(cells_after_kill >= 2, "kill happened after >= 2 cells");
-    assert_eq!(cp.fingerprint, "exp-faults/tiny/3");
+    // Fingerprint carries the canonical inject spec ("none" here: the
+    // fault experiment configures injection per cell, not via --inject).
+    assert_eq!(cp.fingerprint, "exp-faults/tiny/3/none");
     if !first_run_completed {
         assert!(
             cells_after_kill < TOTAL_CELLS,
@@ -109,7 +111,7 @@ fn killed_experiment_resumes_from_checkpoint() {
     assert_eq!(ok_cells(&final_cp), TOTAL_CELLS);
     // Cells executed by the resume run = total - skipped; together with
     // the skipped set they cover the matrix exactly once.
-    assert_eq!(final_cp.fingerprint, "exp-faults/tiny/3");
+    assert_eq!(final_cp.fingerprint, "exp-faults/tiny/3/none");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -224,7 +224,14 @@ impl DramChannel {
     /// Peeks at the row-buffer outcome the access *would* have, without
     /// changing any state. Used by FR-FCFS to prefer row hits.
     pub fn peek_outcome(&self, atom: u64) -> RowOutcome {
-        let coord = self.map.decompose(atom);
+        self.row_outcome_at(self.map.decompose(atom))
+    }
+
+    /// [`peek_outcome`](Self::peek_outcome) for a pre-decomposed
+    /// coordinate: the memory controller caches each request's
+    /// [`DramCoord`] at enqueue time so the per-cycle FR-FCFS scan does
+    /// no address arithmetic.
+    pub fn row_outcome_at(&self, coord: DramCoord) -> RowOutcome {
         match self.banks[coord.bank as usize].open_row {
             Some(r) if r == coord.row => RowOutcome::Hit,
             Some(_) => RowOutcome::Conflict,
@@ -253,8 +260,18 @@ impl DramChannel {
     /// and bus state and returns the completion time; on failure (bank or
     /// bus constraint not yet met) returns `None` and changes nothing.
     pub fn try_issue(&mut self, atom: u64, is_write: bool, now: Cycle) -> Option<IssueInfo> {
+        self.try_issue_at(self.map.decompose(atom), is_write, now)
+    }
+
+    /// [`try_issue`](Self::try_issue) for a pre-decomposed coordinate
+    /// (see [`row_outcome_at`](Self::row_outcome_at)).
+    pub fn try_issue_at(
+        &mut self,
+        coord: DramCoord,
+        is_write: bool,
+        now: Cycle,
+    ) -> Option<IssueInfo> {
         let t = self.timing;
-        let coord = self.map.decompose(atom);
         let bank = &self.banks[coord.bank as usize];
         if bank.ready_at > now {
             return None;
@@ -329,6 +346,63 @@ impl DramChannel {
             data_ready: data_end,
             row_outcome: outcome,
         })
+    }
+
+    /// The cycle the next refresh window opens (`Cycle::MAX` when refresh
+    /// is disabled). Refresh is the only event that changes bank state
+    /// without an issue, so scan-skipping bounds must be capped here.
+    pub fn next_refresh_at(&self) -> Cycle {
+        self.next_refresh
+    }
+
+    /// Earliest cycle at which [`try_issue_at`](Self::try_issue_at) for
+    /// this access could stop failing on its *currently first-failing*
+    /// constraint, assuming no intervening issue or refresh changes
+    /// channel state. Mirrors `try_issue_at`'s checks exactly — the two
+    /// must stay in sync; the memory controller uses the minimum over its
+    /// scheduling window to skip provably-futile scans.
+    pub fn issue_blocked_until(&self, coord: DramCoord, is_write: bool, now: Cycle) -> Cycle {
+        let t = self.timing;
+        let bank = &self.banks[coord.bank as usize];
+        if bank.ready_at > now {
+            return bank.ready_at;
+        }
+        let outcome = match bank.open_row {
+            Some(r) if r == coord.row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Empty,
+        };
+        let col_delay: Cycle = match outcome {
+            RowOutcome::Hit => 0,
+            RowOutcome::Empty => t.t_rcd as Cycle,
+            RowOutcome::Conflict => {
+                let pre_ok = (bank.row_opened_at + t.t_ras as Cycle)
+                    .max(bank.last_write_end + t.t_wr as Cycle);
+                if pre_ok > now {
+                    return pre_ok;
+                }
+                (t.t_rp + t.t_rcd) as Cycle
+            }
+        };
+        let cas = t.cas as Cycle;
+        let dir = if is_write {
+            BusDir::Write
+        } else {
+            BusDir::Read
+        };
+        let turnaround: Cycle = match (self.bus_dir, dir) {
+            (BusDir::Read, BusDir::Write) => t.t_rtw as Cycle,
+            (BusDir::Write, BusDir::Read) => t.t_wtr as Cycle,
+            _ => 0,
+        };
+        if self.bus_free_at + turnaround > now + col_delay + cas {
+            // First cycle n with bus_free_at + turnaround <= n + col_delay
+            // + cas; no underflow because the guard implies the sum on the
+            // left exceeds col_delay + cas.
+            return self.bus_free_at + turnaround - col_delay - cas;
+        }
+        // No constraint blocks: issueable this cycle.
+        now
     }
 
     /// Total accesses classified so far.

@@ -120,6 +120,9 @@ impl FaultConfig {
                     .map_err(|_| format!("--inject: bad exposure hours '{h}'"))?,
                 None => 1.0,
             };
+            if !fit.is_finite() || !exposure_hours.is_finite() {
+                return Err("--inject: FIT rate and hours must be finite".into());
+            }
             if fit < 0.0 || exposure_hours < 0.0 {
                 return Err("--inject: FIT rate and hours must be non-negative".into());
             }
@@ -131,6 +134,9 @@ impl FaultConfig {
             let p: f64 = rate_s
                 .parse()
                 .map_err(|_| format!("--inject: bad rate '{rate_s}'"))?;
+            if !p.is_finite() {
+                return Err(format!("--inject: rate '{rate_s}' must be finite"));
+            }
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("--inject: rate {p} outside [0, 1]"));
             }
@@ -146,6 +152,38 @@ impl FaultConfig {
     /// The same config with a different seed (per-cell derivation).
     pub fn with_seed(self, seed: u64) -> Self {
         FaultConfig { seed, ..self }
+    }
+
+    /// Canonical `<pattern>:<rate>` spec, accepted back by
+    /// [`FaultConfig::parse`].
+    ///
+    /// Excludes the seed: per-cell seeds are derived from the run seed,
+    /// which checkpoint fingerprints already cover. Two configs with the
+    /// same canonical spec inject statistically identical faults, so
+    /// this string is what resume fingerprints fold in.
+    pub fn canonical_spec(&self) -> String {
+        let pattern = match self.pattern {
+            ErrorPattern::RandomBits { count: 1 } => "bit1",
+            ErrorPattern::RandomBits { count: 2 } => "bit2",
+            ErrorPattern::RandomBits { count: 3 } => "bit3",
+            ErrorPattern::RandomBits { count } => {
+                return format!("bit{count}:{}", self.canonical_rate())
+            }
+            ErrorPattern::AdjacentBurst { .. } => "burst4",
+            ErrorPattern::SymbolError => "symbol",
+            ErrorPattern::ChipLane { .. } => "chiplane",
+        };
+        format!("{pattern}:{}", self.canonical_rate())
+    }
+
+    fn canonical_rate(&self) -> String {
+        match self.rate {
+            FaultRate::PerAccess { p } => format!("{p:e}"),
+            FaultRate::FitPerGb {
+                fit,
+                exposure_hours,
+            } => format!("fit={fit:e}@{exposure_hours:e}"),
+        }
     }
 }
 
@@ -426,6 +464,37 @@ mod tests {
             "bit1:fit=-1",
         ] {
             assert!(FaultConfig::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_rates() {
+        for bad in [
+            "bit1:NaN",
+            "bit1:nan",
+            "bit1:inf",
+            "bit1:-inf",
+            "bit1:infinity",
+            "bit1:fit=NaN",
+            "bit1:fit=inf",
+            "bit1:fit=10@NaN",
+            "bit1:fit=10@inf",
+        ] {
+            let err = FaultConfig::parse(bad).expect_err(bad);
+            assert!(err.contains("finite"), "wrong error for {bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn canonical_spec_round_trips_and_omits_seed() {
+        for spec in ["symbol:1e-4", "bit2:fit=5000", "burst4:fit=100@24"] {
+            let c = FaultConfig::parse(spec).unwrap().with_seed(99);
+            let canon = c.canonical_spec();
+            let back = FaultConfig::parse(&canon).unwrap();
+            assert_eq!(back.pattern, c.pattern, "{spec} -> {canon}");
+            assert_eq!(back.rate, c.rate, "{spec} -> {canon}");
+            // Seed does not leak into the spec.
+            assert_eq!(canon, c.with_seed(0).canonical_spec());
         }
     }
 

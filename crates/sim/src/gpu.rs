@@ -101,6 +101,50 @@ const TIMELINE_SERIES: [&str; 10] = [
     "l2.mshrs",
 ];
 
+/// Earliest cycle at which any component can make progress, for idle
+/// fast-forwarding. Returns `None` when some component is busy at `now`
+/// (something can still act this cycle, so no cycles may be skipped) or
+/// when no component reports a future event (drained or deadlocked — the
+/// per-cycle loop handles both identically). Returns `Some(wake > now)`
+/// when every component is quiescent until `wake`: all cycles in
+/// `(now, wake)` are provably idle and can be jumped over.
+fn idle_wake(
+    now: Cycle,
+    sms: &[SmCore],
+    xbar: &Crossbar,
+    slices: &[L2Slice],
+    scheme: &dyn ProtectionScheme,
+) -> Option<Cycle> {
+    let mut wake: Option<Cycle> = None;
+    let mut merge = |ev: Option<Cycle>| -> bool {
+        match ev {
+            Some(c) if c <= now => false,
+            Some(c) => {
+                wake = Some(wake.map_or(c, |w: Cycle| w.min(c)));
+                true
+            }
+            None => true,
+        }
+    };
+    for slice in slices {
+        if !merge(slice.next_event(now)) {
+            return None;
+        }
+    }
+    if !merge(xbar.next_event()) {
+        return None;
+    }
+    for sm in sms {
+        if !merge(sm.next_event(now)) {
+            return None;
+        }
+    }
+    if !merge(scheme.next_timed_event()) {
+        return None;
+    }
+    wake.filter(|&w| w > now)
+}
+
 /// Computes one epoch's sample values from the delta between snapshots
 /// plus instantaneous queue occupancies.
 fn epoch_values(prev: Snap, cur: Snap, epoch_len: u64, slices: &[L2Slice]) -> Vec<f64> {
@@ -337,12 +381,27 @@ pub fn simulate_instrumented(
     let mut exec_cycles: Cycle = 0;
     let mut flushed = false;
     let mut timed_out = false;
+    // One response buffer reused across slices, SMs and cycles: the hot
+    // loop allocates nothing per cycle.
+    let mut resp_buf: Vec<crate::msg::L2Response> = Vec::new();
+    // Per-SM sleep memo. `sm_wake[i] > now` means SM `i` provably cannot
+    // act before `sm_wake[i]` (`Cycle::MAX`: not until a response
+    // arrives), so its tick is replaced by the stall accounting the tick
+    // would have done; a delivered response resets the memo. `sm_done[i]`
+    // caches doneness, which cannot flip while asleep: every trailing
+    // compute expiry is a wake event, and load completions arrive as
+    // responses. This skips the O(warps) scheduler scans for stalled SMs
+    // even when the memory system is busy (the common memory-bound case,
+    // where the whole-machine fast-forward below never fires).
+    let mut sm_wake: Vec<Cycle> = vec![0; sms.len()];
+    let mut sm_done: Vec<bool> = vec![false; sms.len()];
 
     loop {
         // 1. Memory side.
         for slice in &mut slices {
             slice.tick(scheme, now);
-            for resp in slice.pop_responses(now) {
+            slice.pop_responses_into(now, &mut resp_buf);
+            for &resp in &resp_buf {
                 xbar.send_response(resp, now);
             }
         }
@@ -358,17 +417,43 @@ pub fn simulate_instrumented(
             });
         }
         for (i, sm) in sms.iter_mut().enumerate() {
-            for resp in xbar.deliver_responses(i as u16, now) {
+            xbar.deliver_responses_into(i as u16, now, &mut resp_buf);
+            if !resp_buf.is_empty() {
+                sm_wake[i] = 0;
+            }
+            for &resp in &resp_buf {
                 sm.l1.accept_response(resp);
             }
         }
         // 3. Cores.
-        for sm in &mut sms {
+        for (i, sm) in sms.iter_mut().enumerate() {
+            if sm_wake[i] > now {
+                // Asleep: the tick would only have counted one stalled
+                // cycle (or nothing, if done).
+                if !sm_done[i] {
+                    sm.account_stalled_span(1);
+                }
+                continue;
+            }
             let xbar_ref = &mut xbar;
             let scheme_map = &*scheme;
-            sm.tick(now, &mut |atom| scheme_map.map(atom), &mut |req| {
+            let stalled = sm.tick(now, &mut |atom| scheme_map.map(atom), &mut |req| {
                 xbar_ref.try_send_request(req, now)
             });
+            // Probe for sleep only when the tick found no ready warp: a
+            // busy SM pays nothing for the memo beyond this branch.
+            if stalled {
+                sm_wake[i] = match sm.next_event(now) {
+                    Some(c) if c <= now => 0,
+                    Some(c) => c,
+                    None => Cycle::MAX,
+                };
+                if sm_wake[i] > now {
+                    sm_done[i] = sm.all_warps_done(now);
+                }
+            } else {
+                sm_wake[i] = 0;
+            }
         }
 
         // Fault injection: expose this cycle's newly-issued DRAM reads.
@@ -417,8 +502,17 @@ pub fn simulate_instrumented(
             }
         }
 
-        // Progress / termination.
-        let warps_done = sms.iter().all(|s| s.all_warps_done(now));
+        // Progress / termination. Sleeping SMs use the cached flag
+        // (doneness is constant while asleep — see the memo invariant
+        // above); awake SMs are checked live, short-circuiting on the
+        // first unfinished one.
+        let warps_done = sms.iter().enumerate().all(|(i, s)| {
+            if sm_wake[i] > now {
+                sm_done[i]
+            } else {
+                s.all_warps_done(now)
+            }
+        });
         if warps_done && exec_cycles == 0 {
             exec_cycles = now + 1;
         }
@@ -446,6 +540,33 @@ pub fn simulate_instrumented(
         if now >= cfg.max_cycles {
             timed_out = true;
             break;
+        }
+
+        // Idle fast-forward: when nothing can make progress until some
+        // future event (every SM stalled on memory or compute latency,
+        // queues empty of issuable work), jump straight to the earliest
+        // such event. Skipped cycles are provably identical to ticking
+        // through them — see DESIGN.md "Simulator performance model" for
+        // the invariant argument — so stats stay bit-identical. The jump
+        // is capped at the sampler's next epoch boundary (telemetry
+        // epochs must land on the same cycles either way) and at
+        // `max_cycles` (timeout accounting).
+        if let Some(wake) = idle_wake(now, &sms, &xbar, &slices, &*scheme) {
+            let mut wake = wake.min(cfg.max_cycles);
+            if let Some(s) = &sampler {
+                wake = wake.min(s.next_due_cycle());
+            }
+            if wake > now {
+                let span = wake - now;
+                for sm in &mut sms {
+                    sm.account_idle_span(now, span);
+                }
+                now = wake;
+                if now >= cfg.max_cycles {
+                    timed_out = true;
+                    break;
+                }
+            }
         }
     }
 
@@ -706,6 +827,37 @@ mod tests {
         // bit-identical.
         probed.latency_hist = None;
         probed.timeline = None;
+        assert_eq!(plain, probed);
+    }
+
+    #[test]
+    fn idle_skip_preserves_telemetry_epochs() {
+        // A long trailing compute op forces the loop to fast-forward;
+        // epoch sampling must still land on every 64-cycle boundary, and
+        // the stats must stay bit-identical to the uninstrumented run.
+        let trace = KernelTrace::new(
+            "long-compute",
+            vec![WarpTrace::new(vec![WarpOp::Compute { cycles: 1000 }])],
+        );
+        let cfg = GpuConfig::tiny();
+        let mut s1 = tiny_scheme(&cfg);
+        let mut s2 = tiny_scheme(&cfg);
+        let plain = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut s1);
+        assert!(plain.cycles >= 1000);
+        let tel = ccraft_telemetry::TelemetryConfig {
+            epoch_cycles: 64,
+            ..ccraft_telemetry::TelemetryConfig::enabled()
+        };
+        let mut probed =
+            simulate_with_telemetry(&cfg, MapOrder::RoBaCo, &trace, &mut s2, &tel).stats;
+        let t = probed.timeline.take().expect("timeline");
+        assert!(
+            t.epochs() as u64 >= plain.cycles / 64,
+            "epochs were skipped: {} epochs over {} cycles",
+            t.epochs(),
+            plain.cycles
+        );
+        probed.latency_hist = None;
         assert_eq!(plain, probed);
     }
 

@@ -9,9 +9,10 @@
 
 use crate::cache::{LookupResult, SectorCache};
 use crate::config::CacheConfig;
+use crate::fxmap::FxHashMap;
 use crate::msg::{L2Request, L2Response, NO_L1_MSHR};
 use crate::types::{AccessKind, Cycle, LogicalAtom, SmId, WarpIdx};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One access handed from the SM's load/store unit to the L1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +55,7 @@ pub struct L1Cache {
     /// Loads that hit, waiting out the hit latency: `(ready, warp)`.
     hit_q: VecDeque<(Cycle, WarpIdx)>,
     mshrs: Vec<Option<L1Mshr>>,
-    mshr_index: HashMap<LogicalAtom, usize>,
+    mshr_index: FxHashMap<LogicalAtom, usize>,
     free_mshrs: Vec<usize>,
     /// Completed load notifications for the SM: one entry per finished
     /// access, identifying the warp.
@@ -73,7 +74,7 @@ impl L1Cache {
             in_cap: cfg.input_queue,
             hit_q: VecDeque::new(),
             mshrs: (0..cfg.mshrs).map(|_| None).collect(),
-            mshr_index: HashMap::new(),
+            mshr_index: FxHashMap::default(),
             free_mshrs: (0..cfg.mshrs).rev().collect(),
             completions: Vec::new(),
             stats: L1Stats::default(),
@@ -204,6 +205,25 @@ impl L1Cache {
     /// Takes the load-completion notifications accumulated so far.
     pub fn take_completions(&mut self) -> Vec<WarpIdx> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Drains completion notifications in place, keeping the buffer's
+    /// capacity (the per-cycle path; [`take_completions`](Self::take_completions)
+    /// hands the allocation away each call).
+    pub fn drain_completions(&mut self) -> std::vec::Drain<'_, WarpIdx> {
+        self.completions.drain(..)
+    }
+
+    /// Earliest cycle at which this L1 has (or may have) work, for idle
+    /// fast-forwarding. `Some(c <= now)` means busy this cycle; a future
+    /// cycle is the next matured hit. Outstanding MSHRs carry no event of
+    /// their own — their wakeup is the L2/crossbar response that feeds
+    /// [`accept_response`](Self::accept_response).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.in_q.is_empty() || !self.completions.is_empty() {
+            return Some(now);
+        }
+        self.hit_q.front().map(|&(ready, _)| ready)
     }
 
     /// `true` when no work remains in the L1.

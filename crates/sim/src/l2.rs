@@ -14,11 +14,12 @@
 use crate::cache::{CacheStats, LookupResult, SectorCache};
 use crate::config::GpuConfig;
 use crate::dram::MapOrder;
-use crate::mem_ctrl::{DramRequest, DramTag, IssueEvent, McStats, MemCtrl};
+use crate::fxmap::FxHashMap;
+use crate::mem_ctrl::{Completion, DramRequest, DramTag, IssueEvent, McStats, MemCtrl};
 use crate::msg::{L2Request, L2Response};
 use crate::protection::ProtectionScheme;
 use crate::types::{AccessKind, Cycle, PhysLoc, TrafficClass};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Requests the slice pipeline processes per cycle.
 pub const SLICE_PORTS: usize = 2;
@@ -69,11 +70,13 @@ pub struct L2Slice {
     in_cap: usize,
     resp_q: VecDeque<(Cycle, L2Response)>,
     mshrs: Vec<Option<Mshr>>,
-    mshr_index: HashMap<u64, usize>,
+    mshr_index: FxHashMap<u64, usize>,
     free_mshrs: Vec<usize>,
     pending_wb: VecDeque<WbTask>,
     mc: MemCtrl,
     stats: L2SliceStats,
+    /// Reused scratch for DRAM completions (hot-path allocation avoidance).
+    comp_buf: Vec<Completion>,
 }
 
 impl L2Slice {
@@ -101,11 +104,12 @@ impl L2Slice {
             in_cap: cfg.l2.input_queue,
             resp_q: VecDeque::new(),
             mshrs: (0..cfg.l2.mshrs).map(|_| None).collect(),
-            mshr_index: HashMap::new(),
+            mshr_index: FxHashMap::default(),
             free_mshrs: (0..cfg.l2.mshrs).rev().collect(),
             pending_wb: VecDeque::new(),
             mc: MemCtrl::new(&cfg.mem, order),
             stats: L2SliceStats::default(),
+            comp_buf: Vec::new(),
         }
     }
 
@@ -376,8 +380,11 @@ impl L2Slice {
     /// Advances the slice and its controller one cycle.
     pub fn tick(&mut self, scheme: &mut dyn ProtectionScheme, now: Cycle) {
         self.mc.tick(now);
-        // 1. Handle DRAM completions.
-        for c in self.mc.pop_completions(now) {
+        // 1. Handle DRAM completions (through a reused scratch buffer —
+        //    this runs every cycle for every slice).
+        let mut comps = std::mem::take(&mut self.comp_buf);
+        self.mc.pop_completions_into(now, &mut comps);
+        for c in comps.drain(..) {
             match c.req.tag {
                 DramTag::DemandData { mshr } | DramTag::DemandEcc { mshr } => {
                     if matches!(c.req.tag, DramTag::DemandEcc { .. }) {
@@ -396,6 +403,7 @@ impl L2Slice {
                 DramTag::Write => unreachable!("writes produce no completions"),
             }
         }
+        self.comp_buf = comps;
         // 2. Issue deferred write-backs.
         for _ in 0..WB_TASKS_PER_CYCLE {
             if !self.try_issue_wb(now) {
@@ -428,6 +436,14 @@ impl L2Slice {
     /// Pops responses that are ready at `now`.
     pub fn pop_responses(&mut self, now: Cycle) -> Vec<L2Response> {
         let mut out = Vec::new();
+        self.pop_responses_into(now, &mut out);
+        out
+    }
+
+    /// Like [`pop_responses`](Self::pop_responses) into a caller-owned
+    /// buffer (cleared first) so the cycle loop can reuse one allocation.
+    pub fn pop_responses_into(&mut self, now: Cycle, out: &mut Vec<L2Response>) {
+        out.clear();
         while let Some(&(ready, resp)) = self.resp_q.front() {
             if ready <= now {
                 out.push(resp);
@@ -436,7 +452,6 @@ impl L2Slice {
                 break;
             }
         }
-        out
     }
 
     /// Queues write-backs for every dirty atom still resident (end-of-kernel
@@ -451,6 +466,23 @@ impl L2Slice {
         self.queue_writebacks(&dirty, &dirty, scheme, now);
         for &a in &dirty {
             self.cache.clean(a);
+        }
+    }
+
+    /// Earliest cycle at which this slice has (or may have) work, for
+    /// idle fast-forwarding. `Some(c <= now)` means busy this cycle;
+    /// `Some(c > now)` is the earliest pending response or DRAM
+    /// completion; `None` means nothing queued or in flight. An MSHR is
+    /// never outstanding without a matching controller event, so the two
+    /// checks below cover the whole slice.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.in_q.is_empty() || !self.pending_wb.is_empty() {
+            return Some(now);
+        }
+        let resp = self.resp_q.front().map(|&(ready, _)| ready);
+        match (resp, self.mc.next_event(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 

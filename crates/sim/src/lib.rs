@@ -60,6 +60,7 @@ pub mod config;
 pub mod dram;
 pub mod energy;
 pub mod faults;
+pub mod fxmap;
 pub mod gpu;
 pub mod l1;
 pub mod l2;

@@ -59,6 +59,10 @@ impl DramRequest {
 struct Pending {
     req: DramRequest,
     enqueued: Cycle,
+    /// Decomposed once at enqueue: the FR-FCFS scan probes bank state for
+    /// every window entry every cycle, and the divisions in
+    /// [`DramAddressMap::decompose`] dominate that loop if done inline.
+    coord: crate::dram::DramCoord,
 }
 
 /// A completed read, handed back to the L2 slice.
@@ -151,8 +155,18 @@ pub struct MemCtrl {
     drain_low: usize,
     window: usize,
     draining: bool,
+    /// Scan-skip memo: until this cycle, every window entry is provably
+    /// blocked (bank/precharge/bus constraint not yet expired), so
+    /// `pick_and_issue` scans are futile and skipped. Reset on every
+    /// push (new entries may issue immediately) and recomputed each time
+    /// a full scan of both queues fails; capped at the next refresh,
+    /// the only event that changes bank state without an issue.
+    scan_asleep_until: Cycle,
     /// (data_ready, completion) pairs not yet collected.
     inflight: Vec<Completion>,
+    /// Minimum `done` over `inflight` (`Cycle::MAX` when empty), so the
+    /// per-cycle completion pop can skip the scan while nothing is due.
+    earliest_done: Cycle,
     stats: McStats,
     /// Telemetry: read-latency histogram (enqueue to data), when enabled.
     read_lat_hist: Option<Histogram>,
@@ -175,7 +189,9 @@ impl MemCtrl {
             drain_low: mem.write_drain_low,
             window: mem.sched_window,
             draining: false,
+            scan_asleep_until: 0,
             inflight: Vec::new(),
+            earliest_done: Cycle::MAX,
             stats: McStats::default(),
             read_lat_hist: None,
             write_lat_hist: None,
@@ -252,7 +268,21 @@ impl MemCtrl {
     /// [`can_accept_read`](Self::can_accept_read) /
     /// [`can_accept_write`](Self::can_accept_write) first.
     pub fn push(&mut self, req: DramRequest, now: Cycle) {
-        let pending = Pending { req, enqueued: now };
+        let coord = self.chan.address_map().decompose(req.atom);
+        // A fresh entry may be issueable sooner than the sleeping scan's
+        // bound. Fold in its own blocked-until (valid because pushes do
+        // not touch channel state) instead of resetting the memo: in the
+        // steady state a request arrives almost every cycle, and a full
+        // reset would make the memo useless exactly when it matters.
+        if self.scan_asleep_until > now {
+            let entry_bound = self.chan.issue_blocked_until(coord, req.is_write(), now);
+            self.scan_asleep_until = self.scan_asleep_until.min(entry_bound.max(now));
+        }
+        let pending = Pending {
+            req,
+            enqueued: now,
+            coord,
+        };
         if req.is_write() {
             assert!(self.can_accept_write(), "write queue overflow");
             self.write_q.push_back(pending);
@@ -287,7 +317,7 @@ impl MemCtrl {
         let mut fallback: Option<usize> = None;
         let mut chosen: Option<usize> = None;
         for (i, pending) in q.iter().enumerate().take(window) {
-            match self.chan.peek_outcome(pending.req.atom) {
+            match self.chan.row_outcome_at(pending.coord) {
                 RowOutcome::Hit => {
                     chosen = Some(i);
                     break;
@@ -296,63 +326,79 @@ impl MemCtrl {
                 _ => {}
             }
         }
-        // Try the row-hit candidate first, then fall back, then scan the
-        // remaining window for anything issuable.
-        let order: Vec<usize> = chosen
-            .into_iter()
-            .chain(fallback)
-            .chain(0..window)
-            .collect();
-        let mut tried = Vec::with_capacity(order.len());
-        for i in order {
-            if tried.contains(&i) {
+        // Try the row-hit candidate first, then the oldest request, then
+        // the rest of the window in age order. The two candidates are
+        // distinct by construction (`chosen` is a hit, `fallback` only
+        // records non-hits), so a plain skip in the final scan reproduces
+        // the old dedup'd order without allocating.
+        if let Some(i) = chosen {
+            if self.try_issue_at(now, from_writes, i) {
+                return true;
+            }
+        }
+        if let Some(i) = fallback {
+            if self.try_issue_at(now, from_writes, i) {
+                return true;
+            }
+        }
+        for i in 0..window {
+            if Some(i) == chosen || Some(i) == fallback {
                 continue;
             }
-            tried.push(i);
-            let q = if from_writes {
-                &self.write_q
-            } else {
-                &self.read_q
-            };
-            let pending = q[i];
-            if let Some(info) = self
-                .chan
-                .try_issue(pending.req.atom, pending.req.is_write(), now)
-            {
-                let q = if from_writes {
-                    &mut self.write_q
-                } else {
-                    &mut self.read_q
-                };
-                q.remove(i);
-                self.stats.count[pending.req.class.index()] += 1;
-                if !pending.req.is_write() {
-                    self.stats.read_latency_sum += info.data_ready - pending.enqueued;
-                    self.stats.read_latency_count += 1;
-                    if let Some(h) = &mut self.read_lat_hist {
-                        h.record(info.data_ready - pending.enqueued);
-                    }
-                    self.inflight.push(Completion {
-                        req: pending.req,
-                        done: info.data_ready,
-                    });
-                } else if let Some(h) = &mut self.write_lat_hist {
-                    h.record(info.data_ready - pending.enqueued);
-                }
-                if let Some(buf) = &mut self.issue_trace {
-                    buf.push(IssueEvent {
-                        atom: pending.req.atom,
-                        class: pending.req.class,
-                        start: now,
-                        end: info.data_ready,
-                        row: info.row_outcome,
-                        queued: now - pending.enqueued,
-                    });
-                }
+            if self.try_issue_at(now, from_writes, i) {
                 return true;
             }
         }
         false
+    }
+
+    /// Attempts to issue queue entry `i`; on success removes it and does
+    /// all completion/stat/trace bookkeeping.
+    fn try_issue_at(&mut self, now: Cycle, from_writes: bool, i: usize) -> bool {
+        let q = if from_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
+        let pending = q[i];
+        let Some(info) = self
+            .chan
+            .try_issue_at(pending.coord, pending.req.is_write(), now)
+        else {
+            return false;
+        };
+        let q = if from_writes {
+            &mut self.write_q
+        } else {
+            &mut self.read_q
+        };
+        q.remove(i);
+        self.stats.count[pending.req.class.index()] += 1;
+        if !pending.req.is_write() {
+            self.stats.read_latency_sum += info.data_ready - pending.enqueued;
+            self.stats.read_latency_count += 1;
+            if let Some(h) = &mut self.read_lat_hist {
+                h.record(info.data_ready - pending.enqueued);
+            }
+            self.inflight.push(Completion {
+                req: pending.req,
+                done: info.data_ready,
+            });
+            self.earliest_done = self.earliest_done.min(info.data_ready);
+        } else if let Some(h) = &mut self.write_lat_hist {
+            h.record(info.data_ready - pending.enqueued);
+        }
+        if let Some(buf) = &mut self.issue_trace {
+            buf.push(IssueEvent {
+                atom: pending.req.atom,
+                class: pending.req.class,
+                start: now,
+                end: info.data_ready,
+                row: info.row_outcome,
+                queued: now - pending.enqueued,
+            });
+        }
+        true
     }
 
     /// Advances the controller one cycle: refresh bookkeeping, write-drain
@@ -368,31 +414,85 @@ impl MemCtrl {
         } else if self.write_q.len() <= self.drain_low {
             self.draining = false;
         }
-        let serve_writes = self.draining || self.read_q.is_empty();
-        if serve_writes {
-            if !self.pick_and_issue(now, true) {
-                // Opportunistically serve a read if no write could issue.
-                self.pick_and_issue(now, false);
-            }
-        } else if !self.pick_and_issue(now, false) {
-            self.pick_and_issue(now, true);
+        // Scan-skip: while every window entry is provably blocked, both
+        // pick_and_issue calls below would fail without side effects, so
+        // skip them entirely (see `scan_asleep_until`).
+        if now < self.scan_asleep_until {
+            return;
         }
+        let serve_writes = self.draining || self.read_q.is_empty();
+        let issued = if serve_writes {
+            // Opportunistically serve a read if no write could issue.
+            self.pick_and_issue(now, true) || self.pick_and_issue(now, false)
+        } else {
+            self.pick_and_issue(now, false) || self.pick_and_issue(now, true)
+        };
+        if !issued && (!self.read_q.is_empty() || !self.write_q.is_empty()) {
+            self.scan_asleep_until = self.earliest_possible_issue(now);
+        }
+    }
+
+    /// Conservative lower bound on the next cycle any window entry could
+    /// issue, given that a full scan just failed at `now`. Exact under
+    /// the constraint model: a failed attempt changes no state, and every
+    /// entry's first-failing constraint holds until its reported expiry
+    /// unless an issue (none can happen before the bound, by induction)
+    /// or a refresh (the bound is capped at it) intervenes.
+    fn earliest_possible_issue(&self, now: Cycle) -> Cycle {
+        let mut bound = self.chan.next_refresh_at();
+        for p in self.read_q.iter().take(self.window) {
+            bound = bound.min(self.chan.issue_blocked_until(p.coord, false, now));
+        }
+        for p in self.write_q.iter().take(self.window) {
+            bound = bound.min(self.chan.issue_blocked_until(p.coord, true, now));
+        }
+        // Never stall the scan at or before `now` (defensive: a bound in
+        // the past would otherwise disable the memo's monotone progress).
+        bound.max(now + 1)
     }
 
     /// Collects read completions whose data is available by `now`.
     pub fn pop_completions(&mut self, now: Cycle) -> Vec<Completion> {
         let mut done = Vec::new();
+        self.pop_completions_into(now, &mut done);
+        done
+    }
+
+    /// Like [`pop_completions`](Self::pop_completions) but fills a
+    /// caller-owned buffer (cleared first), so the per-cycle hot path can
+    /// reuse one allocation.
+    pub fn pop_completions_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        out.clear();
+        if now < self.earliest_done {
+            return;
+        }
         let mut i = 0;
+        let mut next = Cycle::MAX;
         while i < self.inflight.len() {
             if self.inflight[i].done <= now {
-                done.push(self.inflight.swap_remove(i));
+                out.push(self.inflight.swap_remove(i));
             } else {
+                next = next.min(self.inflight[i].done);
                 i += 1;
             }
         }
+        self.earliest_done = next;
         // Deterministic order regardless of swap_remove shuffling.
-        done.sort_by_key(|c| (c.done, c.req.atom));
-        done
+        out.sort_by_key(|c| (c.done, c.req.atom));
+    }
+
+    /// Earliest cycle at which this controller has (or may have) work, for
+    /// idle fast-forwarding. `Some(c)` with `c <= now` means the
+    /// controller is busy right now (a queue is non-empty); `Some(c)` with
+    /// `c > now` is the earliest in-flight read completion; `None` means
+    /// fully idle with nothing in flight. Refresh needs no event: the
+    /// channel catches up lazily and lands in the same state as long as no
+    /// request issues in between, which queue-emptiness guarantees.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            return Some(now);
+        }
+        (self.earliest_done != Cycle::MAX).then_some(self.earliest_done)
     }
 
     /// Controller statistics (row counters folded in from the channel).

@@ -196,6 +196,19 @@ pub trait ProtectionScheme: fmt::Debug + Send {
     /// `true` when no buffered ECC writes remain anywhere.
     fn is_drained(&self) -> bool;
 
+    /// Earliest cycle at which [`drain_ecc_writes`](Self::drain_ecc_writes)
+    /// may newly produce atoms *without any other simulator activity* —
+    /// used by the cycle loop's idle fast-forward. `None` (the default)
+    /// declares the scheme's drain behaviour time-independent: if a call
+    /// this cycle yields nothing, a call any later cycle yields nothing
+    /// too, so buffered state never blocks a skip on its own. Schemes with
+    /// age-triggered buffers (CacheCraft's coalesce timeout) override this
+    /// with the earliest pending deadline; `Some(c <= now)` marks the
+    /// scheme busy right now.
+    fn next_timed_event(&self) -> Option<Cycle> {
+        None
+    }
+
     /// L2 capacity per slice (bytes) repurposed by the scheme's on-chip
     /// structures; the simulator shrinks the L2 accordingly.
     fn l2_tax_bytes(&self) -> u64 {

@@ -115,8 +115,9 @@ impl SmCore {
 
     /// Applies completed-load notifications from the L1.
     fn apply_completions(&mut self) {
-        for warp in self.l1.take_completions() {
-            let w = &mut self.warps[warp as usize];
+        let warps = &mut self.warps;
+        for warp in self.l1.drain_completions() {
+            let w = &mut warps[warp as usize];
             debug_assert!(w.outstanding > 0, "completion for idle warp");
             w.outstanding -= 1;
         }
@@ -175,12 +176,17 @@ impl SmCore {
 
     /// Advances the SM one cycle. `map` and `send` are forwarded to the L1
     /// (protection address translation and crossbar injection).
+    ///
+    /// Returns `true` when the issue stage found no ready warp — the only
+    /// state from which the SM may be quiescent, so the cycle loop probes
+    /// [`next_event`](Self::next_event) for its sleep memo only then
+    /// instead of paying the scan on every busy tick.
     pub fn tick(
         &mut self,
         now: Cycle,
         map: &mut dyn FnMut(crate::types::LogicalAtom) -> crate::types::PhysLoc,
         send: &mut dyn FnMut(crate::msg::L2Request) -> bool,
-    ) {
+    ) -> bool {
         self.l1.tick(now, map, send);
         self.apply_completions();
         if !self.all_warps_done(now) {
@@ -194,7 +200,7 @@ impl SmCore {
                 self.stats.idle_cycles += 1;
                 self.stats.stall_no_ready_warp += 1;
             }
-            return;
+            return true;
         };
         let w = &mut self.warps[widx];
         match &w.trace.ops()[w.pc] {
@@ -218,6 +224,7 @@ impl SmCore {
                 }
             }
         }
+        false
     }
 
     /// Statistics snapshot.
@@ -228,6 +235,61 @@ impl SmCore {
     /// Total ops across all resident warp traces (for progress accounting).
     pub fn total_trace_ops(&self) -> u64 {
         self.warps.iter().map(|w| w.trace.len() as u64).sum()
+    }
+
+    /// Earliest cycle at which this SM can make progress, for idle
+    /// fast-forwarding. `Some(c <= now)` means the SM would do real work
+    /// this cycle (LSU streaming, a ready warp, pending L1 work);
+    /// `Some(c > now)` is the next compute-latency or L1-hit maturation;
+    /// `None` means nothing will ever happen without an external response
+    /// (or the SM is fully done). Warps blocked on outstanding loads carry
+    /// no event of their own — their wakeup is the response chain through
+    /// the crossbar/L2/DRAM, which reports its own events.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.lsu_warp.is_some() {
+            return Some(now);
+        }
+        let mut wake = self.l1.next_event(now);
+        if matches!(wake, Some(c) if c <= now) {
+            return wake;
+        }
+        for w in &self.warps {
+            if w.outstanding > 0 {
+                continue;
+            }
+            if w.ready_at > now {
+                wake = Some(wake.map_or(w.ready_at, |c| c.min(w.ready_at)));
+            } else if w.pc < w.trace.len() {
+                // Ready to issue this very cycle.
+                return Some(now);
+            }
+        }
+        wake
+    }
+
+    /// Accounts for `span` skipped idle cycles starting at `now`, exactly
+    /// as `span` individual [`tick`](Self::tick)s would have: the caller
+    /// (the idle fast-forward in the cycle loop) guarantees that during
+    /// the span no warp becomes ready, the LSU is free, and the L1 has
+    /// nothing to do — so each skipped cycle would have counted one
+    /// active cycle, one idle cycle, and one no-ready-warp stall, and
+    /// nothing else.
+    pub fn account_idle_span(&mut self, now: Cycle, span: u64) {
+        if span == 0 || self.all_warps_done(now) {
+            return;
+        }
+        self.account_stalled_span(span);
+    }
+
+    /// [`account_idle_span`](Self::account_idle_span) without the doneness
+    /// check: the caller has already established (and may have cached)
+    /// that the SM has unfinished warps throughout the span. Used by the
+    /// per-SM sleep memo in the cycle loop, where re-scanning all warps
+    /// every skipped cycle would defeat the optimization.
+    pub fn account_stalled_span(&mut self, span: u64) {
+        self.stats.active_cycles += span;
+        self.stats.idle_cycles += span;
+        self.stats.stall_no_ready_warp += span;
     }
 }
 

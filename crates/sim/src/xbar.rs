@@ -96,8 +96,17 @@ impl Crossbar {
     /// Pops up to `ports_per_endpoint` responses that have arrived at `sm`
     /// by `now`.
     pub fn deliver_responses(&mut self, sm: u16, now: Cycle) -> Vec<L2Response> {
-        let q = &mut self.resp_q[sm as usize];
         let mut out = Vec::new();
+        self.deliver_responses_into(sm, now, &mut out);
+        out
+    }
+
+    /// Like [`deliver_responses`](Self::deliver_responses) into a
+    /// caller-owned buffer (cleared first) so the cycle loop can reuse one
+    /// allocation across SMs and cycles.
+    pub fn deliver_responses_into(&mut self, sm: u16, now: Cycle, out: &mut Vec<L2Response>) {
+        out.clear();
+        let q = &mut self.resp_q[sm as usize];
         for _ in 0..self.ports {
             match q.front() {
                 Some(&(arrival, resp)) if arrival <= now => {
@@ -107,12 +116,33 @@ impl Crossbar {
                 _ => break,
             }
         }
-        out
     }
 
     /// `true` when nothing is in flight.
     pub fn is_idle(&self) -> bool {
         self.req_q.iter().all(|q| q.is_empty()) && self.resp_q.iter().all(|q| q.is_empty())
+    }
+
+    /// Earliest message arrival across every queue, for idle
+    /// fast-forwarding. Every push stamps `now + latency` with a constant
+    /// latency, so each queue front is its minimum. `Some(c <= now)`
+    /// means a message is deliverable this cycle; `None` means the
+    /// crossbar is empty.
+    pub fn next_event(&self) -> Option<Cycle> {
+        let req = self
+            .req_q
+            .iter()
+            .filter_map(|q| q.front().map(|&(arrival, _)| arrival))
+            .min();
+        let resp = self
+            .resp_q
+            .iter()
+            .filter_map(|q| q.front().map(|&(arrival, _)| arrival))
+            .min();
+        match (req, resp) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Statistics snapshot.

@@ -149,12 +149,16 @@ impl Histogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// All arithmetic saturates: merging histograms whose counts or
+    /// bucket tallies sum past `u64::MAX` pins at `u64::MAX` instead of
+    /// wrapping (or panicking in debug builds).
     pub fn merge(&mut self, other: &Histogram) {
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
         for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
-            *dst += src;
+            *dst = dst.saturating_add(*src);
         }
     }
 }
@@ -261,6 +265,15 @@ impl Sampler {
     /// True when the epoch ending at `cycle` should be sampled.
     pub fn due(&self, cycle: u64) -> bool {
         cycle >= self.next_due
+    }
+
+    /// Cycle at which the next epoch sample falls due.
+    ///
+    /// Simulators that fast-forward through idle spans must cap each
+    /// jump at this cycle so every epoch boundary is still observed and
+    /// sampled exactly once.
+    pub fn next_due_cycle(&self) -> u64 {
+        self.next_due
     }
 
     /// Records one point per registered series (values in registration
@@ -412,6 +425,37 @@ mod tests {
         assert_eq!(a.count, 2);
         assert_eq!(a.max, 1000);
         assert_eq!(a.sum, 1004);
+    }
+
+    #[test]
+    fn merge_saturates_at_u64_max() {
+        let mut a = Histogram::new();
+        a.count = u64::MAX - 1;
+        a.sum = u64::MAX;
+        a.max = 7;
+        a.buckets[0] = u64::MAX;
+        a.buckets[3] = u64::MAX - 2;
+        let mut b = Histogram::new();
+        b.count = 5;
+        b.sum = 100;
+        b.max = 9;
+        b.buckets[0] = 1;
+        b.buckets[3] = 5;
+        a.merge(&b);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.max, 9);
+        assert_eq!(a.buckets[0], u64::MAX);
+        assert_eq!(a.buckets[3], u64::MAX);
+    }
+
+    #[test]
+    fn sampler_next_due_tracks_epochs() {
+        let mut s = Sampler::new(100);
+        s.register("reads");
+        assert_eq!(s.next_due_cycle(), 100);
+        s.sample(&[1.0]);
+        assert_eq!(s.next_due_cycle(), 200);
     }
 
     #[test]
