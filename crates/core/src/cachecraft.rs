@@ -27,9 +27,10 @@
 use crate::inline_map::{EccStore, InlineMap, StoreProbe};
 use ccraft_ecc::layout::EccPlacement;
 use ccraft_sim::config::GpuConfig;
+use ccraft_sim::fxmap::FxHashMap;
 use ccraft_sim::protection::{FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan};
 use ccraft_sim::types::{Cycle, LogicalAtom, PhysLoc};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Configuration of the CacheCraft mechanisms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +118,7 @@ struct CoalesceBuffer {
     queue: VecDeque<(u64, Cycle)>,
     /// Pending atoms mapped to the number of writes folded into their
     /// entry (1 = fresh entry, no merges yet).
-    members: HashMap<u64, u64>,
+    members: FxHashMap<u64, u64>,
 }
 
 impl CoalesceBuffer {

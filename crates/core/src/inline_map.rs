@@ -5,9 +5,10 @@
 use ccraft_ecc::layout::{EccPlacement, InlineLayout};
 use ccraft_sim::cache::SectorCache;
 use ccraft_sim::config::GpuConfig;
+use ccraft_sim::fxmap::FxHashSet;
 use ccraft_sim::protection::ChannelInterleave;
 use ccraft_sim::types::{LogicalAtom, PhysLoc};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// The logical→physical pipeline of an inline-ECC GPU:
 /// channel interleave first, then the per-channel inline layout (identical
@@ -61,7 +62,7 @@ impl InlineMap {
 #[derive(Debug)]
 pub struct EccStore {
     caches: Vec<SectorCache>,
-    inflight: Vec<HashSet<u64>>,
+    inflight: Vec<FxHashSet<u64>>,
     pending_writes: Vec<VecDeque<u64>>,
 }
 
@@ -89,7 +90,7 @@ impl EccStore {
             caches: (0..channels)
                 .map(|_| SectorCache::with_capacity_hashed(bytes_per_channel, ways, 1))
                 .collect(),
-            inflight: (0..channels).map(|_| HashSet::new()).collect(),
+            inflight: (0..channels).map(|_| FxHashSet::default()).collect(),
             pending_writes: (0..channels).map(|_| VecDeque::new()).collect(),
         }
     }
@@ -187,7 +188,7 @@ mod tests {
     #[test]
     fn map_is_injective_across_channels() {
         let m = map(EccPlacement::ReservedRegion);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = ccraft_sim::fxmap::FxHashSet::default();
         for a in 0..50_000u64 {
             let loc = m.map(LogicalAtom(a));
             assert!(seen.insert((loc.channel, loc.atom)), "collision at {a}");

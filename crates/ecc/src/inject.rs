@@ -200,7 +200,7 @@ mod tests {
             let mut buf = [0u8; 16];
             let pos = inj.apply(&mut buf, &mut rng(seed));
             assert!(!pos.is_empty());
-            let bytes: std::collections::HashSet<u32> = pos.iter().map(|p| p / 8).collect();
+            let bytes: std::collections::BTreeSet<u32> = pos.iter().map(|p| p / 8).collect();
             assert_eq!(bytes.len(), 1, "seed {seed}: spans multiple symbols");
             assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 1);
         }

@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn signatures_are_even_weight_and_distinct() {
         let t = TaggedSecDed::new(7).unwrap();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for tag in 0..t.tag_space() as u8 {
             let sig = t.signature(tag);
             assert_eq!(sig.count_ones() % 2, 0, "tag {tag} sig {sig:#x} odd weight");

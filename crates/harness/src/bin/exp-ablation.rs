@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::ablation`.
 fn main() {
-    ccraft_harness::run_experiment("exp-ablation", |opts| {
-        ccraft_harness::experiments::ablation::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-ablation", ccraft_harness::experiments::ablation::run);
 }

@@ -7,25 +7,25 @@ use ccraft_harness::experiments as exp;
 fn main() {
     let t0 = std::time::Instant::now();
     ccraft_harness::run_experiment("exp-all", |opts| {
-        exp::config_table::run(opts);
-        exp::workload_table::run(opts);
-        exp::motivation::run(opts);
-        exp::rowhit::run(opts);
-        exp::main_result::run(opts);
-        exp::ecchit::run(opts);
-        exp::ablation::run(opts);
-        exp::sens_ratio::run(opts);
-        exp::sens_l2::run(opts);
-        exp::sens_ecccap::run(opts);
-        exp::sens_channels::run(opts);
-        exp::hbm::run(opts);
-        exp::energy::run(opts);
-        exp::frugal::run(opts);
-        exp::scheduler::run(opts);
-        exp::reliability::run(opts);
-        exp::faults::run(opts);
-        exp::storage::run(opts);
-        exp::tagged::run(opts);
+        exp::config_table::run(opts)?;
+        exp::workload_table::run(opts)?;
+        exp::motivation::run(opts)?;
+        exp::rowhit::run(opts)?;
+        exp::main_result::run(opts)?;
+        exp::ecchit::run(opts)?;
+        exp::ablation::run(opts)?;
+        exp::sens_ratio::run(opts)?;
+        exp::sens_l2::run(opts)?;
+        exp::sens_ecccap::run(opts)?;
+        exp::sens_channels::run(opts)?;
+        exp::hbm::run(opts)?;
+        exp::energy::run(opts)?;
+        exp::frugal::run(opts)?;
+        exp::scheduler::run(opts)?;
+        exp::reliability::run(opts)?;
+        exp::faults::run(opts)?;
+        exp::storage::run(opts)?;
+        exp::tagged::run(opts)
     });
     eprintln!(
         "\nAll experiments completed in {:.1}s",

@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::config_table`.
 fn main() {
-    ccraft_harness::run_experiment("exp-config", |opts| {
-        ccraft_harness::experiments::config_table::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-config", ccraft_harness::experiments::config_table::run);
 }

@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::ecchit`.
 fn main() {
-    ccraft_harness::run_experiment("exp-ecchit", |opts| {
-        ccraft_harness::experiments::ecchit::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-ecchit", ccraft_harness::experiments::ecchit::run);
 }

@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::energy`.
 fn main() {
-    ccraft_harness::run_experiment("exp-energy", |opts| {
-        ccraft_harness::experiments::energy::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-energy", ccraft_harness::experiments::energy::run);
 }

@@ -5,7 +5,5 @@
 //! ```
 
 fn main() {
-    ccraft_harness::run_experiment("exp-faults", |opts| {
-        ccraft_harness::experiments::faults::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-faults", ccraft_harness::experiments::faults::run);
 }

@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::frugal`.
 fn main() {
-    ccraft_harness::run_experiment("exp-frugal", |opts| {
-        ccraft_harness::experiments::frugal::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-frugal", ccraft_harness::experiments::frugal::run);
 }

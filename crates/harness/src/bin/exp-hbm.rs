@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::hbm`.
 fn main() {
-    ccraft_harness::run_experiment("exp-hbm", |opts| {
-        ccraft_harness::experiments::hbm::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-hbm", ccraft_harness::experiments::hbm::run);
 }

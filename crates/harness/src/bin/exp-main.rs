@@ -1,6 +1,4 @@
 //! F4 + F5 — main result. See `ccraft_harness::experiments::main_result`.
 fn main() {
-    ccraft_harness::run_experiment("exp-main", |opts| {
-        ccraft_harness::experiments::main_result::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-main", ccraft_harness::experiments::main_result::run);
 }

@@ -1,6 +1,7 @@
 //! Thin wrapper; see `ccraft_harness::experiments::motivation`.
 fn main() {
-    ccraft_harness::run_experiment("exp-motivation", |opts| {
-        ccraft_harness::experiments::motivation::run(opts);
-    });
+    ccraft_harness::run_experiment(
+        "exp-motivation",
+        ccraft_harness::experiments::motivation::run,
+    );
 }

@@ -1,6 +1,7 @@
 //! Thin wrapper; see `ccraft_harness::experiments::reliability`.
 fn main() {
-    ccraft_harness::run_experiment("exp-reliability", |opts| {
-        ccraft_harness::experiments::reliability::run(opts);
-    });
+    ccraft_harness::run_experiment(
+        "exp-reliability",
+        ccraft_harness::experiments::reliability::run,
+    );
 }

@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::rowhit`.
 fn main() {
-    ccraft_harness::run_experiment("exp-rowhit", |opts| {
-        ccraft_harness::experiments::rowhit::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-rowhit", ccraft_harness::experiments::rowhit::run);
 }

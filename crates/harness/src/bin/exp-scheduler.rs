@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::scheduler`.
 fn main() {
-    ccraft_harness::run_experiment("exp-scheduler", |opts| {
-        ccraft_harness::experiments::scheduler::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-scheduler", ccraft_harness::experiments::scheduler::run);
 }

@@ -1,6 +1,7 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_channels`.
 fn main() {
-    ccraft_harness::run_experiment("exp-sens-channels", |opts| {
-        ccraft_harness::experiments::sens_channels::run(opts);
-    });
+    ccraft_harness::run_experiment(
+        "exp-sens-channels",
+        ccraft_harness::experiments::sens_channels::run,
+    );
 }

@@ -1,6 +1,7 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_ecccap`.
 fn main() {
-    ccraft_harness::run_experiment("exp-sens-ecccap", |opts| {
-        ccraft_harness::experiments::sens_ecccap::run(opts);
-    });
+    ccraft_harness::run_experiment(
+        "exp-sens-ecccap",
+        ccraft_harness::experiments::sens_ecccap::run,
+    );
 }

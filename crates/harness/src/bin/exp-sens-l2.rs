@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_l2`.
 fn main() {
-    ccraft_harness::run_experiment("exp-sens-l2", |opts| {
-        ccraft_harness::experiments::sens_l2::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-sens-l2", ccraft_harness::experiments::sens_l2::run);
 }

@@ -1,6 +1,7 @@
 //! Thin wrapper; see `ccraft_harness::experiments::sens_ratio`.
 fn main() {
-    ccraft_harness::run_experiment("exp-sens-ratio", |opts| {
-        ccraft_harness::experiments::sens_ratio::run(opts);
-    });
+    ccraft_harness::run_experiment(
+        "exp-sens-ratio",
+        ccraft_harness::experiments::sens_ratio::run,
+    );
 }

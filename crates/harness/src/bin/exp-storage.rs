@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::storage`.
 fn main() {
-    ccraft_harness::run_experiment("exp-storage", |opts| {
-        ccraft_harness::experiments::storage::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-storage", ccraft_harness::experiments::storage::run);
 }

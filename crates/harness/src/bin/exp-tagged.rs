@@ -1,6 +1,4 @@
 //! Thin wrapper; see `ccraft_harness::experiments::tagged`.
 fn main() {
-    ccraft_harness::run_experiment("exp-tagged", |opts| {
-        ccraft_harness::experiments::tagged::run(opts);
-    });
+    ccraft_harness::run_experiment("exp-tagged", ccraft_harness::experiments::tagged::run);
 }

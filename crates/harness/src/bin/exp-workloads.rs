@@ -1,6 +1,7 @@
 //! Thin wrapper; see `ccraft_harness::experiments::workload_table`.
 fn main() {
-    ccraft_harness::run_experiment("exp-workloads", |opts| {
-        ccraft_harness::experiments::workload_table::run(opts);
-    });
+    ccraft_harness::run_experiment(
+        "exp-workloads",
+        ccraft_harness::experiments::workload_table::run,
+    );
 }

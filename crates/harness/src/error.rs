@@ -36,6 +36,13 @@ pub enum Error {
         /// The configured timeout.
         secs: u64,
     },
+    /// An experiment's report needed a matrix cell that is absent from
+    /// the results (its simulation failed, timed out, or was never
+    /// scheduled).
+    MissingCell {
+        /// `workload/scheme` identifier of the missing cell.
+        cell: String,
+    },
 }
 
 impl Error {
@@ -63,6 +70,9 @@ impl fmt::Display for Error {
             }
             Error::Timeout { cell, secs } => {
                 write!(f, "cell {cell} timed out after {secs}s")
+            }
+            Error::MissingCell { cell } => {
+                write!(f, "cell {cell} missing from matrix results")
             }
         }
     }

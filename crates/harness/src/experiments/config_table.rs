@@ -1,11 +1,17 @@
 //! T1 — the simulated-machine configuration table.
 
-use crate::report::{banner, save_csv, Table};
+use crate::report::{banner, emit_csv, Table};
 use crate::runner::ExpOptions;
+use crate::Error;
 use ccraft_sim::config::GpuConfig;
 
 /// Prints and saves T1.
-pub fn run(_opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(_opts: &ExpOptions) -> Result<(), Error> {
     banner("T1", "Simulated GPU configuration (GDDR6-class preset)");
     let cfg = GpuConfig::gddr6();
     let mut t = Table::new(vec!["component", "configuration"]);
@@ -80,5 +86,6 @@ pub fn run(_opts: &ExpOptions) {
         "C1 row co-location + C2 64 KiB/slice fragment store (L2 tax) + C3 reconstruction, 32-entry coalescing buffer".to_string(),
     ]);
     println!("{}", t.to_markdown());
-    save_csv("t1_config", &t).expect("write t1 csv");
+    emit_csv("t1_config", &t)?;
+    Ok(())
 }

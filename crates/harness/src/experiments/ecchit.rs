@@ -8,8 +8,9 @@
 //! what the dedicated cache would achieve if it were grown to the same
 //! 64 KiB (at 4x the silicon cost).
 
-use crate::report::{banner, pct, save_csv, Table};
-use crate::runner::{find, run_matrix, ExpOptions};
+use crate::report::{banner, emit_csv, pct, Table};
+use crate::runner::{require, run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::cachecraft::CacheCraftConfig;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
@@ -25,7 +26,12 @@ fn hit_rate(s: &ccraft_sim::protection::ProtectionStats) -> f64 {
 }
 
 /// Prints and saves F6.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F6",
         &format!(
@@ -59,9 +65,9 @@ pub fn run(opts: &ExpOptions) {
         "ECC fetches: 16K ded / 64K frag",
     ]);
     for w in Workload::ALL {
-        let d16 = &find(&results16, w, "ecc-cache").expect("d16").stats;
-        let d64 = &find(&results64, w, "ecc-cache").expect("d64").stats;
-        let fr = &find(&resultsfr, w, "cachecraft").expect("fr").stats;
+        let d16 = &require(&results16, w, "ecc-cache")?.stats;
+        let d64 = &require(&results64, w, "ecc-cache")?.stats;
+        let fr = &require(&resultsfr, w, "cachecraft")?.stats;
         t.row(vec![
             w.name().to_string(),
             pct(hit_rate(&d16.protection)),
@@ -74,5 +80,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("f6_ecchit", &t).expect("write f6");
+    emit_csv("f6_ecchit", &t)?;
+    Ok(())
 }

@@ -7,15 +7,21 @@
 //! bursts + on-chip ECC structures).
 
 use crate::geomean;
-use crate::report::{banner, f3, pct, save_csv, Table};
-use crate::runner::{find, run_matrix, ExpOptions};
+use crate::report::{banner, emit_csv, f3, pct, Table};
+use crate::runner::{require, run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::energy::EnergyModel;
 use ccraft_workloads::Workload;
 
 /// Prints and saves F14.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F14",
         &format!(
@@ -38,12 +44,12 @@ pub fn run(opts: &ExpOptions) {
     ]);
     let mut norms = vec![Vec::new(); 3];
     for w in Workload::ALL {
-        let base = find(&results, w, "no-protection").expect("base");
+        let base = require(&results, w, "no-protection")?;
         let base_e = model.evaluate(&base.stats, cfg.mem.channels).total_nj();
         let mut row = vec![w.name().to_string()];
         let mut craft_share = 0.0;
         for (i, name) in names.iter().enumerate().skip(1) {
-            let r = find(&results, w, name).expect("cell");
+            let r = require(&results, w, name)?;
             let e = model.evaluate(&r.stats, cfg.mem.channels);
             let norm = e.total_nj() / base_e;
             norms[i - 1].push(norm);
@@ -63,5 +69,6 @@ pub fn run(opts: &ExpOptions) {
         "-".to_string(),
     ]);
     println!("{}", t.to_markdown());
-    save_csv("f14_energy", &t).expect("write f14");
+    emit_csv("f14_energy", &t)?;
+    Ok(())
 }

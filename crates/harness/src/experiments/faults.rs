@@ -10,8 +10,9 @@
 //! codewords).
 
 use crate::experiments::SWEEP_SUBSET;
-use crate::report::{banner, save_csv, Table};
+use crate::report::{banner, emit_csv, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::faults::{FaultConfig, FaultStats};
@@ -23,15 +24,19 @@ use ccraft_sim::faults::{FaultConfig, FaultStats};
 pub const DEFAULT_SPEC: &str = "symbol:1e-3";
 
 /// Prints and saves T6.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     let mut opts = *opts;
     let spec = match opts.inject {
         Some(_) => "(--inject)".to_string(),
         None => {
-            // Hard-coded spec: parse failure here is a programming error,
-            // not user input.
-            opts.inject =
-                Some(FaultConfig::parse(DEFAULT_SPEC).expect("default inject spec is valid"));
+            // Hard-coded spec: a parse failure here is a programming
+            // error, surfaced as a config error rather than a panic.
+            opts.inject = Some(FaultConfig::parse(DEFAULT_SPEC).map_err(Error::Config)?);
             DEFAULT_SPEC.to_string()
         }
     };
@@ -70,7 +75,8 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    if let Err(e) = save_csv("t6_faults", &t) {
+    if let Err(e) = emit_csv("t6_faults", &t) {
         eprintln!("warning: failed to save t6_faults.csv: {e}");
     }
+    Ok(())
 }

@@ -9,14 +9,20 @@
 
 use super::SWEEP_SUBSET;
 use crate::geomean;
-use crate::report::{banner, f3, save_csv, Table};
+use crate::report::{banner, emit_csv, f3, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::cachecraft::CacheCraftConfig;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 
 /// Prints and saves F15.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F15",
         &format!(
@@ -56,5 +62,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("f15_compression", &t).expect("write f15");
+    emit_csv("f15_compression", &t)?;
+    Ok(())
 }

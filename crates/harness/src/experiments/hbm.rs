@@ -9,13 +9,19 @@
 
 use super::SWEEP_SUBSET;
 use crate::geomean;
-use crate::report::{banner, f3, save_csv, Table};
+use crate::report::{banner, emit_csv, f3, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 
 /// Prints and saves F13.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F13",
         &format!(
@@ -52,5 +58,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("f13_hbm", &t).expect("write f13");
+    emit_csv("f13_hbm", &t)?;
+    Ok(())
 }

@@ -2,15 +2,21 @@
 //! the four headline schemes across the workload suite.
 
 use crate::geomean;
-use crate::report::{banner, f3, pct, save_csv, save_stats_json, Table};
-use crate::runner::{find, run_matrix, ExpOptions};
+use crate::report::{banner, emit_csv, emit_stats_json, f3, pct, Table};
+use crate::runner::{require, run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::types::TrafficClass;
 use ccraft_workloads::Workload;
 
 /// Prints and saves F4 (normalized performance) and F5 (traffic).
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     let cfg = GpuConfig::gddr6();
     let schemes = SchemeKind::headline(&cfg);
     let results = run_matrix(&cfg, &Workload::ALL, &schemes, opts);
@@ -25,13 +31,10 @@ pub fn run(opts: &ExpOptions) {
     let mut perf = Table::new(header);
     let mut per_scheme_norm: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for w in Workload::ALL {
-        let base = find(&results, w, "no-protection")
-            .expect("baseline ran")
-            .stats
-            .clone();
+        let base = require(&results, w, "no-protection")?.stats.clone();
         let mut row = vec![w.name().to_string()];
         for (i, name) in scheme_names.iter().enumerate() {
-            let r = find(&results, w, name).expect("cell ran");
+            let r = require(&results, w, name)?;
             let norm = r.normalized_perf(&base);
             per_scheme_norm[i].push(norm);
             row.push(f3(norm));
@@ -44,7 +47,7 @@ pub fn run(opts: &ExpOptions) {
     }
     perf.row(gm_row);
     println!("{}", perf.to_markdown());
-    save_csv("f4_normalized_perf", &perf).expect("write f4 csv");
+    emit_csv("f4_normalized_perf", &perf)?;
 
     banner("F5", "DRAM traffic per scheme (atoms; % is ECC share)");
     let mut traffic = Table::new(vec![
@@ -58,7 +61,7 @@ pub fn run(opts: &ExpOptions) {
     ]);
     for w in Workload::ALL {
         for name in &scheme_names {
-            let r = find(&results, w, name).expect("cell ran");
+            let r = require(&results, w, name)?;
             let s = &r.stats;
             traffic.row(vec![
                 w.name().to_string(),
@@ -72,8 +75,9 @@ pub fn run(opts: &ExpOptions) {
         }
     }
     println!("{}", traffic.to_markdown());
-    save_csv("f5_dram_traffic", &traffic).expect("write f5 csv");
+    emit_csv("f5_dram_traffic", &traffic)?;
 
     let all_stats: Vec<_> = results.iter().map(|r| r.stats.clone()).collect();
-    save_stats_json("main_raw", &all_stats).expect("write raw json");
+    emit_stats_json("main_raw", &all_stats)?;
+    Ok(())
 }

@@ -1,15 +1,21 @@
 //! F1 + F2 — motivation: what naive inline ECC costs.
 
 use crate::geomean;
-use crate::report::{banner, f3, pct, save_csv, Table};
-use crate::runner::{find, run_matrix, ExpOptions};
+use crate::report::{banner, emit_csv, f3, pct, Table};
+use crate::runner::{require, run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::types::TrafficClass;
 use ccraft_workloads::Workload;
 
 /// Prints and saves F1 (performance loss) and F2 (traffic breakdown).
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     let cfg = GpuConfig::gddr6();
     let schemes = [
         SchemeKind::NoProtection,
@@ -27,8 +33,8 @@ pub fn run(opts: &ExpOptions) {
     let mut f1 = Table::new(vec!["workload", "normalized perf", "slowdown"]);
     let mut norms = Vec::new();
     for w in Workload::ALL {
-        let base = &find(&results, w, "no-protection").expect("baseline").stats;
-        let naive = find(&results, w, "inline-naive").expect("naive");
+        let base = &require(&results, w, "no-protection")?.stats;
+        let naive = require(&results, w, "inline-naive")?;
         let norm = naive.normalized_perf(base);
         norms.push(norm);
         f1.row(vec![w.name().to_string(), f3(norm), pct(1.0 - norm)]);
@@ -39,7 +45,7 @@ pub fn run(opts: &ExpOptions) {
         pct(1.0 - geomean(&norms)),
     ]);
     println!("{}", f1.to_markdown());
-    save_csv("f1_motivation_perf", &f1).expect("write f1");
+    emit_csv("f1_motivation_perf", &f1)?;
 
     banner(
         "F2",
@@ -55,8 +61,8 @@ pub fn run(opts: &ExpOptions) {
         "traffic amplification",
     ]);
     for w in Workload::ALL {
-        let base = &find(&results, w, "no-protection").expect("baseline").stats;
-        let s = &find(&results, w, "inline-naive").expect("naive").stats;
+        let base = &require(&results, w, "no-protection")?.stats;
+        let s = &require(&results, w, "inline-naive")?.stats;
         let amp = s.dram_bytes() as f64 / base.dram_bytes().max(1) as f64;
         f2.row(vec![
             w.name().to_string(),
@@ -69,5 +75,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", f2.to_markdown());
-    save_csv("f2_motivation_traffic", &f2).expect("write f2");
+    emit_csv("f2_motivation_traffic", &f2)?;
+    Ok(())
 }

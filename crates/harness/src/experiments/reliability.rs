@@ -1,8 +1,9 @@
 //! T3 — reliability: fault-injection coverage of the codecs the schemes
 //! store in DRAM.
 
-use crate::report::{banner, pct, save_csv, Table};
+use crate::report::{banner, emit_csv, pct, Table};
 use crate::runner::ExpOptions;
+use crate::Error;
 use ccraft_core::reliability::{Campaign, CodecKind};
 use ccraft_ecc::inject::ErrorPattern;
 
@@ -10,7 +11,12 @@ use ccraft_ecc::inject::ErrorPattern;
 const TRIALS: u32 = 2_000;
 
 /// Prints and saves T3.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "T3",
         &format!("Reliability: outcome rates under injected errors ({TRIALS} trials/cell)"),
@@ -51,5 +57,6 @@ pub fn run(opts: &ExpOptions) {
         }
     }
     println!("{}", t.to_markdown());
-    save_csv("t3_reliability", &t).expect("write t3");
+    emit_csv("t3_reliability", &t)?;
+    Ok(())
 }

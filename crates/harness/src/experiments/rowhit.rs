@@ -4,15 +4,21 @@
 //! placement effect: co-location turns ECC fetches into row hits.
 
 use crate::geomean;
-use crate::report::{banner, f3, pct, save_csv, Table};
-use crate::runner::{find, run_matrix, ExpOptions};
+use crate::report::{banner, emit_csv, f3, pct, Table};
+use crate::runner::{require, run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::cachecraft::CacheCraftConfig;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 use ccraft_workloads::Workload;
 
 /// Prints and saves F3.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F3",
         &format!(
@@ -38,9 +44,9 @@ pub fn run(opts: &ExpOptions) {
     let mut reserved_norm = Vec::new();
     let mut coloc_norm = Vec::new();
     for w in Workload::ALL {
-        let base = &find(&results, w, "no-protection").expect("base").stats;
-        let reserved = &find(&results, w, "inline-naive").expect("reserved").stats;
-        let coloc = &find(&results, w, "cachecraft").expect("coloc").stats;
+        let base = &require(&results, w, "no-protection")?.stats;
+        let reserved = &require(&results, w, "inline-naive")?.stats;
+        let coloc = &require(&results, w, "cachecraft")?.stats;
         let rn = base.exec_cycles as f64 / reserved.exec_cycles as f64;
         let cn = base.exec_cycles as f64 / coloc.exec_cycles as f64;
         reserved_norm.push(rn);
@@ -63,5 +69,6 @@ pub fn run(opts: &ExpOptions) {
         f3(geomean(&coloc_norm)),
     ]);
     println!("{}", t.to_markdown());
-    save_csv("f3_rowhit", &t).expect("write f3");
+    emit_csv("f3_rowhit", &t)?;
+    Ok(())
 }

@@ -5,13 +5,19 @@
 
 use super::SWEEP_SUBSET;
 use crate::geomean;
-use crate::report::{banner, f3, save_csv, Table};
+use crate::report::{banner, emit_csv, f3, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::{GpuConfig, SchedulerPolicy};
 
 /// Prints and saves F16.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F16",
         &format!(
@@ -43,5 +49,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("f16_scheduler", &t).expect("write f16");
+    emit_csv("f16_scheduler", &t)?;
+    Ok(())
 }

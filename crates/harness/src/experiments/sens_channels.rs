@@ -3,13 +3,19 @@
 
 use super::SWEEP_SUBSET;
 use crate::geomean;
-use crate::report::{banner, f3, save_csv, Table};
+use crate::report::{banner, emit_csv, f3, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 
 /// Prints and saves F11.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F11",
         &format!(
@@ -27,7 +33,7 @@ pub fn run(opts: &ExpOptions) {
     for channels in [4u16, 8, 16] {
         let mut cfg = GpuConfig::gddr6();
         cfg.mem.channels = channels;
-        cfg.validate().expect("valid config");
+        cfg.validate().map_err(|e| Error::config(e.to_string()))?;
         let schemes = SchemeKind::headline(&cfg);
         let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
         let mut norms = vec![Vec::new(); 3];
@@ -46,5 +52,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("f11_channels", &t).expect("write f11");
+    emit_csv("f11_channels", &t)?;
+    Ok(())
 }

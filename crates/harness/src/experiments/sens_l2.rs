@@ -5,13 +5,19 @@
 
 use super::SWEEP_SUBSET;
 use crate::geomean;
-use crate::report::{banner, f3, save_csv, Table};
+use crate::report::{banner, emit_csv, f3, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 
 /// Prints and saves F9.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F9",
         &format!(
@@ -29,7 +35,7 @@ pub fn run(opts: &ExpOptions) {
     for slice_kib in [128u64, 256, 512, 1024] {
         let mut cfg = GpuConfig::gddr6();
         cfg.l2.capacity_bytes = slice_kib << 10;
-        cfg.validate().expect("valid config");
+        cfg.validate().map_err(|e| Error::config(e.to_string()))?;
         let schemes = SchemeKind::headline(&cfg);
         let results = run_matrix(&cfg, &SWEEP_SUBSET, &schemes, opts);
         let mut norms = vec![Vec::new(); 3];
@@ -48,5 +54,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("f9_l2_capacity", &t).expect("write f9");
+    emit_csv("f9_l2_capacity", &t)?;
+    Ok(())
 }

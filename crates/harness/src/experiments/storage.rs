@@ -1,7 +1,8 @@
 //! T4 — on-chip storage accounting per scheme.
 
-use crate::report::{banner, save_csv, Table};
+use crate::report::{banner, emit_csv, Table};
 use crate::runner::ExpOptions;
+use crate::Error;
 use ccraft_core::cachecraft::CacheCraftConfig;
 use ccraft_core::factory::SchemeKind;
 use ccraft_core::storage::storage_bill;
@@ -12,7 +13,12 @@ fn kib(bytes: u64) -> String {
 }
 
 /// Prints and saves T4.
-pub fn run(_opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(_opts: &ExpOptions) -> Result<(), Error> {
     banner("T4", "On-chip storage per scheme (whole GPU)");
     let cfg = GpuConfig::gddr6();
     let rows: Vec<(&str, SchemeKind)> = vec![
@@ -59,5 +65,6 @@ pub fn run(_opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("t4_storage", &t).expect("write t4");
+    emit_csv("t4_storage", &t)?;
+    Ok(())
 }

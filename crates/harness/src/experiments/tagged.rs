@@ -10,8 +10,9 @@
 //! 2. *Function*: every tag mismatch on clean data is detected, and data
 //!    error coverage is unchanged (alias-free property).
 
-use crate::report::{banner, pct, save_csv, Table};
+use crate::report::{banner, emit_csv, pct, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::cachecraft::CacheCraftConfig;
 use ccraft_core::factory::SchemeKind;
 use ccraft_core::reliability::{Campaign, CodecKind};
@@ -24,7 +25,12 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Prints and saves F12.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "F12",
         "Implicit memory tagging on CacheCraft: traffic parity + detection coverage",
@@ -52,12 +58,12 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t1.to_markdown());
-    save_csv("f12_tagged_traffic", &t1).expect("write f12 traffic");
+    emit_csv("f12_tagged_traffic", &t1)?;
 
     // Part 2: functional coverage of the tagged codec.
     let mut t2 = Table::new(vec!["check", "trials", "detected", "rate"]);
     // 2a. Pure tag mismatches (clean data) — must be 100 % alias-free.
-    let codec = TaggedSecDed::new(4).expect("4-bit tags");
+    let codec = TaggedSecDed::new(4).map_err(|e| Error::config(e.to_string()))?;
     let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x7a66);
     let trials = 2_000u32;
     let mut detected = 0u32;
@@ -108,5 +114,6 @@ pub fn run(opts: &ExpOptions) {
         pct(r2.due_rate()),
     ]);
     println!("{}", t2.to_markdown());
-    save_csv("f12_tagged_coverage", &t2).expect("write f12 coverage");
+    emit_csv("f12_tagged_coverage", &t2)?;
+    Ok(())
 }

@@ -1,13 +1,19 @@
 //! T2 — workload characterization under the ECC-off baseline.
 
-use crate::report::{banner, f3, pct, save_csv, Table};
+use crate::report::{banner, emit_csv, f3, pct, Table};
 use crate::runner::{run_matrix, ExpOptions};
+use crate::Error;
 use ccraft_core::factory::SchemeKind;
 use ccraft_sim::config::GpuConfig;
 use ccraft_workloads::Workload;
 
 /// Prints and saves T2.
-pub fn run(opts: &ExpOptions) {
+///
+/// # Errors
+///
+/// Returns an error when a required matrix cell is missing or a
+/// report artifact cannot be written.
+pub fn run(opts: &ExpOptions) -> Result<(), Error> {
     banner(
         "T2",
         &format!("Workload characterization, ECC off ({} size)", opts.size),
@@ -48,5 +54,6 @@ pub fn run(opts: &ExpOptions) {
         ]);
     }
     println!("{}", t.to_markdown());
-    save_csv("t2_workloads", &t).expect("write t2 csv");
+    emit_csv("t2_workloads", &t)?;
+    Ok(())
 }

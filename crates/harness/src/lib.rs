@@ -7,6 +7,7 @@
 //! evaluation; `exp-all` runs the full set (see DESIGN.md §6 and
 //! EXPERIMENTS.md).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -157,6 +157,26 @@ pub fn save_stats_json(name: &str, stats: &[SimStats]) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// [`save_csv`], with the destination folded into a harness
+/// [`Error`](crate::Error) — the form experiment modules use with `?`.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`](crate::Error::Io) naming the file on failure.
+pub fn emit_csv(name: &str, table: &Table) -> Result<PathBuf, crate::Error> {
+    save_csv(name, table).map_err(|e| crate::Error::io(format!("writing {name}.csv"), e))
+}
+
+/// [`save_stats_json`], with the destination folded into a harness
+/// [`Error`](crate::Error) — the form experiment modules use with `?`.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`](crate::Error::Io) naming the file on failure.
+pub fn emit_stats_json(name: &str, stats: &[SimStats]) -> Result<PathBuf, crate::Error> {
+    save_stats_json(name, stats).map_err(|e| crate::Error::io(format!("writing {name}.json"), e))
+}
+
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!("\n## {id}: {title}\n");

@@ -615,9 +615,12 @@ pub fn experiment_fingerprint(id: &str, opts: &ExpOptions) -> String {
 /// the results directory — including a warning per failed or timed-out
 /// cell.
 ///
+/// A `body` that returns an error still gets its manifest (stamped with
+/// the failure), then the process exits with status 2.
+///
 /// Manifest- and checkpoint-write failures are reported on stderr but do
 /// not fail the run — the experiment's own artifacts are already on disk.
-pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions)) {
+pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Error>) {
     let opts = ExpOptions::from_args();
     let started = Instant::now();
     let fingerprint = experiment_fingerprint(id, &opts);
@@ -632,7 +635,7 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions)) {
             None
         }
     };
-    body(&opts);
+    let result = body(&opts);
     let mut manifest = RunManifest::new(id);
     manifest.size = opts.size.to_string();
     manifest.seed = opts.seed;
@@ -646,11 +649,18 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions)) {
             manifest.warn(warning);
         }
     }
+    if let Err(e) = &result {
+        eprintln!("error: {id}: {e}");
+        manifest.warn(format!("experiment failed: {e}"));
+    }
     checkpoint::clear();
     manifest.stamp();
     match crate::report::write_manifest(&manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("warning: failed to write manifest.json: {e}"),
+    }
+    if result.is_err() {
+        std::process::exit(2);
     }
 }
 
@@ -663,6 +673,24 @@ pub fn find<'a>(
     results
         .iter()
         .find(|r| r.workload == workload && r.scheme.name() == scheme_name)
+}
+
+/// [`find`], for cells a report cannot proceed without: a missing cell
+/// (its simulation failed or timed out) becomes [`Error::MissingCell`]
+/// instead of a panic, so `exp-all` reports the failed figure and moves
+/// on rather than aborting the whole evaluation.
+///
+/// # Errors
+///
+/// Returns [`Error::MissingCell`] when the cell is absent.
+pub fn require<'a>(
+    results: &'a [MatrixResult],
+    workload: Workload,
+    scheme_name: &str,
+) -> Result<&'a MatrixResult, Error> {
+    find(results, workload, scheme_name).ok_or_else(|| Error::MissingCell {
+        cell: format!("{}/{scheme_name}", workload.name()),
+    })
 }
 
 #[cfg(test)]

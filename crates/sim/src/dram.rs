@@ -178,6 +178,11 @@ pub struct DramChannel {
     bus_free_at: Cycle,
     bus_dir: BusDir,
     next_refresh: Cycle,
+    /// Oracle state: last `tick_refresh` cycle. The lazy refresh catch-up
+    /// is only correct for non-decreasing `now`; the oracle enforces the
+    /// documented precondition.
+    #[cfg(feature = "check-invariants")]
+    last_refresh_tick: Cycle,
     /// Row outcome counters: hit / empty / conflict.
     pub row_hits: u64,
     /// Accesses that found the bank with no open row.
@@ -207,6 +212,8 @@ impl DramChannel {
             } else {
                 mem.timing.t_refi as Cycle
             },
+            #[cfg(feature = "check-invariants")]
+            last_refresh_tick: 0,
             row_hits: 0,
             row_empties: 0,
             row_conflicts: 0,
@@ -242,6 +249,16 @@ impl DramChannel {
     /// Performs pending refresh bookkeeping. Must be called with a
     /// monotonically non-decreasing `now` before issuing in that cycle.
     pub fn tick_refresh(&mut self, now: Cycle) {
+        #[cfg(feature = "check-invariants")]
+        {
+            assert!(
+                now >= self.last_refresh_tick,
+                "invariant violated: tick_refresh called with non-monotonic \
+                 now ({now} < {})",
+                self.last_refresh_tick
+            );
+            self.last_refresh_tick = now;
+        }
         while now >= self.next_refresh {
             let start = self.next_refresh;
             let end = start + self.timing.t_rfc as Cycle;
@@ -313,6 +330,56 @@ impl DramChannel {
             return None;
         }
         let data_end = data_start + t.burst_cycles as Cycle;
+        // Oracle: re-assert protocol legality of the issue we are about to
+        // commit. These are the DDR constraints the mirror
+        // (`issue_blocked_until`) reasons about; an issue slipping through
+        // with one unmet means the model itself is broken.
+        #[cfg(feature = "check-invariants")]
+        {
+            assert!(
+                bank.ready_at <= now,
+                "invariant violated: issuing to bank {} before ready_at \
+                 ({} > {now})",
+                coord.bank,
+                bank.ready_at
+            );
+            match outcome {
+                RowOutcome::Conflict => {
+                    assert!(
+                        now >= bank.row_opened_at + t.t_ras as Cycle,
+                        "invariant violated: precharge before tRAS elapsed \
+                         (bank {}, cycle {now})",
+                        coord.bank
+                    );
+                    assert!(
+                        now >= bank.last_write_end + t.t_wr as Cycle,
+                        "invariant violated: precharge before tWR elapsed \
+                         (bank {}, cycle {now})",
+                        coord.bank
+                    );
+                }
+                RowOutcome::Empty => {
+                    assert_eq!(
+                        col_delay, t.t_rcd as Cycle,
+                        "invariant violated: activate without tRCD delay"
+                    );
+                }
+                RowOutcome::Hit => {}
+            }
+            assert!(
+                self.bus_free_at + turnaround <= data_start,
+                "invariant violated: data burst overlaps bus occupancy \
+                 (bus free at {} + turnaround {turnaround} > data start \
+                  {data_start})",
+                self.bus_free_at
+            );
+            assert!(
+                now < self.next_refresh,
+                "invariant violated: issue at {now} with stale refresh \
+                 bookkeeping (refresh window opened at {})",
+                self.next_refresh
+            );
+        }
         // Commit.
         let bank = &mut self.banks[coord.bank as usize];
         match outcome {
@@ -496,7 +563,7 @@ mod tests {
     fn decomposition_is_injective_within_capacity() {
         for order in [MapOrder::RoBaCo, MapOrder::RoCoBa] {
             let map = DramAddressMap::new(order, 4, 64);
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = crate::fxmap::FxHashSet::default();
             for atom in 0..(4 * 64 * 8) {
                 let c = map.decompose(atom);
                 assert!(c.col < 64);

@@ -64,6 +64,9 @@ impl Hasher for FxHasher {
 /// A `HashMap` using [`FxHasher`]; construct with `FxHashMap::default()`.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// A `HashSet` using [`FxHasher`]; construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +83,16 @@ mod tests {
         }
         assert_eq!(m.remove(&37), Some(1));
         assert_eq!(m.get(&37), None);
+    }
+
+    #[test]
+    fn set_round_trips() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+        assert!(s.remove(&7));
+        assert!(s.is_empty());
     }
 
     #[test]

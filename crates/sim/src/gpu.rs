@@ -20,6 +20,8 @@
 use crate::config::GpuConfig;
 use crate::dram::MapOrder;
 use crate::faults::{FaultConfig, FaultInjector};
+#[cfg(feature = "check-invariants")]
+use crate::invariants::{progress_signature, Oracle};
 use crate::l1::L1Cache;
 use crate::l2::L2Slice;
 use crate::protection::ProtectionScheme;
@@ -395,8 +397,15 @@ pub fn simulate_instrumented(
     // where the whole-machine fast-forward below never fires).
     let mut sm_wake: Vec<Cycle> = vec![0; sms.len()];
     let mut sm_done: Vec<bool> = vec![false; sms.len()];
+    // Runtime invariant oracle (see the `invariants` module docs). In this
+    // build the idle fast-forward below is replaced by ticking through the
+    // predicted span with the progress signature frozen.
+    #[cfg(feature = "check-invariants")]
+    let mut oracle = Oracle::new();
 
     loop {
+        #[cfg(feature = "check-invariants")]
+        oracle.check_cycle(now, &sms, &xbar, &slices);
         // 1. Memory side.
         for slice in &mut slices {
             slice.tick(scheme, now);
@@ -428,6 +437,26 @@ pub fn simulate_instrumented(
         // 3. Cores.
         for (i, sm) in sms.iter_mut().enumerate() {
             if sm_wake[i] > now {
+                // Oracle: the sleep memo claims this SM cannot act before
+                // `sm_wake[i]` and that its doneness is frozen; re-derive
+                // both from live state.
+                #[cfg(feature = "check-invariants")]
+                {
+                    if let Some(c) = sm.next_event(now) {
+                        assert!(
+                            c >= sm_wake[i],
+                            "invariant violated: SM {i} asleep until {} but \
+                             next_event says {c} (cycle {now})",
+                            sm_wake[i]
+                        );
+                    }
+                    assert_eq!(
+                        sm.all_warps_done(now),
+                        sm_done[i],
+                        "invariant violated: SM {i} doneness flipped while \
+                         asleep (cycle {now})"
+                    );
+                }
                 // Asleep: the tick would only have counted one stalled
                 // cycle (or nothing, if done).
                 if !sm_done[i] {
@@ -552,21 +581,30 @@ pub fn simulate_instrumented(
         // epochs must land on the same cycles either way) and at
         // `max_cycles` (timeout accounting).
         if let Some(wake) = idle_wake(now, &sms, &xbar, &slices, &*scheme) {
-            let mut wake = wake.min(cfg.max_cycles);
-            if let Some(s) = &sampler {
-                wake = wake.min(s.next_due_cycle());
-            }
-            if wake > now {
-                let span = wake - now;
-                for sm in &mut sms {
-                    sm.account_idle_span(now, span);
+            #[cfg(not(feature = "check-invariants"))]
+            {
+                let mut wake = wake.min(cfg.max_cycles);
+                if let Some(s) = &sampler {
+                    wake = wake.min(s.next_due_cycle());
                 }
-                now = wake;
-                if now >= cfg.max_cycles {
-                    timed_out = true;
-                    break;
+                if wake > now {
+                    let span = wake - now;
+                    for sm in &mut sms {
+                        sm.account_idle_span(now, span);
+                    }
+                    now = wake;
+                    if now >= cfg.max_cycles {
+                        timed_out = true;
+                        break;
+                    }
                 }
             }
+            // Oracle build: tick through the predicted-idle span instead
+            // of jumping, with the progress signature frozen — any
+            // component doing work inside the span (i.e. `idle_wake` lied)
+            // trips the check at the top of the loop.
+            #[cfg(feature = "check-invariants")]
+            oracle.begin_idle_span(wake, progress_signature(&sms, &xbar, &slices));
         }
     }
 

@@ -61,6 +61,12 @@ pub struct L1Cache {
     /// access, identifying the warp.
     completions: Vec<WarpIdx>,
     stats: L1Stats,
+    /// Oracle counter: MSHRs allocated (request conservation).
+    #[cfg(feature = "check-invariants")]
+    mshr_allocs: u64,
+    /// Oracle counter: fill responses accepted (request conservation).
+    #[cfg(feature = "check-invariants")]
+    fills_accepted: u64,
 }
 
 impl L1Cache {
@@ -78,6 +84,10 @@ impl L1Cache {
             free_mshrs: (0..cfg.mshrs).rev().collect(),
             completions: Vec::new(),
             stats: L1Stats::default(),
+            #[cfg(feature = "check-invariants")]
+            mshr_allocs: 0,
+            #[cfg(feature = "check-invariants")]
+            fills_accepted: 0,
         }
     }
 
@@ -107,6 +117,10 @@ impl L1Cache {
         let m = self.mshrs[idx].take().expect("response for empty L1 MSHR");
         self.mshr_index.remove(&m.atom);
         self.free_mshrs.push(idx);
+        #[cfg(feature = "check-invariants")]
+        {
+            self.fills_accepted += 1;
+        }
         // Install; L1 lines are never dirty (write-through), so evictions
         // are silent.
         let _ = self.cache.fill(m.atom.0, false);
@@ -161,6 +175,10 @@ impl L1Cache {
                             };
                             if send(req) {
                                 self.free_mshrs.pop();
+                                #[cfg(feature = "check-invariants")]
+                                {
+                                    self.mshr_allocs += 1;
+                                }
                                 self.mshr_index.insert(access.atom, free);
                                 self.mshrs[free] = Some(L1Mshr {
                                     atom: access.atom,
@@ -237,6 +255,43 @@ impl L1Cache {
     /// Statistics snapshot.
     pub fn stats(&self) -> L1Stats {
         self.stats
+    }
+
+    /// Structural coherence and request conservation for the MSHR file
+    /// and input queue, checked once per cycle by the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an MSHR leak, a dangling index entry, an over-capacity
+    /// queue, or a miss whose response never arrived being double-freed.
+    #[cfg(feature = "check-invariants")]
+    pub fn assert_coherent(&self) {
+        assert!(
+            self.in_q.len() <= self.in_cap,
+            "invariant violated: L1 input queue over capacity"
+        );
+        assert_eq!(
+            self.free_mshrs.len() + self.mshr_index.len(),
+            self.mshrs.len(),
+            "invariant violated: L1 MSHR leak (free + indexed != total)"
+        );
+        for (&atom, &idx) in &self.mshr_index {
+            match self.mshrs[idx].as_ref() {
+                Some(m) => assert_eq!(
+                    m.atom, atom,
+                    "invariant violated: L1 mshr_index atom mismatch at slot {idx}"
+                ),
+                None => {
+                    panic!("invariant violated: L1 mshr_index maps {atom:?} to empty slot {idx}")
+                }
+            }
+        }
+        assert_eq!(
+            self.mshr_allocs,
+            self.fills_accepted + self.mshr_index.len() as u64,
+            "invariant violated: L1 request conservation \
+             (misses sent != responses received + outstanding MSHRs)"
+        );
     }
 }
 

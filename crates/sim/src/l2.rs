@@ -77,6 +77,9 @@ pub struct L2Slice {
     stats: L2SliceStats,
     /// Reused scratch for DRAM completions (hot-path allocation avoidance).
     comp_buf: Vec<Completion>,
+    /// Oracle counter: MSHRs allocated (fill conservation).
+    #[cfg(feature = "check-invariants")]
+    mshr_allocs: u64,
 }
 
 impl L2Slice {
@@ -110,6 +113,8 @@ impl L2Slice {
             mc: MemCtrl::new(&cfg.mem, order),
             stats: L2SliceStats::default(),
             comp_buf: Vec::new(),
+            #[cfg(feature = "check-invariants")]
+            mshr_allocs: 0,
         }
     }
 
@@ -149,6 +154,10 @@ impl L2Slice {
         let idx = self.free_mshrs.pop().expect("caller checked availability");
         self.mshr_index.insert(m.atom, idx);
         self.mshrs[idx] = Some(m);
+        #[cfg(feature = "check-invariants")]
+        {
+            self.mshr_allocs += 1;
+        }
         idx
     }
 
@@ -505,6 +514,59 @@ impl L2Slice {
     /// Memory-controller statistics.
     pub fn mc_stats(&self) -> McStats {
         self.mc.stats()
+    }
+
+    /// Structural coherence and fill conservation for the slice's MSHR
+    /// file and queues, checked once per cycle by the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an MSHR leak, a dangling or mismatched index entry, a
+    /// zero-piece MSHR that should already have installed, or an
+    /// over-capacity input queue.
+    #[cfg(feature = "check-invariants")]
+    pub fn assert_coherent(&self) {
+        assert!(
+            self.in_q.len() <= self.in_cap,
+            "invariant violated: L2 slice {} input queue over capacity",
+            self.channel
+        );
+        assert_eq!(
+            self.free_mshrs.len() + self.mshr_index.len(),
+            self.mshrs.len(),
+            "invariant violated: L2 slice {} MSHR leak (free + indexed != total)",
+            self.channel
+        );
+        for (&atom, &idx) in &self.mshr_index {
+            match self.mshrs[idx].as_ref() {
+                Some(m) => {
+                    assert_eq!(
+                        m.atom, atom,
+                        "invariant violated: L2 slice {} mshr_index atom mismatch \
+                         at slot {idx}",
+                        self.channel
+                    );
+                    assert!(
+                        m.pieces_left >= 1,
+                        "invariant violated: L2 slice {} MSHR {idx} has zero pieces \
+                         left but was not installed",
+                        self.channel
+                    );
+                }
+                None => panic!(
+                    "invariant violated: L2 slice {} mshr_index maps atom {atom} \
+                     to empty slot {idx}",
+                    self.channel
+                ),
+            }
+        }
+        assert_eq!(
+            self.mshr_allocs,
+            self.stats.fills + self.mshr_index.len() as u64,
+            "invariant violated: L2 slice {} fill conservation \
+             (allocated MSHRs != fills installed + outstanding)",
+            self.channel
+        );
     }
 
     /// MSHRs currently tracking an in-flight miss (telemetry accessor).

@@ -62,6 +62,8 @@ pub mod energy;
 pub mod faults;
 pub mod fxmap;
 pub mod gpu;
+#[cfg(feature = "check-invariants")]
+pub mod invariants;
 pub mod l1;
 pub mod l2;
 pub mod mem_ctrl;

@@ -168,6 +168,15 @@ pub struct MemCtrl {
     /// per-cycle completion pop can skip the scan while nothing is due.
     earliest_done: Cycle,
     stats: McStats,
+    /// Oracle counter: read requests accepted (conservation check).
+    #[cfg(feature = "check-invariants")]
+    pushed_reads: u64,
+    /// Oracle counter: write requests accepted (conservation check).
+    #[cfg(feature = "check-invariants")]
+    pushed_writes: u64,
+    /// Oracle counter: completions handed back (conservation check).
+    #[cfg(feature = "check-invariants")]
+    popped_reads: u64,
     /// Telemetry: read-latency histogram (enqueue to data), when enabled.
     read_lat_hist: Option<Histogram>,
     /// Telemetry: write service-latency histogram, when enabled.
@@ -193,6 +202,12 @@ impl MemCtrl {
             inflight: Vec::new(),
             earliest_done: Cycle::MAX,
             stats: McStats::default(),
+            #[cfg(feature = "check-invariants")]
+            pushed_reads: 0,
+            #[cfg(feature = "check-invariants")]
+            pushed_writes: 0,
+            #[cfg(feature = "check-invariants")]
+            popped_reads: 0,
             read_lat_hist: None,
             write_lat_hist: None,
             issue_trace: None,
@@ -286,9 +301,17 @@ impl MemCtrl {
         if req.is_write() {
             assert!(self.can_accept_write(), "write queue overflow");
             self.write_q.push_back(pending);
+            #[cfg(feature = "check-invariants")]
+            {
+                self.pushed_writes += 1;
+            }
         } else {
             assert!(self.can_accept_read(), "read queue overflow");
             self.read_q.push_back(pending);
+            #[cfg(feature = "check-invariants")]
+            {
+                self.pushed_reads += 1;
+            }
         }
     }
 
@@ -361,12 +384,34 @@ impl MemCtrl {
             &self.read_q
         };
         let pending = q[i];
+        // Mirror cross-check: `issue_blocked_until` must agree with
+        // `try_issue_at` in both directions, on every attempt. This is
+        // the load-bearing equivalence behind the scan-skip memo and the
+        // idle fast-forward — a divergent mirror silently changes timing.
+        #[cfg(feature = "check-invariants")]
+        let predicted = self
+            .chan
+            .issue_blocked_until(pending.coord, pending.req.is_write(), now);
         let Some(info) = self
             .chan
             .try_issue_at(pending.coord, pending.req.is_write(), now)
         else {
+            #[cfg(feature = "check-invariants")]
+            assert!(
+                predicted > now,
+                "invariant violated: issue_blocked_until said atom {} was \
+                 issueable at {now} but try_issue_at refused",
+                pending.req.atom
+            );
             return false;
         };
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            predicted <= now,
+            "invariant violated: issue_blocked_until said atom {} was blocked \
+             until {predicted} but try_issue_at issued at {now}",
+            pending.req.atom
+        );
         let q = if from_writes {
             &mut self.write_q
         } else {
@@ -405,6 +450,8 @@ impl MemCtrl {
     /// hysteresis, and at most one command issued.
     pub fn tick(&mut self, now: Cycle) {
         self.chan.tick_refresh(now);
+        #[cfg(feature = "check-invariants")]
+        self.assert_conserved();
         if !self.read_q.is_empty() || !self.write_q.is_empty() {
             self.stats.busy_cycles += 1;
         }
@@ -418,6 +465,8 @@ impl MemCtrl {
         // pick_and_issue calls below would fail without side effects, so
         // skip them entirely (see `scan_asleep_until`).
         if now < self.scan_asleep_until {
+            #[cfg(feature = "check-invariants")]
+            self.assert_scan_asleep(now);
             return;
         }
         let serve_writes = self.draining || self.read_q.is_empty();
@@ -430,6 +479,81 @@ impl MemCtrl {
         if !issued && (!self.read_q.is_empty() || !self.write_q.is_empty()) {
             self.scan_asleep_until = self.earliest_possible_issue(now);
         }
+    }
+
+    /// Scan-sleep verification: while `scan_asleep_until` claims every
+    /// window entry is blocked, re-scan both queues through the
+    /// side-effect-free mirror and panic if anything could in fact issue
+    /// (the mirror itself is cross-checked against `try_issue_at` on
+    /// every real attempt, so this closes the loop on the memo).
+    #[cfg(feature = "check-invariants")]
+    fn assert_scan_asleep(&self, now: Cycle) {
+        for p in self.read_q.iter().take(self.window) {
+            assert!(
+                self.chan.issue_blocked_until(p.coord, false, now) > now,
+                "invariant violated: scan asleep until {} but read atom {} is \
+                 issueable at {now}",
+                self.scan_asleep_until,
+                p.req.atom
+            );
+        }
+        for p in self.write_q.iter().take(self.window) {
+            assert!(
+                self.chan.issue_blocked_until(p.coord, true, now) > now,
+                "invariant violated: scan asleep until {} but write atom {} is \
+                 issueable at {now}",
+                self.scan_asleep_until,
+                p.req.atom
+            );
+        }
+    }
+
+    /// Queue-capacity bounds, completion-memo coherence, and request
+    /// conservation, checked every tick.
+    #[cfg(feature = "check-invariants")]
+    fn assert_conserved(&self) {
+        assert!(
+            self.read_q.len() <= self.read_cap && self.write_q.len() <= self.write_cap,
+            "invariant violated: controller queue over capacity"
+        );
+        let min_done = self
+            .inflight
+            .iter()
+            .map(|c| c.done)
+            .min()
+            .unwrap_or(Cycle::MAX);
+        assert!(
+            self.earliest_done <= min_done,
+            "invariant violated: earliest_done memo ({}) is later than an \
+             in-flight completion ({min_done}) — completions would be delayed",
+            self.earliest_done
+        );
+        let mut issued_reads = 0u64;
+        let mut issued_writes = 0u64;
+        for class in TrafficClass::ALL {
+            if class.is_read() {
+                issued_reads += self.stats.count[class.index()];
+            } else {
+                issued_writes += self.stats.count[class.index()];
+            }
+        }
+        assert_eq!(
+            self.pushed_reads,
+            self.read_q.len() as u64 + self.inflight.len() as u64 + self.popped_reads,
+            "invariant violated: read conservation (pushed != queued + \
+             in flight + completed)"
+        );
+        assert_eq!(
+            issued_reads,
+            self.inflight.len() as u64 + self.popped_reads,
+            "invariant violated: issued reads do not match in-flight plus \
+             completed"
+        );
+        assert_eq!(
+            self.pushed_writes,
+            self.write_q.len() as u64 + issued_writes,
+            "invariant violated: write conservation (pushed != queued + issued)"
+        );
     }
 
     /// Conservative lower bound on the next cycle any window entry could
@@ -477,6 +601,10 @@ impl MemCtrl {
             }
         }
         self.earliest_done = next;
+        #[cfg(feature = "check-invariants")]
+        {
+            self.popped_reads += out.len() as u64;
+        }
         // Deterministic order regardless of swap_remove shuffling.
         out.sort_by_key(|c| (c.done, c.req.atom));
     }

@@ -52,6 +52,7 @@ pub struct SimStats {
     /// All-bank refresh operations across channels.
     pub refreshes: u64,
     /// Mean DRAM read latency (enqueue to data), cycles.
+    // lint: allow(float-stats) reason=derived once at end of run from integer latency sums; never accumulated on the hot path
     pub mean_read_latency: f64,
     /// Protection-scheme counters.
     pub protection: ProtectionStats,

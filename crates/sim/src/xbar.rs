@@ -36,6 +36,12 @@ pub struct Crossbar {
     /// Per-SM in-flight responses.
     resp_q: Vec<VecDeque<(Cycle, L2Response)>>,
     stats: XbarStats,
+    /// Oracle counter: requests handed to a slice (conservation check).
+    #[cfg(feature = "check-invariants")]
+    delivered_requests: u64,
+    /// Oracle counter: responses handed to an SM (conservation check).
+    #[cfg(feature = "check-invariants")]
+    delivered_responses: u64,
 }
 
 impl Crossbar {
@@ -47,6 +53,10 @@ impl Crossbar {
             req_q: (0..slices).map(|_| VecDeque::new()).collect(),
             resp_q: (0..sms).map(|_| VecDeque::new()).collect(),
             stats: XbarStats::default(),
+            #[cfg(feature = "check-invariants")]
+            delivered_requests: 0,
+            #[cfg(feature = "check-invariants")]
+            delivered_responses: 0,
         }
     }
 
@@ -84,6 +94,10 @@ impl Crossbar {
                 Some(&(arrival, req)) if arrival <= now => {
                     if accept(req) {
                         q.pop_front();
+                        #[cfg(feature = "check-invariants")]
+                        {
+                            self.delivered_requests += 1;
+                        }
                     } else {
                         break;
                     }
@@ -112,6 +126,10 @@ impl Crossbar {
                 Some(&(arrival, resp)) if arrival <= now => {
                     out.push(resp);
                     q.pop_front();
+                    #[cfg(feature = "check-invariants")]
+                    {
+                        self.delivered_responses += 1;
+                    }
                 }
                 _ => break,
             }
@@ -128,6 +146,7 @@ impl Crossbar {
     /// latency, so each queue front is its minimum. `Some(c <= now)`
     /// means a message is deliverable this cycle; `None` means the
     /// crossbar is empty.
+    // lint: allow(next-event-pairing) reason=the crossbar advances in deliver_requests/deliver_responses_into, driven every cycle by the gpu loop; there is no standalone tick
     pub fn next_event(&self) -> Option<Cycle> {
         let req = self
             .req_q
@@ -142,6 +161,48 @@ impl Crossbar {
         match (req, resp) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
+        }
+    }
+
+    /// Requests currently in flight toward slices (oracle/telemetry
+    /// accessor).
+    pub fn queued_requests(&self) -> usize {
+        self.req_q.iter().map(VecDeque::len).sum()
+    }
+
+    /// Responses currently in flight toward SMs (oracle/telemetry
+    /// accessor).
+    pub fn queued_responses(&self) -> usize {
+        self.resp_q.iter().map(VecDeque::len).sum()
+    }
+
+    /// Message conservation: everything injected was either delivered or
+    /// is still queued. Nothing is dropped, nothing invented.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a message went missing or appeared from nowhere.
+    #[cfg(feature = "check-invariants")]
+    pub fn assert_conserved(&self) {
+        assert_eq!(
+            self.stats.requests,
+            self.delivered_requests + self.queued_requests() as u64,
+            "invariant violated: crossbar request conservation \
+             (sent != delivered + queued)"
+        );
+        assert_eq!(
+            self.stats.responses,
+            self.delivered_responses + self.queued_responses() as u64,
+            "invariant violated: crossbar response conservation \
+             (sent != delivered + queued)"
+        );
+        for (ch, q) in self.req_q.iter().enumerate() {
+            assert!(
+                q.len() <= REQ_QUEUE_CAP,
+                "invariant violated: slice {ch} request queue over capacity \
+                 ({} > {REQ_QUEUE_CAP})",
+                q.len()
+            );
         }
     }
 

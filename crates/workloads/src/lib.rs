@@ -33,6 +33,7 @@
 //! assert!(trace.total_accesses() > 0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,418 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The workspace is built offline against vendored dependency stubs, so
+//! `syn`/`proc-macro2` are not available; like `vendor/serde_derive`, the
+//! lint parses token streams by hand. The lexer produces a flat token
+//! stream with line numbers — enough structure for the determinism rules,
+//! which only need identifiers, punctuation, delimiter nesting, and the
+//! `// lint: allow(...)` directives hidden in comments.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `impl`, `fn`, ...).
+    Ident(String),
+    /// A single punctuation character (`<`, `>`, `:`, `,`, ...).
+    Punct(char),
+    /// An opening delimiter: `(`, `[`, or `{`.
+    Open(char),
+    /// A closing delimiter: `)`, `]`, or `}`.
+    Close(char),
+    /// A literal (string, char, number). Contents are irrelevant to rules.
+    Lit,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A `// lint: allow(<rule>) reason=<text>` directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The mandatory free-text justification.
+    pub reason: String,
+    /// 1-based line the directive comment sits on.
+    pub line: usize,
+}
+
+/// Lexer output: tokens, allow directives, and any malformed directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Well-formed allow directives.
+    pub directives: Vec<Directive>,
+    /// `(line, message)` for comments that look like directives but do not
+    /// parse — these are hard errors so typos cannot silently disable a rule.
+    pub malformed: Vec<(usize, String)>,
+}
+
+/// Lexes `src`. Never fails: unrecognized bytes are skipped (the source is
+/// already known to compile, so this only matters for fixtures).
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                scan_comment(&src[start..i], line, &mut out);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; count newlines as we go.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    line,
+                });
+                i = skip_string(b, i, &mut line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    line,
+                });
+                i = skip_raw_or_byte_string(b, i, &mut line);
+            }
+            b'\'' => {
+                let (kind, next) = lex_quote(b, i, &mut line);
+                out.tokens.push(Token { kind, line });
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    line,
+                });
+                i += 1;
+                // Greedy number scan; `0x1f`, `1_000u64`, `1.5e-3` all pass.
+                // `.` is excluded so `0..n` ranges lex as Lit Punct Punct Lit.
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            b'(' | b'[' | b'{' => {
+                out.tokens.push(Token {
+                    kind: TokKind::Open(c as char),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                out.tokens.push(Token {
+                    kind: TokKind::Close(c as char),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `rb` is not Rust.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    b.get(j) == Some(&b'"') && j > i
+}
+
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let raw = b.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&b'"'));
+    if raw {
+        i += 1; // opening quote
+        loop {
+            match b.get(i) {
+                None => return i,
+                Some(b'\n') => *line += 1,
+                Some(b'"') => {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && b.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    } else {
+        skip_string(b, i, line)
+    }
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) at a `'`.
+fn lex_quote(b: &[u8], i: usize, line: &mut usize) -> (TokKind, usize) {
+    let next = b.get(i + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return (TokKind::Lit, j + 1),
+                    _ => j += 1,
+                }
+            }
+            (TokKind::Lit, j)
+        }
+        Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+            // Ident run after the quote: `'a'` closes immediately after one
+            // char (literal); otherwise it is a lifetime.
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'\'') && j == i + 2 {
+                (TokKind::Lit, j + 1)
+            } else {
+                (TokKind::Lifetime, j)
+            }
+        }
+        Some(b'\n') => {
+            // `'\n'` never reaches here (escape handled above); a bare
+            // newline after a quote is not valid Rust. Consume the quote.
+            *line += 1;
+            (TokKind::Punct('\''), i + 1)
+        }
+        Some(_) => {
+            // `'x'` where x is punctuation/digit: a char literal.
+            let mut j = i + 1;
+            while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'\'') {
+                (TokKind::Lit, j + 1)
+            } else {
+                (TokKind::Punct('\''), i + 1)
+            }
+        }
+        None => (TokKind::Punct('\''), i + 1),
+    }
+}
+
+/// Parses `// lint: allow(<rule>) reason=<text>` out of a line comment.
+/// Comments that start with `// lint:` but do not match the grammar are
+/// recorded as malformed so a typo cannot silently disable a rule.
+fn scan_comment(text: &str, line: usize, out: &mut Lexed) {
+    let body = text.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let parse = || -> Option<Directive> {
+        let rest = rest.strip_prefix("allow(")?;
+        let close = rest.find(')')?;
+        let rule = rest[..close].trim();
+        if rule.is_empty() || !rule.bytes().all(|c| c.is_ascii_alphanumeric() || c == b'-') {
+            return None;
+        }
+        let tail = rest[close + 1..].trim();
+        let reason = tail.strip_prefix("reason=")?.trim();
+        if reason.is_empty() {
+            return None;
+        }
+        Some(Directive {
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+            line,
+        })
+    };
+    match parse() {
+        Some(d) => out.directives.push(d),
+        None => out.malformed.push((
+            line,
+            format!(
+                "malformed lint directive `{body}`; expected `lint: allow(<rule>) reason=<text>`"
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_lines() {
+        let l = lex("fn main() {\n  let x = 1;\n}\n");
+        assert_eq!(
+            idents("fn main() {\n  let x = 1;\n}\n"),
+            ["fn", "main", "let", "x"]
+        );
+        let x = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("x".into()))
+            .expect("x");
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        // `HashMap` in a string, a line comment, and a block comment must
+        // not surface as identifiers.
+        let src = r##"
+            let s = "HashMap<RandomState>";
+            // HashMap here is commentary
+            /* HashMap /* nested */ still comment */
+            let r = r#"HashMap "quoted" inside raw"#;
+            let b = b"HashMap";
+        "##;
+        assert!(!idents(src).iter().any(|i| i == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let lits = l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn directive_parses() {
+        let l =
+            lex("// lint: allow(default-hash-state) reason=explicit hasher via alias\nlet x = 1;");
+        assert_eq!(l.directives.len(), 1);
+        assert_eq!(l.directives[0].rule, "default-hash-state");
+        assert_eq!(l.directives[0].reason, "explicit hasher via alias");
+        assert_eq!(l.directives[0].line, 1);
+        assert!(l.malformed.is_empty());
+    }
+
+    #[test]
+    fn malformed_directive_is_reported() {
+        let l = lex("// lint: allow(no-such syntax\n// lint: allow(rule-x)\n");
+        assert_eq!(
+            l.malformed.len(),
+            2,
+            "missing close paren and missing reason"
+        );
+        assert!(l.directives.is_empty());
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let l = lex("let s = \"a\nb\nc\";\nlet y = 0;");
+        let y = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("y".into()))
+            .expect("y");
+        assert_eq!(y.line, 4);
+    }
+}

@@ -1,0 +1,167 @@
+//! `cargo xtask lint` — repo-specific determinism lints for the CacheCraft
+//! workspace.
+//!
+//! The evaluation methodology rests on bit-identical `SimStats` (the
+//! golden-regression corpus and the threads-1-vs-8 determinism test), so
+//! the simulator crates must not depend on randomized hash iteration
+//! order, wall-clock time, ambient randomness, or float accumulation.
+//! Clippy cannot express those rules; this tool lexes the workspace with a
+//! small hand-rolled lexer (the build is offline, so `syn` is not
+//! available — see `vendor/README.md`) and enforces them. See
+//! [`rules`] for the rule list and `DESIGN.md` ("Determinism contract &
+//! invariants") for the rationale.
+//!
+//! Run it as `cargo xtask lint`. Exit status is non-zero when any
+//! violation, malformed directive, or stale allow-list entry is found.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{DirectiveError, FileReport, LintContext, Violation, Waived};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The crates scanned by the lint (workspace-relative source roots).
+pub const SCANNED_ROOTS: [&str; 5] = [
+    "crates/sim/src",
+    "crates/core/src",
+    "crates/ecc/src",
+    "crates/workloads/src",
+    "crates/telemetry/src",
+];
+
+/// Aggregated result of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All violations, ordered by file then line.
+    pub violations: Vec<Violation>,
+    /// All waived violations (the verified allow-list).
+    pub waived: Vec<Waived>,
+    /// Directive problems (malformed / unknown rule / unused).
+    pub directive_errors: Vec<DirectiveError>,
+}
+
+impl LintReport {
+    /// `true` when the tree is clean (waived entries are fine).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.directive_errors.is_empty()
+    }
+
+    fn absorb(&mut self, fr: FileReport) {
+        self.violations.extend(fr.violations);
+        self.waived.extend(fr.waived);
+        self.directive_errors.extend(fr.directive_errors);
+    }
+}
+
+/// Lints the workspace rooted at `root`. Errors are I/O-level only; lint
+/// findings are reported in the returned [`LintReport`].
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for sub in SCANNED_ROOTS {
+        let dir = root.join(sub);
+        if !dir.is_dir() {
+            return Err(format!("missing source root {}", dir.display()));
+        }
+        collect_rs(&dir, &mut files)?;
+    }
+    files.sort();
+
+    // Pass 1: discover float SimStats fields for the accumulation rule.
+    let stats_path = root.join(rules::SIMSTATS_PATH);
+    let ctx = match fs::read_to_string(&stats_path) {
+        Ok(src) => LintContext {
+            float_stats_fields: rules::simstats_float_fields(&lexer::lex(&src))
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect(),
+        },
+        Err(e) => return Err(format!("read {}: {e}", stats_path.display())),
+    };
+
+    // Pass 2: lint every file under its path-derived scope.
+    let mut report = LintReport::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes workspace root", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let lexed = lexer::lex(&src);
+        report.absorb(rules::lint_file(&rel, &lexed, rules::scope_for(&rel), &ctx));
+        report.files_scanned += 1;
+    }
+    let key = |f: &String, l: &usize| (f.clone(), *l);
+    report.violations.sort_by_key(|v| key(&v.file, &v.line));
+    report.waived.sort_by_key(|w| key(&w.file, &w.line));
+    report
+        .directive_errors
+        .sort_by_key(|d| key(&d.file, &d.line));
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the report in the summary-table format shown by `cargo xtask
+/// lint`.
+pub fn render(report: &LintReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "xtask lint: scanned {} files under {}",
+        report.files_scanned,
+        SCANNED_ROOTS.join(", ")
+    );
+    if !report.waived.is_empty() {
+        let _ = writeln!(s, "\nallow-listed ({} verified):", report.waived.len());
+        let width = report
+            .waived
+            .iter()
+            .map(|w| w.file.len() + 1 + w.line.to_string().len())
+            .max()
+            .unwrap_or(0);
+        for w in &report.waived {
+            let loc = format!("{}:{}", w.file, w.line);
+            let _ = writeln!(s, "  {:20} {loc:width$}  {}", w.rule, w.reason);
+        }
+    }
+    if !report.violations.is_empty() {
+        let _ = writeln!(s, "\nviolations ({}):", report.violations.len());
+        for v in &report.violations {
+            let _ = writeln!(s, "  {:20} {}:{}  {}", v.rule, v.file, v.line, v.msg);
+        }
+    }
+    if !report.directive_errors.is_empty() {
+        let _ = writeln!(s, "\ndirective errors ({}):", report.directive_errors.len());
+        for d in &report.directive_errors {
+            let _ = writeln!(s, "  {}:{}  {}", d.file, d.line, d.msg);
+        }
+    }
+    let _ = writeln!(
+        s,
+        "\n{}",
+        if report.is_clean() {
+            "clean: determinism contract holds"
+        } else {
+            "FAILED: determinism contract violated (fix or justify with \
+             `// lint: allow(<rule>) reason=...`)"
+        }
+    );
+    s
+}

@@ -1,0 +1,54 @@
+//! CLI entry point: `cargo xtask lint [--root <path>]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: cargo xtask lint [--root <workspace-root>]");
+        return ExitCode::from(2);
+    };
+    if cmd != "lint" {
+        eprintln!("unknown xtask `{cmd}` (available: lint)");
+        return ExitCode::from(2);
+    }
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root this binary was built from, so the
+    // lint works no matter where `cargo xtask` is invoked.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .components()
+            .collect()
+    });
+    match xtask::lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", xtask::render(&report));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: directive-level errors — malformed, unknown rule, and unused.
+// lint: allow(default-hash-state
+// lint: allow(no-such-rule) reason=rule name does not exist
+// lint: allow(wall-clock) reason=stale waiver with no violation underneath
+fn nothing_wrong_here() {}

@@ -1,0 +1,12 @@
+// Fixture (linted as crates/sim/src/stats.rs): float field justified.
+pub struct SimStats {
+    pub cycles: u64,
+    pub read_latency_sum: u64,
+    pub reads: u64,
+    // lint: allow(float-stats) reason=derived once at end of run from integer sums, never accumulated
+    pub mean_read_latency: f64,
+}
+
+fn finalize(stats: &mut SimStats) {
+    stats.mean_read_latency = stats.read_latency_sum as f64 / stats.reads.max(1) as f64;
+}

@@ -1,0 +1,10 @@
+// Fixture (linted as crates/sim/src/stats.rs): the float field has no
+// allow directive, and the accumulation below must fire too.
+pub struct SimStats {
+    pub cycles: u64,
+    pub mean_read_latency: f64,
+}
+
+fn accumulate(stats: &mut SimStats, sample: f64) {
+    stats.mean_read_latency += sample;
+}

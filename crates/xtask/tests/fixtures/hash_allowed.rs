@@ -1,0 +1,8 @@
+// Fixture: violations fully covered by verified allow directives.
+// lint: allow(default-hash-state) reason=scratch set in a one-shot debug dump, order never observed
+use std::collections::HashSet;
+
+fn dump() {
+    let mut seen = HashSet::new(); // lint: allow(default-hash-state) reason=order never observed
+    seen.insert(1u64);
+}

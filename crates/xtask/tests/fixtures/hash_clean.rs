@@ -1,0 +1,23 @@
+// Fixture: explicit hashers and ordered maps are all fine.
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::BuildHasherDefault;
+
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+struct FxHasher;
+
+struct Tracker {
+    index: FxHashMap<u64, usize>,
+    inflight: FxHashSet<u64>,
+    ordered: BTreeMap<u64, u64>,
+    set: BTreeSet<u64>,
+}
+
+fn turbofish() {
+    // A comparison, not a generic list: `HashMapLike < limit`.
+    let hash_map_like = 3;
+    let limit = 4;
+    let _ = hash_map_like < limit;
+    let _ = "HashMap in a string is not a use";
+}

@@ -1,0 +1,14 @@
+// Fixture: every line here must fire `default-hash-state`.
+use std::collections::HashMap;
+use std::collections::hash_map::RandomState;
+
+struct CoalesceBuffer {
+    members: HashMap<u64, u64>,
+}
+
+fn scratch() {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(1u64);
+    let m = HashMap::<u64, u64>::new();
+    let _ = (seen, m);
+}

@@ -1,0 +1,18 @@
+// Fixture: a probe-only component waived with a reason (mirrors the real
+// crossbar, which advances in its deliver_* methods).
+type Cycle = u64;
+
+struct Fabric {
+    due: Option<Cycle>,
+}
+
+impl Fabric {
+    // lint: allow(next-event-pairing) reason=advances in deliver_requests/deliver_responses, driven per cycle by the loop
+    pub fn next_event(&self) -> Option<Cycle> {
+        self.due
+    }
+
+    pub fn deliver_requests(&mut self) {
+        self.due = None;
+    }
+}

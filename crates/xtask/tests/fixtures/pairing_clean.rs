@@ -1,0 +1,32 @@
+// Fixture: probe and tick correctly paired; trait impls and type-position
+// `impl Trait` are out of scope for the pairing rule.
+type Cycle = u64;
+
+struct Component {
+    due: Option<Cycle>,
+    count: u64,
+}
+
+impl Component {
+    pub fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        self.due
+    }
+
+    pub fn tick(&mut self, _now: Cycle) {
+        self.count += 1;
+    }
+}
+
+trait Probe {
+    fn next_event(&self) -> Option<Cycle>;
+}
+
+impl Probe for Component {
+    fn next_event(&self) -> Option<Cycle> {
+        self.due
+    }
+}
+
+fn make(items: impl Iterator<Item = u64>) -> impl Iterator<Item = u64> {
+    items.map(|x| x + 1)
+}

@@ -1,0 +1,35 @@
+// Fixture: three pairing violations — probe without tick, tick without
+// probe, and a probe with a mutable receiver / wrong return type.
+type Cycle = u64;
+
+struct ProbeOnly {
+    due: Cycle,
+}
+
+impl ProbeOnly {
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        (self.due > now).then_some(self.due)
+    }
+}
+
+struct TickOnly {
+    count: u64,
+}
+
+impl TickOnly {
+    pub fn tick(&mut self, _now: Cycle) {
+        self.count += 1;
+    }
+}
+
+struct BadSig {
+    due: Cycle,
+}
+
+impl BadSig {
+    pub fn next_event(&mut self, _now: Cycle) -> Cycle {
+        self.due
+    }
+
+    pub fn tick(&mut self, _now: Cycle) {}
+}

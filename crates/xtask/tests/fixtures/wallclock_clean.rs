@@ -1,0 +1,20 @@
+// Fixture: simulated time and seeded randomness are fine.
+type Cycle = u64;
+
+struct Clock {
+    now: Cycle,
+}
+
+fn step(c: &mut Clock, rng: &mut SmallRng) -> u64 {
+    c.now += 1;
+    rng.next_u64()
+}
+
+struct SmallRng(u64);
+
+impl SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: every marked line must fire `wall-clock`.
+use std::time::Instant;
+
+fn timed() {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let _ = (t0, rng, x);
+}

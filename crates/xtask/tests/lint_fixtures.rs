@@ -1,0 +1,176 @@
+//! Fixture tests for every lint rule: known-bad snippets must fire,
+//! allow-listed ones must be waived (and counted), clean ones must pass.
+
+use xtask::lexer::lex;
+use xtask::rules::{lint_file, scope_for, FileReport, LintContext};
+
+/// Lints a fixture as if it lived at `rel` inside the workspace.
+fn run(rel: &str, src: &str) -> FileReport {
+    let ctx = LintContext {
+        float_stats_fields: vec!["mean_read_latency".into()],
+    };
+    lint_file(rel, &lex(src), scope_for(rel), &ctx)
+}
+
+fn lines_of(report: &FileReport, rule: &str) -> Vec<usize> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn hash_state_fires() {
+    let r = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hash_fires.rs"),
+    );
+    assert_eq!(lines_of(&r, "default-hash-state"), vec![2, 3, 6, 10, 12]);
+    assert!(r.waived.is_empty());
+    assert!(r.directive_errors.is_empty());
+}
+
+#[test]
+fn hash_state_allow_listed() {
+    let r = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hash_allowed.rs"),
+    );
+    assert!(r.violations.is_empty(), "waived: {:?}", r.violations);
+    assert_eq!(r.waived.len(), 2);
+    assert!(r.directive_errors.is_empty(), "{:?}", r.directive_errors);
+    assert!(r.waived.iter().all(|w| w.rule == "default-hash-state"));
+    assert!(r.waived.iter().all(|w| !w.reason.is_empty()));
+}
+
+#[test]
+fn hash_state_clean() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/hash_clean.rs"),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert!(r.waived.is_empty());
+    assert!(r.directive_errors.is_empty());
+}
+
+#[test]
+fn hash_state_out_of_scope_in_harness() {
+    // The same bad source linted under a harness path is out of scope.
+    let r = run(
+        "crates/harness/src/fixture.rs",
+        include_str!("fixtures/hash_fires.rs"),
+    );
+    assert!(r.violations.is_empty());
+}
+
+#[test]
+fn wall_clock_fires() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/wallclock_fires.rs"),
+    );
+    assert_eq!(lines_of(&r, "wall-clock"), vec![2, 5, 6, 7, 8]);
+}
+
+#[test]
+fn wall_clock_clean() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/wallclock_clean.rs"),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn wall_clock_exempt_in_manifest() {
+    // telemetry::manifest is the documented exception (run manifests
+    // record real timestamps).
+    let r = run(
+        "crates/telemetry/src/manifest.rs",
+        include_str!("fixtures/wallclock_fires.rs"),
+    );
+    assert!(r.violations.is_empty());
+}
+
+#[test]
+fn float_stats_fires() {
+    let r = run(
+        "crates/sim/src/stats.rs",
+        include_str!("fixtures/floatstats_fires.rs"),
+    );
+    // Line 5: undocumented float field; line 9: `+=` accumulation.
+    assert_eq!(lines_of(&r, "float-stats"), vec![5, 9]);
+}
+
+#[test]
+fn float_stats_allow_listed() {
+    let r = run(
+        "crates/sim/src/stats.rs",
+        include_str!("fixtures/floatstats_allowed.rs"),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived.len(), 1);
+    assert!(r.directive_errors.is_empty(), "{:?}", r.directive_errors);
+}
+
+#[test]
+fn pairing_fires() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/pairing_fires.rs"),
+    );
+    // ProbeOnly: probe without tick (10); TickOnly: tick without probe
+    // (20); BadSig: &mut receiver + non-Option return (30, 30).
+    assert_eq!(lines_of(&r, "next-event-pairing"), vec![10, 20, 30, 30]);
+}
+
+#[test]
+fn pairing_allow_listed() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/pairing_allowed.rs"),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived.len(), 1);
+    assert!(r.directive_errors.is_empty(), "{:?}", r.directive_errors);
+}
+
+#[test]
+fn pairing_clean() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/pairing_clean.rs"),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn directive_errors_are_hard_errors() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/directives_bad.rs"),
+    );
+    assert!(r.violations.is_empty());
+    assert_eq!(r.directive_errors.len(), 3, "{:?}", r.directive_errors);
+    let msgs: Vec<&str> = r.directive_errors.iter().map(|d| d.msg.as_str()).collect();
+    assert!(msgs[0].contains("malformed"), "{}", msgs[0]);
+    assert!(msgs[1].contains("unknown rule"), "{}", msgs[1]);
+    assert!(msgs[2].contains("unused"), "{}", msgs[2]);
+}
+
+#[test]
+fn whole_workspace_is_clean() {
+    // The real tree must satisfy its own determinism contract. This is
+    // the same check CI runs via `cargo xtask lint`.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = xtask::lint_workspace(&root).expect("lint runs");
+    assert!(report.files_scanned > 20, "suspiciously few files scanned");
+    assert!(
+        report.is_clean(),
+        "workspace lint failed:\n{}",
+        xtask::render(&report)
+    );
+}
