@@ -131,14 +131,32 @@ pub fn run_scheme_instrumented(
     tel: &ccraft_telemetry::TelemetryConfig,
     faults: Option<&ccraft_sim::faults::FaultConfig>,
 ) -> ccraft_sim::SimOutput {
+    run_scheme_profiled(cfg, kind, trace, tel, faults, false)
+}
+
+/// Like [`run_scheme_instrumented`], plus optional self-profiling: when
+/// `profile` is true the returned output carries a
+/// [`SimProfile`](ccraft_telemetry::profiler::SimProfile) with host
+/// wall-time attribution per component, memo hit rates, idle-span and
+/// scan-depth histograms, and the per-channel load table. Profiling is
+/// observation only — stats stay bit-identical either way.
+pub fn run_scheme_profiled(
+    cfg: &GpuConfig,
+    kind: SchemeKind,
+    trace: &KernelTrace,
+    tel: &ccraft_telemetry::TelemetryConfig,
+    faults: Option<&ccraft_sim::faults::FaultConfig>,
+    profile: bool,
+) -> ccraft_sim::SimOutput {
     let mut scheme = kind.build(cfg);
-    ccraft_sim::gpu::simulate_instrumented(
+    ccraft_sim::gpu::simulate_profiled(
         cfg,
         MapOrder::RoBaCo,
         trace,
         scheme.as_mut(),
         tel,
         faults,
+        profile,
     )
 }
 

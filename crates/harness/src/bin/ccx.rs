@@ -11,14 +11,16 @@
 //! ```
 
 use ccraft_core::cachecraft::CacheCraftConfig;
-use ccraft_core::factory::{run_scheme, run_scheme_instrumented, SchemeKind};
+use ccraft_core::factory::{run_scheme, run_scheme_profiled, SchemeKind};
 use ccraft_core::reliability::{Campaign, CodecKind};
 use ccraft_ecc::inject::ErrorPattern;
-use ccraft_harness::report::write_manifest;
+use ccraft_harness::perfdiff::{self, DiffOptions};
+use ccraft_harness::report::{results_dir, write_manifest};
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::energy::EnergyModel;
 use ccraft_telemetry::chrome_trace::ChromeTrace;
 use ccraft_telemetry::manifest::RunManifest;
+use ccraft_telemetry::profiler::{CellProfile, ProfileReport};
 use ccraft_telemetry::TelemetryConfig;
 use ccraft_workloads::{SizeClass, Workload};
 use serde::{Serialize, Value};
@@ -32,9 +34,18 @@ USAGE:
   ccx run --workload <name|all> [--scheme <name|all>] [--size tiny|small|full]
           [--machine gddr6|hbm2] [--seed N] [--energy]
           [--inject <pattern>:<rate>]
-          [--hist] [--timeline <file>] [--trace <file>]
+          [--hist] [--timeline <file>] [--trace <file>] [--profile]
   ccx reliability [--codec <secded|rs36|rs18|crc32|tagged4>]
                   [--pattern <bit1|bit2|bit3|burst4|symbol|chiplane>] [--trials N] [--seed N]
+  ccx perf-diff <run-dir-A> <run-dir-B> [--threshold-pct P] [--hit-threshold-pts P]
+                [--min-wall-delta SECS] [--bench-a FILE] [--bench-b FILE] [--force]
+
+PERF DIFF (ccx perf-diff):
+  Joins each run directory's manifest.json, profile.json (from --profile)
+  and newest BENCH_*.json (from scripts/bench_smoke), prints a regression
+  table, and exits 1 when run B regressed past the thresholds (0 clean,
+  2 unusable or incomparable inputs). Runs must match on experiment,
+  size, seed and feature flags unless --force is given.
 
 FAULT INJECTION (ccx run):
   --inject <pattern>:<rate>  expose DRAM reads to in-situ faults while the
@@ -47,6 +58,9 @@ FAULT INJECTION (ccx run):
                      observational: timing and traffic are unchanged.
 
 TELEMETRY (ccx run):
+  --profile          self-profile the simulator: host wall-time per component,
+                     idle/sleep memo hit rates, FR-FCFS scan depths and a
+                     per-channel load table, written to results/profile.json
   --hist             print read-latency percentiles (p50/p90/p99/max) per cell
   --timeline <file>  write every cell's epoch time-series as JSON
   --trace <file>     write a Chrome/Perfetto trace (open in chrome://tracing
@@ -134,6 +148,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let show_energy = args.iter().any(|a| a == "--energy");
     let show_hist = args.iter().any(|a| a == "--hist");
+    let profile = args.iter().any(|a| a == "--profile");
     let timeline_path = parse_flag(args, "--timeline");
     let trace_path = parse_flag(args, "--trace");
     for (flag, value) in [("--timeline", &timeline_path), ("--trace", &trace_path)] {
@@ -184,12 +199,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut last_percentiles: Option<(u64, u64, u64, u64)> = None;
     let mut fault_totals = ccraft_sim::faults::FaultStats::default();
     let mut cells = 0u64;
+    let mut profile_report = ProfileReport::new();
     for w in workloads {
         let trace = w.generate(size, seed);
         println!("\n{trace}");
         for &kind in &schemes {
-            let s = if telemetry_on || fault_cfg.is_some() {
-                let out = run_scheme_instrumented(&cfg, kind, &trace, &tel, fault_cfg.as_ref());
+            let s = if profile || telemetry_on || fault_cfg.is_some() {
+                let out =
+                    run_scheme_profiled(&cfg, kind, &trace, &tel, fault_cfg.as_ref(), profile);
                 if let Some(chrome) = out.trace {
                     last_trace = Some((format!("{}/{}", w.name(), kind.name()), chrome));
                 }
@@ -199,6 +216,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         ("scheme".to_string(), Value::String(kind.name().to_string())),
                         ("timeline".to_string(), tl.to_value()),
                     ]));
+                }
+                if let Some(p) = out.profile {
+                    print_profile_summary(&p);
+                    profile_report.cells.push(CellProfile {
+                        workload: w.name().to_string(),
+                        scheme: kind.name().to_string(),
+                        profile: p,
+                    });
                 }
                 out.stats
             } else {
@@ -247,6 +272,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
     let mut manifest = RunManifest::new("ccx-run");
+    // Behavior-altering feature flags go into provenance so perf-diff can
+    // refuse to compare e.g. an oracle build against a stock one.
+    if cfg!(feature = "check-invariants") {
+        manifest
+            .provenance
+            .features
+            .push("check-invariants".to_string());
+    }
     manifest.size = size.to_string();
     manifest.seed = seed;
     manifest.threads = 1;
@@ -289,12 +322,149 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("trace: {path} ({} events)", chrome.len());
         manifest.output(path);
     }
+    if profile {
+        let json = serde_json::to_string_pretty(&profile_report)
+            .expect("profile serialization is infallible");
+        let path = match results_dir() {
+            Ok(dir) => dir.join("profile.json"),
+            Err(e) => {
+                eprintln!("failed to resolve results dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "profile: {} ({} cells)",
+            path.display(),
+            profile_report.cells.len()
+        );
+        manifest.output("profile.json");
+        manifest.note(
+            "profile_host_ms",
+            profile_report.total_host_ns() as f64 / 1e6,
+        );
+        manifest.note(
+            "profile_sm_sleep_hit_rate",
+            profile_report.mean_sm_sleep_hit_rate(),
+        );
+        manifest.note(
+            "profile_scan_memo_hit_rate",
+            profile_report.mean_scan_memo_hit_rate(),
+        );
+        manifest.note(
+            "profile_busy_imbalance",
+            profile_report.mean_busy_imbalance(),
+        );
+    }
     manifest.stamp();
     match write_manifest(&manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("warning: failed to write manifest.json: {e}"),
     }
     ExitCode::SUCCESS
+}
+
+/// Prints one cell's self-profile as a compact human summary; the full
+/// numbers land in `results/profile.json`.
+fn print_profile_summary(p: &ccraft_telemetry::profiler::SimProfile) {
+    let total = p.host_ns_total.max(1);
+    let pct = |name: &str| 100.0 * p.component_ns(name) as f64 / total as f64;
+    println!(
+        "  profile: host {:.1}ms over {} cycles | sm {:.0}% l1 {:.0}% xbar {:.0}% \
+         l2 {:.0}% mc {:.0}% dram {:.0}% other {:.0}%",
+        p.host_ns_total as f64 / 1e6,
+        p.cycles,
+        pct("sm"),
+        pct("l1"),
+        pct("xbar"),
+        pct("l2"),
+        pct("mc"),
+        pct("dram"),
+        pct("flush") + pct("idle_probe") + pct("other"),
+    );
+    println!(
+        "           sleep memo {:.1}% hit, scan memo {:.1}% hit, \
+         busy imbalance {:.2}x, idle: {} jumps skipping {} cycles",
+        100.0 * p.sm_sleep.hit_rate(),
+        100.0 * p.scan_memo.hit_rate(),
+        p.busy_imbalance(),
+        p.idle_jumps,
+        p.idle_cycles_skipped,
+    );
+}
+
+/// `ccx perf-diff A B`: joins two run directories and flags regressions.
+/// Exit codes: 0 clean, 1 regression(s), 2 unusable or incomparable input.
+fn cmd_perf_diff(args: &[String]) -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let mut dirs: Vec<String> = Vec::new();
+    let mut i = 1; // args[0] is "perf-diff"
+    while i < args.len() {
+        match args[i].as_str() {
+            "--force" => opts.force = true,
+            "--threshold-pct" | "--hit-threshold-pts" | "--min-wall-delta" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(Ok(v)) = args.get(i).map(|s| s.parse::<f64>()) else {
+                    eprintln!("{flag} expects a number\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match flag.as_str() {
+                    "--threshold-pct" => opts.wall_threshold_pct = v,
+                    "--hit-threshold-pts" => opts.hit_threshold_pts = v,
+                    _ => opts.min_wall_delta_secs = v,
+                }
+            }
+            "--bench-a" | "--bench-b" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("{flag} expects a file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                let path = std::path::PathBuf::from(path);
+                if flag == "--bench-a" {
+                    opts.bench_a = Some(path);
+                } else {
+                    opts.bench_b = Some(path);
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            dir => dirs.push(dir.to_string()),
+        }
+        i += 1;
+    }
+    if dirs.len() != 2 {
+        eprintln!(
+            "perf-diff expects exactly two run directories, got {}\n\n{USAGE}",
+            dirs.len()
+        );
+        return ExitCode::from(2);
+    }
+    match perfdiff::perf_diff(
+        std::path::Path::new(&dirs[0]),
+        std::path::Path::new(&dirs[1]),
+        &opts,
+    ) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.regressions() > 0 {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// Serializes an already-built JSON value (the vendored serde data model
@@ -371,6 +541,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args),
         Some("reliability") => cmd_reliability(&args),
+        Some("perf-diff") => cmd_perf_diff(&args),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE

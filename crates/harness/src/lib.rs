@@ -14,6 +14,8 @@
 pub mod checkpoint;
 pub mod error;
 pub mod experiments;
+pub mod metrics;
+pub mod perfdiff;
 pub mod report;
 pub mod runner;
 

@@ -1,0 +1,427 @@
+//! Prometheus metrics endpoint for the experiment runner.
+//!
+//! When an experiment binary is started with `--metrics-addr HOST:PORT`,
+//! [`crate::runner::run_experiment`] binds a tiny std-only HTTP listener
+//! there and installs a process-global [`MetricsRegistry`] that the
+//! matrix engine updates as cells execute. `GET /metrics` answers in
+//! Prometheus text exposition format (`text/plain; version=0.0.4`) with
+//! cells completed / failed / retried, a per-cell wall-time histogram,
+//! worker occupancy, elapsed time and an ETA — the first
+//! externally-scrapable surface of the harness, and the skeleton a
+//! future `ccraft-serve` inherits.
+//!
+//! The listener is plain `std::net::TcpListener` + a reader thread: the
+//! vendored dependency set has no HTTP crates, and the endpoint needs
+//! only enough HTTP/1.1 to satisfy `curl` and a Prometheus scraper.
+//! Metrics never touch simulated state — this is host-side telemetry
+//! about the *runner*, not the simulator (the simulator's own
+//! observability is `ccraft-telemetry`).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bounds (seconds) of the per-cell wall-time histogram buckets;
+/// an implicit `+Inf` bucket completes the series.
+pub const CELL_SECONDS_BUCKETS: [f64; 10] =
+    [0.01, 0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0];
+
+/// Relaxed-ordering counters describing one experiment run. All methods
+/// take `&self`; the registry is shared across worker threads via `Arc`.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Matrix cells planned across all matrix calls so far.
+    cells_planned: AtomicU64,
+    /// Cells finished (any status), including checkpoint-resumed ones.
+    cells_completed: AtomicU64,
+    /// Cells whose final status was failed or timed out.
+    cells_failed: AtomicU64,
+    /// Extra attempts consumed by retries (attempts beyond the first).
+    cells_retried: AtomicU64,
+    /// Cells replayed from a resume checkpoint without executing.
+    cells_resumed: AtomicU64,
+    /// Configured worker thread count for the current matrix call.
+    workers: AtomicU64,
+    /// Workers currently executing a cell.
+    workers_active: AtomicU64,
+    /// Sum of observed per-cell wall times, in microseconds.
+    cell_us_sum: AtomicU64,
+    /// Count of observed per-cell wall times.
+    cell_count: AtomicU64,
+    /// Cumulative bucket counts for [`CELL_SECONDS_BUCKETS`].
+    cell_buckets: [AtomicU64; CELL_SECONDS_BUCKETS.len()],
+    /// Run start, for elapsed/ETA; `None` until the first `start_run`.
+    started: Mutex<Option<Instant>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry and stamps the run start time.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            cells_planned: AtomicU64::new(0),
+            cells_completed: AtomicU64::new(0),
+            cells_failed: AtomicU64::new(0),
+            cells_retried: AtomicU64::new(0),
+            cells_resumed: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
+            workers_active: AtomicU64::new(0),
+            cell_us_sum: AtomicU64::new(0),
+            cell_count: AtomicU64::new(0),
+            cell_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            started: Mutex::new(Some(Instant::now())),
+        }
+    }
+
+    /// Adds `n` planned cells (one matrix call's worth).
+    pub fn add_planned(&self, n: u64) {
+        self.cells_planned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` cells replayed from a checkpoint (they also count as
+    /// completed, keeping ETA math consistent).
+    pub fn add_resumed(&self, n: u64) {
+        self.cells_resumed.fetch_add(n, Ordering::Relaxed);
+        self.cells_completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the configured worker count.
+    pub fn set_workers(&self, n: u64) {
+        self.workers.store(n, Ordering::Relaxed);
+    }
+
+    /// Marks one worker as busy.
+    pub fn worker_started(&self) {
+        self.workers_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one worker as idle again.
+    pub fn worker_finished(&self) {
+        // Saturating at 0: a stray call must not wrap the gauge.
+        let _ = self
+            .workers_active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+    }
+
+    /// Records one executed cell: wall time, final status, attempts.
+    pub fn observe_cell(&self, wall_secs: f64, ok: bool, attempts: u32) {
+        self.cells_completed.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.cells_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cells_retried
+            .fetch_add(u64::from(attempts.saturating_sub(1)), Ordering::Relaxed);
+        let us = (wall_secs.max(0.0) * 1e6).round() as u64;
+        self.cell_us_sum.fetch_add(us, Ordering::Relaxed);
+        self.cell_count.fetch_add(1, Ordering::Relaxed);
+        for (i, &bound) in CELL_SECONDS_BUCKETS.iter().enumerate() {
+            if wall_secs <= bound {
+                self.cell_buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Renders the registry in Prometheus text exposition format
+    /// (`text/plain; version=0.0.4`). Buckets are cumulative, as the
+    /// format requires.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let planned = self.cells_planned.load(Ordering::Relaxed);
+        let completed = self.cells_completed.load(Ordering::Relaxed);
+        let failed = self.cells_failed.load(Ordering::Relaxed);
+        let retried = self.cells_retried.load(Ordering::Relaxed);
+        let resumed = self.cells_resumed.load(Ordering::Relaxed);
+        let workers = self.workers.load(Ordering::Relaxed);
+        let active = self.workers_active.load(Ordering::Relaxed);
+        let count = self.cell_count.load(Ordering::Relaxed);
+        let sum_secs = self.cell_us_sum.load(Ordering::Relaxed) as f64 / 1e6;
+        let elapsed = self
+            .started
+            .lock()
+            .ok()
+            .and_then(|s| *s)
+            .map_or(0.0, |t| t.elapsed().as_secs_f64());
+        // ETA from mean throughput so far; 0 when unknown or done.
+        let remaining = planned.saturating_sub(completed);
+        let eta = if completed > 0 && remaining > 0 && elapsed > 0.0 {
+            elapsed / completed as f64 * remaining as f64
+        } else {
+            0.0
+        };
+
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        gauge(
+            "ccraft_cells_planned",
+            "Matrix cells planned in the current run.",
+            planned as f64,
+        );
+        gauge(
+            "ccraft_workers",
+            "Configured worker threads.",
+            workers as f64,
+        );
+        gauge(
+            "ccraft_workers_active",
+            "Workers currently executing a cell.",
+            active as f64,
+        );
+        gauge(
+            "ccraft_run_elapsed_seconds",
+            "Wall time since the run started.",
+            elapsed,
+        );
+        gauge(
+            "ccraft_run_eta_seconds",
+            "Estimated seconds until all planned cells complete.",
+            eta,
+        );
+        let mut counter = |name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            "ccraft_cells_completed_total",
+            "Matrix cells finished (any status).",
+            completed,
+        );
+        counter(
+            "ccraft_cells_failed_total",
+            "Matrix cells whose final status was failed or timeout.",
+            failed,
+        );
+        counter(
+            "ccraft_cells_retried_total",
+            "Extra execution attempts consumed by retries.",
+            retried,
+        );
+        counter(
+            "ccraft_cells_resumed_total",
+            "Matrix cells replayed from a resume checkpoint.",
+            resumed,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP ccraft_cell_seconds Wall time per executed matrix cell."
+        );
+        let _ = writeln!(out, "# TYPE ccraft_cell_seconds histogram");
+        for (i, &bound) in CELL_SECONDS_BUCKETS.iter().enumerate() {
+            let n = self.cell_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "ccraft_cell_seconds_bucket{{le=\"{bound}\"}} {n}");
+        }
+        let _ = writeln!(out, "ccraft_cell_seconds_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "ccraft_cell_seconds_sum {sum_secs}");
+        let _ = writeln!(out, "ccraft_cell_seconds_count {count}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-global registry (same idiom as `crate::checkpoint`): installed
+// by `run_experiment` when `--metrics-addr` is given, consulted by the
+// matrix engine, cleared at the end of the run.
+
+static CURRENT: Mutex<Option<Arc<MetricsRegistry>>> = Mutex::new(None);
+
+fn lock_current() -> std::sync::MutexGuard<'static, Option<Arc<MetricsRegistry>>> {
+    CURRENT
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Installs `registry` as the process-global metrics registry.
+pub fn install(registry: Arc<MetricsRegistry>) {
+    *lock_current() = Some(registry);
+}
+
+/// Clears the process-global registry.
+pub fn clear() {
+    *lock_current() = None;
+}
+
+/// The installed registry, if any.
+pub fn current() -> Option<Arc<MetricsRegistry>> {
+    lock_current().clone()
+}
+
+// ---------------------------------------------------------------------
+// The HTTP listener.
+
+/// A running metrics endpoint; dropping (or [`MetricsServer::shutdown`])
+/// stops the listener thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port)
+    /// and serves `registry` until shutdown.
+    pub fn bind(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ccraft-metrics".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        serve_connection(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// Answers one HTTP/1.1 request: `GET /metrics` (or `/`) serves the
+/// exposition; anything else gets 404. Malformed input is dropped.
+fn serve_connection(mut stream: TcpStream, registry: &MetricsRegistry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 4096];
+    let mut used = 0usize;
+    // Read until the end of the request head (or the buffer fills —
+    // longer requests than 4 KiB are not worth supporting here).
+    loop {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") || used == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        ("200 OK", registry.render())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_counts_and_renders() {
+        let reg = MetricsRegistry::new();
+        reg.add_planned(10);
+        reg.set_workers(4);
+        reg.worker_started();
+        reg.observe_cell(0.2, true, 1);
+        reg.observe_cell(2.0, false, 3);
+        reg.worker_finished();
+        reg.add_resumed(2);
+        let text = reg.render();
+        assert!(text.contains("ccraft_cells_planned 10"));
+        assert!(text.contains("ccraft_cells_completed_total 4"));
+        assert!(text.contains("ccraft_cells_failed_total 1"));
+        assert!(text.contains("ccraft_cells_retried_total 2"));
+        assert!(text.contains("ccraft_cells_resumed_total 2"));
+        assert!(text.contains("ccraft_workers 4"));
+        assert!(text.contains("ccraft_workers_active 0"));
+        assert!(text.contains("ccraft_cell_seconds_count 2"));
+        // Cumulative buckets: the 0.25s bucket holds one sample, +Inf both.
+        assert!(text.contains("ccraft_cell_seconds_bucket{le=\"0.25\"} 1"));
+        assert!(text.contains("ccraft_cell_seconds_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn worker_gauge_does_not_underflow() {
+        let reg = MetricsRegistry::new();
+        reg.worker_finished();
+        assert!(reg.render().contains("ccraft_workers_active 0"));
+    }
+
+    #[test]
+    fn bucket_counts_are_monotone() {
+        let reg = MetricsRegistry::new();
+        for secs in [0.001, 0.1, 0.3, 2.0, 30.0, 5000.0] {
+            reg.observe_cell(secs, true, 1);
+        }
+        let mut prev = 0u64;
+        for b in &reg.cell_buckets {
+            let v = b.load(Ordering::Relaxed);
+            assert!(v >= prev, "cumulative buckets must be monotone");
+            prev = v;
+        }
+        assert!(reg.cell_count.load(Ordering::Relaxed) >= prev);
+    }
+
+    #[test]
+    fn install_clear_current_round_trip() {
+        let _guard = crate::checkpoint::test_guard();
+        clear();
+        assert!(current().is_none());
+        let reg = Arc::new(MetricsRegistry::new());
+        install(Arc::clone(&reg));
+        let got = current().expect("installed");
+        got.add_planned(1);
+        assert!(reg.render().contains("ccraft_cells_planned 1"));
+        clear();
+        assert!(current().is_none());
+    }
+}

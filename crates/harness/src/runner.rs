@@ -38,6 +38,8 @@ common experiment options:
   --resume                 skip cells already in results/checkpoint.json
   --cell-timeout N         per-cell watchdog in seconds (default: none)
   --retries N              re-run a failed/timed-out cell N times (default: 0)
+  --metrics-addr ADDR      serve live Prometheus metrics over HTTP while the
+                           run executes, e.g. 127.0.0.1:9184 (default: off)
 
 Unrecognized flags are ignored here so each binary can define its own.";
 
@@ -463,6 +465,12 @@ fn run_matrix_engine(
     let results: Mutex<&mut Vec<Option<CellOutcome>>> = Mutex::new(&mut slots);
     let queue = Mutex::new(jobs);
     let workers = opts.effective_workers();
+    let metrics = crate::metrics::current();
+    if let Some(m) = &metrics {
+        m.add_planned(total as u64);
+        m.add_resumed(resumed as u64);
+        m.set_workers(workers as u64);
+    }
     let started = Instant::now();
     let completed = AtomicUsize::new(resumed);
     let show_progress = progress_enabled();
@@ -473,7 +481,19 @@ fn run_matrix_engine(
                 let Some((idx, workload, scheme)) = job else {
                     break;
                 };
+                if let Some(m) = &metrics {
+                    m.worker_started();
+                }
+                let cell_started = Instant::now();
                 let outcome = run_one_cell(&body, idx, workload, scheme, opts);
+                if let Some(m) = &metrics {
+                    m.observe_cell(
+                        cell_started.elapsed().as_secs_f64(),
+                        outcome.status.is_ok(),
+                        outcome.attempts,
+                    );
+                    m.worker_finished();
+                }
                 if let Some(err) = outcome.as_error() {
                     eprintln!("warning: {err}");
                 }
@@ -608,8 +628,38 @@ pub fn experiment_fingerprint(id: &str, opts: &ExpOptions) -> String {
     )
 }
 
+/// Extracts the `--metrics-addr` value from `std::env::args`, if given.
+/// Parsed separately from [`ExpOptions`] (which is `Copy` and carries no
+/// allocations) and ignored by `ExpOptions::parse`'s pass-through rule.
+fn metrics_addr_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--metrics-addr")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Binds the live metrics endpoint when `--metrics-addr` was given and
+/// installs its registry as the process-global sink the matrix engine
+/// reports into. A bind failure is a warning, never a run failure.
+fn start_metrics_server() -> Option<crate::metrics::MetricsServer> {
+    let addr = metrics_addr_from_args()?;
+    let registry = Arc::new(crate::metrics::MetricsRegistry::new());
+    match crate::metrics::MetricsServer::bind(&addr, Arc::clone(&registry)) {
+        Ok(server) => {
+            crate::metrics::install(registry);
+            eprintln!("metrics: serving http://{}/metrics", server.addr());
+            Some(server)
+        }
+        Err(e) => {
+            eprintln!("warning: --metrics-addr {addr}: bind failed ({e}); metrics disabled");
+            None
+        }
+    }
+}
+
 /// Standard entry point for an experiment binary: parses [`ExpOptions`]
-/// from the command line, installs a checkpoint session at
+/// from the command line, starts the live metrics endpoint when
+/// `--metrics-addr` was given, installs a checkpoint session at
 /// `results/checkpoint.json` (resuming it under `--resume`), times
 /// `body`, and writes a `results/manifest.json` recording what produced
 /// the results directory — including a warning per failed or timed-out
@@ -623,6 +673,7 @@ pub fn experiment_fingerprint(id: &str, opts: &ExpOptions) -> String {
 pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Error>) {
     let opts = ExpOptions::from_args();
     let started = Instant::now();
+    let metrics_server = start_metrics_server();
     let fingerprint = experiment_fingerprint(id, &opts);
     let session = match crate::report::results_dir() {
         Ok(dir) => Some(checkpoint::install(checkpoint::Session::start(
@@ -637,6 +688,14 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Err
     };
     let result = body(&opts);
     let mut manifest = RunManifest::new(id);
+    // Behavior-altering feature flags go into provenance so perf-diff can
+    // refuse to compare e.g. an oracle build against a stock one.
+    if cfg!(feature = "check-invariants") {
+        manifest
+            .provenance
+            .features
+            .push("check-invariants".to_string());
+    }
     manifest.size = opts.size.to_string();
     manifest.seed = opts.seed;
     manifest.threads = opts.effective_workers();
@@ -654,6 +713,10 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Err
         manifest.warn(format!("experiment failed: {e}"));
     }
     checkpoint::clear();
+    if let Some(server) = metrics_server {
+        crate::metrics::clear();
+        server.shutdown();
+    }
     manifest.stamp();
     match crate::report::write_manifest(&manifest) {
         Ok(path) => eprintln!("manifest: {}", path.display()),
@@ -1201,6 +1264,40 @@ mod tests {
                 a.scheme.name()
             );
         }
+    }
+
+    #[test]
+    fn matrix_engine_feeds_the_metrics_registry() {
+        let _guard = crate::checkpoint::test_guard();
+        let registry = Arc::new(crate::metrics::MetricsRegistry::new());
+        crate::metrics::install(Arc::clone(&registry));
+        let opts = tiny_opts(2);
+        let body: Arc<CellBody> = Arc::new(|_, workload, scheme| {
+            if workload == Workload::Saxpy {
+                panic!("metrics test casualty");
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd, Workload::Saxpy],
+            &[SchemeKind::NoProtection],
+            &opts,
+            body,
+        );
+        crate::metrics::clear();
+        assert_eq!(outcomes.len(), 2);
+        let text = registry.render();
+        assert!(text.contains("ccraft_cells_planned 2"), "{text}");
+        assert!(text.contains("ccraft_cells_completed_total 2"), "{text}");
+        assert!(text.contains("ccraft_cells_failed_total 1"), "{text}");
+        assert!(text.contains("ccraft_workers 2"), "{text}");
+        // All workers idle again after the scope joins.
+        assert!(text.contains("ccraft_workers_active 0"), "{text}");
+        assert!(text.contains("ccraft_cell_seconds_count 2"), "{text}");
     }
 
     #[test]

@@ -31,10 +31,12 @@ use crate::trace::{KernelTrace, WarpTrace};
 use crate::types::{Cycle, SmId, TrafficClass};
 use crate::xbar::Crossbar;
 use ccraft_telemetry::chrome_trace::{ChromeTrace, TraceEvent};
+use ccraft_telemetry::profiler::{ChannelLoad, HostStamp, MemoStats, PhaseTimer, SimProfile};
 use ccraft_telemetry::{Histogram, Sampler, TelemetryConfig};
 
 /// Result of an instrumented run: the stats (with optional histogram and
-/// timeline attached) plus the Chrome trace when event tracing was on.
+/// timeline attached) plus the Chrome trace when event tracing was on and
+/// the self-profile when profiling was on.
 #[derive(Debug)]
 pub struct SimOutput {
     /// Aggregate statistics; `latency_hist` / `timeline` are populated
@@ -42,6 +44,44 @@ pub struct SimOutput {
     pub stats: SimStats,
     /// Collected trace events, when `trace_events` was enabled.
     pub trace: Option<ChromeTrace>,
+    /// Self-profile (host-time attribution, memo hit rates, per-channel
+    /// load), when profiling was requested.
+    pub profile: Option<SimProfile>,
+}
+
+/// Live profiling state threaded through the cycle loop by
+/// [`simulate_profiled`]. All host-time reads go through the lap timer
+/// `t`; laps are attributed to the phase that just ran.
+#[derive(Debug)]
+struct LoopProf {
+    /// Stamp taken before the first cycle (whole-run wall time).
+    start: HostStamp,
+    /// The per-phase lap timer.
+    t: PhaseTimer,
+    /// Host ns per channel's slice domain (L2 slice + MC + DRAM).
+    slice_ns: Vec<u64>,
+    /// Host ns in crossbar delivery (requests + response send/deliver).
+    xbar_ns: u64,
+    /// Host ns in the response-accept loop (L1 fill path).
+    l1_ns: u64,
+    /// Host ns in the SM tick loop.
+    sm_ns: u64,
+    /// Host ns in fault-injection + telemetry bookkeeping; the residual
+    /// (total minus every attributed bucket) is folded in at the end.
+    other_ns: u64,
+    /// Host ns in the termination scan + flush phase.
+    flush_ns: u64,
+    /// Host ns in the idle fast-forward probe (includes the scheme's
+    /// `next_timed_event` pacing probe).
+    probe_ns: u64,
+    /// Per-SM sleep memo effectiveness (hit = SM tick skipped).
+    sm_sleep: MemoStats,
+    /// Idle fast-forward span lengths, in cycles.
+    idle_spans: Histogram,
+    /// Idle fast-forward jumps taken.
+    idle_jumps: u64,
+    /// Simulated cycles skipped by idle fast-forward.
+    idle_cycles: u64,
 }
 
 /// Trace-event track ids: SM `i` gets `SM_TID_BASE + i`, channel `c` gets
@@ -300,6 +340,35 @@ pub fn simulate_instrumented(
     tel: &TelemetryConfig,
     faults: Option<&FaultConfig>,
 ) -> SimOutput {
+    simulate_profiled(cfg, order, trace, scheme, tel, faults, false)
+}
+
+/// [`simulate_instrumented`], plus optional self-profiling.
+///
+/// When `profile` is true the run additionally records where host
+/// wall-time goes per component (SM / L1 / xbar / L2 / MC / DRAM
+/// scheduling / flush / idle probe), the sleep- and scan-memo hit rates,
+/// idle fast-forward span lengths, FR-FCFS scan depths, and a
+/// per-channel load table, all returned in [`SimOutput::profile`].
+///
+/// Profiling is observation only: the simulated machine behaves
+/// identically, `SimStats` stay bit-identical, and with `profile` false
+/// every probe site costs one predictable branch. Under the
+/// `check-invariants` feature the idle fast-forward ticks through spans
+/// instead of jumping, so `idle_jumps` / `idle_spans` stay empty there.
+///
+/// # Panics
+///
+/// Panics as [`simulate`] does.
+pub fn simulate_profiled(
+    cfg: &GpuConfig,
+    order: MapOrder,
+    trace: &KernelTrace,
+    scheme: &mut dyn ProtectionScheme,
+    tel: &TelemetryConfig,
+    faults: Option<&FaultConfig>,
+    profile: bool,
+) -> SimOutput {
     // The config is validated up front; running with a broken machine
     // description is a programming error, not a recoverable condition.
     #[allow(clippy::expect_used)]
@@ -379,6 +448,32 @@ pub fn simulate_instrumented(
     });
     let mut prev_reads: Vec<[u64; 4]> = vec![[0; 4]; slices.len()];
 
+    // Self-profiling state. Observation only, same contract as
+    // telemetry: when off, the timer is inert and every probe site in
+    // the loop is one predictable branch.
+    let mut prof = if profile {
+        for slice in &mut slices {
+            slice.enable_mc_profile();
+        }
+        Some(LoopProf {
+            start: HostStamp::now(),
+            t: PhaseTimer::start(true),
+            slice_ns: vec![0; slices.len()],
+            xbar_ns: 0,
+            l1_ns: 0,
+            sm_ns: 0,
+            other_ns: 0,
+            flush_ns: 0,
+            probe_ns: 0,
+            sm_sleep: MemoStats::default(),
+            idle_spans: Histogram::new(),
+            idle_jumps: 0,
+            idle_cycles: 0,
+        })
+    } else {
+        None
+    };
+
     let mut now: Cycle = 0;
     let mut exec_cycles: Cycle = 0;
     let mut flushed = false;
@@ -406,12 +501,21 @@ pub fn simulate_instrumented(
     loop {
         #[cfg(feature = "check-invariants")]
         oracle.check_cycle(now, &sms, &xbar, &slices);
+        if let Some(p) = &mut prof {
+            p.t.reset();
+        }
         // 1. Memory side.
-        for slice in &mut slices {
+        for (ch, slice) in slices.iter_mut().enumerate() {
             slice.tick(scheme, now);
+            if let Some(p) = &mut prof {
+                p.slice_ns[ch] = p.slice_ns[ch].saturating_add(p.t.lap());
+            }
             slice.pop_responses_into(now, &mut resp_buf);
             for &resp in &resp_buf {
                 xbar.send_response(resp, now);
+            }
+            if let Some(p) = &mut prof {
+                p.xbar_ns = p.xbar_ns.saturating_add(p.t.lap());
             }
         }
         // 2. Interconnect delivery.
@@ -425,6 +529,9 @@ pub fn simulate_instrumented(
                 }
             });
         }
+        if let Some(p) = &mut prof {
+            p.xbar_ns = p.xbar_ns.saturating_add(p.t.lap());
+        }
         for (i, sm) in sms.iter_mut().enumerate() {
             xbar.deliver_responses_into(i as u16, now, &mut resp_buf);
             if !resp_buf.is_empty() {
@@ -433,6 +540,9 @@ pub fn simulate_instrumented(
             for &resp in &resp_buf {
                 sm.l1.accept_response(resp);
             }
+        }
+        if let Some(p) = &mut prof {
+            p.l1_ns = p.l1_ns.saturating_add(p.t.lap());
         }
         // 3. Cores.
         for (i, sm) in sms.iter_mut().enumerate() {
@@ -462,6 +572,9 @@ pub fn simulate_instrumented(
                 if !sm_done[i] {
                     sm.account_stalled_span(1);
                 }
+                if let Some(p) = &mut prof {
+                    p.sm_sleep.hit();
+                }
                 continue;
             }
             let xbar_ref = &mut xbar;
@@ -483,6 +596,12 @@ pub fn simulate_instrumented(
             } else {
                 sm_wake[i] = 0;
             }
+            if let Some(p) = &mut prof {
+                p.sm_sleep.miss();
+            }
+        }
+        if let Some(p) = &mut prof {
+            p.sm_ns = p.sm_ns.saturating_add(p.t.lap());
         }
 
         // Fault injection: expose this cycle's newly-issued DRAM reads.
@@ -530,6 +649,9 @@ pub fn simulate_instrumented(
                 epoch_start = now;
             }
         }
+        if let Some(p) = &mut prof {
+            p.other_ns = p.other_ns.saturating_add(p.t.lap());
+        }
 
         // Progress / termination. Sleeping SMs use the cached flag
         // (doneness is constant while asleep — see the memo invariant
@@ -558,6 +680,9 @@ pub fn simulate_instrumented(
                 flushed = true;
             }
         }
+        if let Some(p) = &mut prof {
+            p.flush_ns = p.flush_ns.saturating_add(p.t.lap());
+        }
         if flushed {
             let drained = slices.iter().all(|s| s.is_idle()) && scheme.is_drained();
             if drained {
@@ -580,7 +705,14 @@ pub fn simulate_instrumented(
         // is capped at the sampler's next epoch boundary (telemetry
         // epochs must land on the same cycles either way) and at
         // `max_cycles` (timeout accounting).
-        if let Some(wake) = idle_wake(now, &sms, &xbar, &slices, &*scheme) {
+        if let Some(p) = &mut prof {
+            p.t.reset();
+        }
+        let wake_at = idle_wake(now, &sms, &xbar, &slices, &*scheme);
+        if let Some(p) = &mut prof {
+            p.probe_ns = p.probe_ns.saturating_add(p.t.lap());
+        }
+        if let Some(wake) = wake_at {
             #[cfg(not(feature = "check-invariants"))]
             {
                 let mut wake = wake.min(cfg.max_cycles);
@@ -589,6 +721,11 @@ pub fn simulate_instrumented(
                 }
                 if wake > now {
                     let span = wake - now;
+                    if let Some(p) = &mut prof {
+                        p.idle_jumps += 1;
+                        p.idle_cycles = p.idle_cycles.saturating_add(span);
+                        p.idle_spans.record(span);
+                    }
                     for sm in &mut sms {
                         sm.account_idle_span(now, span);
                     }
@@ -701,9 +838,78 @@ pub fn simulate_instrumented(
         stats.latency_hist = Some(merged);
         stats.timeline = sampler.map(Sampler::finish);
     }
+    // Assemble the self-profile: host-time buckets (subtractive where a
+    // phase nests inside another — the MC times itself inside the slice
+    // tick, and the FR-FCFS section inside the MC tick), memo hit rates,
+    // and the per-channel load table from counters the controllers
+    // already keep.
+    let profile_out = prof.map(|p| {
+        let mut sp = SimProfile {
+            cycles: now,
+            host_ns_total: p.start.elapsed_ns(),
+            idle_jumps: p.idle_jumps,
+            idle_cycles_skipped: p.idle_cycles,
+            idle_spans: p.idle_spans,
+            sm_sleep: p.sm_sleep,
+            ..SimProfile::default()
+        };
+        let mut slice_total = 0u64;
+        let mut mc_total = 0u64;
+        let mut dram_total = 0u64;
+        for (ch, slice) in slices.iter().enumerate() {
+            let mc = slice.mc_stats();
+            if let Some(m) = slice.mc_profile() {
+                sp.scan_memo.merge(&m.scan_memo);
+                sp.scan_depth.merge(&m.scan_depth);
+                mc_total = mc_total.saturating_add(m.host_tick_ns);
+                dram_total = dram_total.saturating_add(m.host_sched_ns);
+            }
+            let host_ns = p.slice_ns[ch];
+            slice_total = slice_total.saturating_add(host_ns);
+            sp.channels.push(ChannelLoad {
+                channel: ch as u32,
+                reads: mc.class_count(TrafficClass::DataRead)
+                    + mc.class_count(TrafficClass::EccRead),
+                writes: mc.class_count(TrafficClass::DataWrite)
+                    + mc.class_count(TrafficClass::EccWrite),
+                busy_cycles: mc.busy_cycles,
+                row_hits: mc.row_hits,
+                row_misses: mc.row_empties + mc.row_conflicts,
+                host_ns,
+            });
+        }
+        sp.add_component_ns("sm", p.sm_ns);
+        sp.add_component_ns("l1", p.l1_ns);
+        sp.add_component_ns("xbar", p.xbar_ns);
+        sp.add_component_ns("l2", slice_total.saturating_sub(mc_total));
+        sp.add_component_ns("mc", mc_total.saturating_sub(dram_total));
+        sp.add_component_ns("dram", dram_total);
+        sp.add_component_ns("flush", p.flush_ns);
+        sp.add_component_ns("idle_probe", p.probe_ns);
+        // Residual (loop bookkeeping, setup, aggregation) joins the
+        // explicit "other" bucket so the components sum to the total.
+        let attributed = [
+            p.sm_ns,
+            p.l1_ns,
+            p.xbar_ns,
+            slice_total,
+            p.flush_ns,
+            p.probe_ns,
+            p.other_ns,
+        ]
+        .iter()
+        .fold(0u64, |acc, &ns| acc.saturating_add(ns));
+        sp.add_component_ns(
+            "other",
+            p.other_ns
+                .saturating_add(sp.host_ns_total.saturating_sub(attributed)),
+        );
+        sp
+    });
     SimOutput {
         stats,
         trace: trace_out,
+        profile: profile_out,
     }
 }
 
@@ -866,6 +1072,106 @@ mod tests {
         probed.latency_hist = None;
         probed.timeline = None;
         assert_eq!(plain, probed);
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_simulation() {
+        let cfg = GpuConfig::tiny();
+        let trace = streaming(8, 128);
+        let mut s1 = tiny_scheme(&cfg);
+        let mut s2 = tiny_scheme(&cfg);
+        let plain = simulate(&cfg, MapOrder::RoBaCo, &trace, &mut s1);
+        let out = simulate_profiled(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut s2,
+            &TelemetryConfig::disabled(),
+            None,
+            true,
+        );
+        // Stats stay bit-identical: profiling observes, never schedules.
+        assert_eq!(plain, out.stats);
+        let p = out.profile.expect("profile attached");
+        assert_eq!(p.cycles, plain.cycles);
+        assert!(p.host_ns_total > 0);
+
+        // The load table covers every channel and its totals reconcile
+        // with the aggregate DRAM stats.
+        assert_eq!(p.channels.len(), cfg.mem.channels as usize);
+        let reads: u64 = p.channels.iter().map(|c| c.reads).sum();
+        let writes: u64 = p.channels.iter().map(|c| c.writes).sum();
+        assert_eq!(
+            reads,
+            plain.dram_count(TrafficClass::DataRead) + plain.dram_count(TrafficClass::EccRead)
+        );
+        assert_eq!(
+            writes,
+            plain.dram_count(TrafficClass::DataWrite) + plain.dram_count(TrafficClass::EccWrite)
+        );
+        let row_totals: u64 = p.channels.iter().map(|c| c.row_hits + c.row_misses).sum();
+        assert_eq!(
+            row_totals,
+            plain.row_hits + plain.row_empties + plain.row_conflicts
+        );
+
+        // Component buckets exist and the imbalance ratios are sane.
+        for name in ["sm", "l1", "xbar", "l2", "mc", "dram", "other"] {
+            assert!(
+                p.components.iter().any(|(n, _)| n == name),
+                "missing component bucket {name}"
+            );
+        }
+        assert!(p.busy_imbalance() >= 1.0);
+        assert!(p.request_imbalance() >= 1.0);
+        assert!((0.0..=1.0).contains(&p.sm_sleep.hit_rate()));
+        assert!((0.0..=1.0).contains(&p.scan_memo.hit_rate()));
+        // A memory-bound streaming kernel performs scans, so the
+        // scan-depth histogram is populated.
+        assert!(!p.scan_depth.is_empty());
+
+        // With profiling off, nothing is attached.
+        let mut s3 = tiny_scheme(&cfg);
+        let off = simulate_profiled(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut s3,
+            &TelemetryConfig::disabled(),
+            None,
+            false,
+        );
+        assert!(off.profile.is_none());
+        assert_eq!(off.stats, plain);
+    }
+
+    // Idle fast-forward jumps are replaced by single-cycle ticking under
+    // check-invariants, so the span histogram is only meaningful here.
+    #[cfg(not(feature = "check-invariants"))]
+    #[test]
+    fn profiler_records_idle_spans_on_compute_gaps() {
+        let trace = KernelTrace::new(
+            "long-compute",
+            vec![WarpTrace::new(vec![WarpOp::Compute { cycles: 1000 }])],
+        );
+        let cfg = GpuConfig::tiny();
+        let mut scheme = tiny_scheme(&cfg);
+        let out = simulate_profiled(
+            &cfg,
+            MapOrder::RoBaCo,
+            &trace,
+            &mut scheme,
+            &TelemetryConfig::disabled(),
+            None,
+            true,
+        );
+        let p = out.profile.expect("profile attached");
+        assert!(p.idle_jumps > 0, "compute gap produced no idle jumps");
+        assert!(p.idle_cycles_skipped > 0);
+        assert_eq!(p.idle_spans.count, p.idle_jumps);
+        assert_eq!(p.idle_spans.sum, p.idle_cycles_skipped);
+        // A mostly-idle run sleeps its SM almost every remaining cycle.
+        assert!(p.sm_sleep.hits.get() > 0);
     }
 
     #[test]

@@ -388,7 +388,9 @@ impl L2Slice {
 
     /// Advances the slice and its controller one cycle.
     pub fn tick(&mut self, scheme: &mut dyn ProtectionScheme, now: Cycle) {
+        let mut mc_t = ccraft_telemetry::profiler::PhaseTimer::start(self.mc.profile_enabled());
         self.mc.tick(now);
+        self.mc.profile_add_tick_ns(mc_t.lap());
         // 1. Handle DRAM completions (through a reused scratch buffer —
         //    this runs every cycle for every slice).
         let mut comps = std::mem::take(&mut self.comp_buf);
@@ -602,6 +604,16 @@ impl L2Slice {
     /// Drains collected DRAM issue events (empty when tracing is off).
     pub fn take_mc_issue_events(&mut self) -> Vec<IssueEvent> {
         self.mc.take_issue_events()
+    }
+
+    /// Turns on controller self-profiling (observation only).
+    pub fn enable_mc_profile(&mut self) {
+        self.mc.enable_profile();
+    }
+
+    /// The controller's self-profile, when enabled.
+    pub fn mc_profile(&self) -> Option<&crate::mem_ctrl::McProfile> {
+        self.mc.profile()
     }
 }
 

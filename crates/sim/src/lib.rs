@@ -77,6 +77,8 @@ pub mod xbar;
 
 pub use config::GpuConfig;
 pub use faults::{FaultConfig, FaultInjector, FaultRate, FaultStats, ProtectionCodec};
-pub use gpu::{simulate, simulate_instrumented, simulate_with_telemetry, SimOutput};
+pub use gpu::{
+    simulate, simulate_instrumented, simulate_profiled, simulate_with_telemetry, SimOutput,
+};
 pub use stats::SimStats;
 pub use types::{Cycle, LogicalAtom, PhysLoc, TrafficClass};

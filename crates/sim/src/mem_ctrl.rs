@@ -15,8 +15,28 @@
 use crate::config::MemConfig;
 use crate::dram::{DramChannel, MapOrder, RowOutcome};
 use crate::types::{Cycle, TrafficClass};
+use ccraft_telemetry::profiler::{MemoStats, PhaseTimer};
 use ccraft_telemetry::Histogram;
 use std::collections::VecDeque;
+
+/// Self-profiling state for one controller, attached by
+/// [`MemCtrl::enable_profile`]. Observation only: nothing in here feeds
+/// back into scheduling, and with the profile absent every probe site is
+/// a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct McProfile {
+    /// Scan-sleep memo effectiveness: hit = a busy tick short-circuited
+    /// by `scan_asleep_until`, miss = a tick that actually scanned.
+    pub scan_memo: MemoStats,
+    /// Window entries examined per performed first-ready scan.
+    pub scan_depth: Histogram,
+    /// Host nanoseconds inside `tick` (set by the owning slice, which
+    /// times the call; includes the FR-FCFS section below).
+    pub host_tick_ns: u64,
+    /// Host nanoseconds inside the FR-FCFS pick/issue section (DRAM
+    /// bank-state probes + issue bookkeeping).
+    pub host_sched_ns: u64,
+}
 
 /// Completion routing information carried by a DRAM request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +203,8 @@ pub struct MemCtrl {
     write_lat_hist: Option<Histogram>,
     /// Telemetry: per-transaction issue events, when enabled.
     issue_trace: Option<Vec<IssueEvent>>,
+    /// Self-profiling state, when enabled (boxed: cold by default).
+    profile: Option<Box<McProfile>>,
 }
 
 impl MemCtrl {
@@ -211,7 +233,33 @@ impl MemCtrl {
             read_lat_hist: None,
             write_lat_hist: None,
             issue_trace: None,
+            profile: None,
         }
+    }
+
+    /// Turns on self-profiling (scan-memo hit rates, scan-depth
+    /// histogram, host-time attribution). Observation only.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// True when self-profiling is on (the owning slice checks this
+    /// before timing the `tick` call).
+    pub fn profile_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Adds externally measured host time for this controller's `tick`
+    /// (no-op when profiling is off).
+    pub fn profile_add_tick_ns(&mut self, ns: u64) {
+        if let Some(p) = &mut self.profile {
+            p.host_tick_ns = p.host_tick_ns.saturating_add(ns);
+        }
+    }
+
+    /// The collected self-profile, when enabled.
+    pub fn profile(&self) -> Option<&McProfile> {
+        self.profile.as_deref()
     }
 
     /// Turns on the read/write latency histograms. Telemetry only; has no
@@ -349,6 +397,13 @@ impl MemCtrl {
                 _ => {}
             }
         }
+        if let Some(p) = &mut self.profile {
+            // Entries examined: the scan stops at the first row hit.
+            p.scan_depth.record(match chosen {
+                Some(i) => (i + 1) as u64,
+                None => window as u64,
+            });
+        }
         // Try the row-hit candidate first, then the oldest request, then
         // the rest of the window in age order. The two candidates are
         // distinct by construction (`chosen` is a hit, `fallback` only
@@ -465,9 +520,20 @@ impl MemCtrl {
         // pick_and_issue calls below would fail without side effects, so
         // skip them entirely (see `scan_asleep_until`).
         if now < self.scan_asleep_until {
+            if let Some(p) = &mut self.profile {
+                if !self.read_q.is_empty() || !self.write_q.is_empty() {
+                    p.scan_memo.hit();
+                }
+            }
             #[cfg(feature = "check-invariants")]
             self.assert_scan_asleep(now);
             return;
+        }
+        let mut sched_t = PhaseTimer::start(self.profile.is_some());
+        if let Some(p) = &mut self.profile {
+            if !self.read_q.is_empty() || !self.write_q.is_empty() {
+                p.scan_memo.miss();
+            }
         }
         let serve_writes = self.draining || self.read_q.is_empty();
         let issued = if serve_writes {
@@ -478,6 +544,9 @@ impl MemCtrl {
         };
         if !issued && (!self.read_q.is_empty() || !self.write_q.is_empty()) {
             self.scan_asleep_until = self.earliest_possible_issue(now);
+        }
+        if let Some(p) = &mut self.profile {
+            p.host_sched_ns = p.host_sched_ns.saturating_add(sched_t.lap());
         }
     }
 

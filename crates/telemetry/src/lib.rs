@@ -27,6 +27,7 @@
 
 pub mod chrome_trace;
 pub mod manifest;
+pub mod profiler;
 
 use serde::{Deserialize, Serialize};
 
@@ -92,12 +93,13 @@ impl Histogram {
         Self::default()
     }
 
-    /// Records one sample.
+    /// Records one sample. All tallies saturate (see [`Histogram::merge`]).
     pub fn record(&mut self, value: u64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
-        self.buckets[bucket_of(value)] += 1;
+        let b = bucket_of(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
     }
 
     /// Returns true if nothing has been recorded.
@@ -167,7 +169,9 @@ impl Histogram {
 ///
 /// Thin wrapper over `u64`; exists so probe code reads as telemetry
 /// (`probe.stall_lsu.inc()`) and so counters can be registered with a
-/// [`Sampler`] by name.
+/// [`Sampler`] by name. All arithmetic saturates: a counter that would
+/// pass `u64::MAX` in a long run pins there instead of wrapping (or
+/// panicking in debug builds) — same contract as [`Histogram::merge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Counter(pub u64);
 
@@ -177,14 +181,14 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds one.
+    /// Adds one (saturating).
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n` (saturating).
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current value.
@@ -447,6 +451,147 @@ mod tests {
         assert_eq!(a.max, 9);
         assert_eq!(a.buckets[0], u64::MAX);
         assert_eq!(a.buckets[3], u64::MAX);
+    }
+
+    #[test]
+    fn quantile_and_mean_on_empty_histogram() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.mean(), 0.0);
+        // Out-of-range q is clamped, not panicking, even when empty.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+    }
+
+    #[test]
+    fn quantile_and_mean_on_single_bucket_histogram() {
+        // All samples land in one bucket ([4, 7] = bucket 3): every
+        // quantile resolves to that bucket, capped at the exact max.
+        let mut h = Histogram::new();
+        for v in [4u64, 5, 6, 6, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets.iter().filter(|&&n| n > 0).count(), 1);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 6, "q={q}");
+        }
+        assert_eq!(h.mean(), 26.0 / 5.0);
+        // The zero bucket is its own single-bucket case: quantiles are 0
+        // but the count is real.
+        let mut z = Histogram::new();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.count, 2);
+        assert_eq!(z.quantile(0.5), 0);
+        assert_eq!(z.quantile(1.0), 0);
+        assert_eq!(z.mean(), 0.0);
+    }
+
+    #[test]
+    fn sampler_next_due_at_epoch_boundaries() {
+        // Zero epoch length is clamped to 1: due every cycle from 1 on.
+        let s = Sampler::new(0);
+        assert_eq!(s.epoch_cycles(), 1);
+        assert_eq!(s.next_due_cycle(), 1);
+        assert!(!s.due(0));
+        assert!(s.due(1));
+
+        // The boundary cycle itself is due; the cycle before is not,
+        // and sampling moves next_due exactly one epoch forward.
+        let mut s = Sampler::new(100);
+        s.register("x");
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        assert_eq!(s.next_due_cycle(), 100);
+        s.sample(&[1.0]);
+        assert_eq!(s.next_due_cycle(), 200);
+        assert!(!s.due(100));
+        assert!(!s.due(199));
+        assert!(s.due(200));
+        // An idle fast-forward that overshoots still reads as due; the
+        // cap-at-next_due contract is what keeps epochs exact.
+        assert!(s.due(10_000));
+        s.sample(&[2.0]);
+        assert_eq!(s.next_due_cycle(), 300);
+    }
+
+    /// Shared saturation property: `Counter::inc`/`add`,
+    /// `Histogram::record`/`merge`, and the profiler's `MemoStats` (which
+    /// is built from `Counter`) must never wrap, for any mix of edge
+    /// values. Driven by a deterministic LCG, no external inputs.
+    #[test]
+    fn counters_and_histograms_saturate_instead_of_wrapping() {
+        use crate::profiler::MemoStats;
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let edges = [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        for round in 0..200 {
+            let raw = next();
+            let v = if round % 2 == 0 {
+                edges[(raw % edges.len() as u64) as usize]
+            } else {
+                raw
+            };
+
+            // Counter: monotone under inc/add from any starting point.
+            let mut c = Counter(u64::MAX - (raw % 3));
+            let before = c.get();
+            c.add(v);
+            assert!(c.get() >= before, "add({v}) wrapped from {before}");
+            let before = c.get();
+            c.inc();
+            assert!(c.get() >= before, "inc wrapped from {before}");
+
+            // MemoStats shares Counter semantics at the profiler layer.
+            let mut m = MemoStats {
+                hits: Counter(u64::MAX),
+                misses: Counter(v),
+            };
+            m.hit();
+            assert_eq!(m.hits.get(), u64::MAX);
+            let rate = m.hit_rate();
+            assert!((0.0..=1.0).contains(&rate));
+
+            // Histogram: record and merge saturate count/sum/buckets.
+            let mut h = Histogram::new();
+            h.count = u64::MAX - 1;
+            h.sum = u64::MAX - 1;
+            h.buckets[bucket_of(v)] = u64::MAX - 1;
+            let before = h.clone();
+            h.record(v);
+            h.record(v);
+            h.record(v);
+            assert_eq!(h.count, u64::MAX);
+            assert!(
+                h.sum >= before.sum,
+                "sum wrapped: {} -> {}",
+                before.sum,
+                h.sum
+            );
+            if v > 0 {
+                assert_eq!(h.sum, u64::MAX);
+            }
+            assert_eq!(h.buckets[bucket_of(v)], u64::MAX);
+            assert!(h.max >= before.max);
+
+            let mut g = Histogram::new();
+            g.record(v);
+            g.record(raw);
+            let merged_before = h.clone();
+            h.merge(&g);
+            assert_eq!(h.count, u64::MAX);
+            assert!(h.sum >= merged_before.sum);
+            for (i, (&after, &b4)) in h.buckets.iter().zip(&merged_before.buckets).enumerate() {
+                assert!(after >= b4, "bucket {i} shrank: {b4} -> {after}");
+            }
+        }
     }
 
     #[test]

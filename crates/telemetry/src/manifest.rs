@@ -4,6 +4,85 @@
 use serde::{Deserialize, Serialize};
 use std::time::{SystemTime, UNIX_EPOCH};
 
+/// Build/host provenance captured into the manifest so tools like
+/// `ccx perf-diff` can refuse to compare runs from different toolchains
+/// or machines. Every field degrades to `"unknown"` (or empty) when the
+/// probe fails — provenance capture must never fail a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Provenance {
+    /// `rustc -V` of the toolchain that built the binary's environment.
+    #[serde(default)]
+    pub rustc: String,
+    /// `git rev-parse HEAD` of the working tree, with a `-dirty` suffix
+    /// when the tree had uncommitted changes; `"unknown"` outside a repo.
+    #[serde(default)]
+    pub git_commit: String,
+    /// Hostname the run executed on.
+    #[serde(default)]
+    pub hostname: String,
+    /// Cargo feature flags that alter runtime behavior (e.g.
+    /// `check-invariants`), pushed by the caller — the library cannot see
+    /// the binary's feature set.
+    #[serde(default)]
+    pub features: Vec<String>,
+}
+
+impl Provenance {
+    /// Captures toolchain, commit, and hostname from the environment.
+    /// `features` is left empty for the caller to fill.
+    pub fn capture() -> Self {
+        Provenance {
+            rustc: probe_cmd("rustc", &["-V"]),
+            git_commit: capture_git_commit(),
+            hostname: capture_hostname(),
+            features: Vec::new(),
+        }
+    }
+
+    /// True when nothing was captured (used to omit the manifest field).
+    pub fn is_empty(&self) -> bool {
+        self == &Provenance::default()
+    }
+}
+
+/// Runs a command and returns its trimmed stdout, or `"unknown"`.
+fn probe_cmd(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn capture_git_commit() -> String {
+    let commit = probe_cmd("git", &["rev-parse", "HEAD"]);
+    if commit == "unknown" {
+        return commit;
+    }
+    // `git status --porcelain` prints nothing when the tree is clean.
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{commit}-dirty")
+    } else {
+        commit
+    }
+}
+
+fn capture_hostname() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .unwrap_or_else(|| probe_cmd("uname", &["-n"]))
+}
+
 /// Description of one completed experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -32,6 +111,9 @@ pub struct RunManifest {
     /// cells (with their panic messages), skipped artifacts, and similar.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub warnings: Vec<String>,
+    /// Build/host provenance; absent in manifests from before it existed.
+    #[serde(default, skip_serializing_if = "Provenance::is_empty")]
+    pub provenance: Provenance,
 }
 
 impl RunManifest {
@@ -49,6 +131,7 @@ impl RunManifest {
             summary: Vec::new(),
             outputs: Vec::new(),
             warnings: Vec::new(),
+            provenance: Provenance::default(),
         }
     }
 
@@ -67,12 +150,19 @@ impl RunManifest {
         self.warnings.push(message.into());
     }
 
-    /// Stamps the completion time from the system clock.
+    /// Stamps the completion time from the system clock and captures
+    /// build/host provenance if the caller has not already set it
+    /// (feature flags already pushed into `provenance` are preserved).
     pub fn stamp(&mut self) {
         self.completed_unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
             .unwrap_or(0);
+        if self.provenance.rustc.is_empty() {
+            let features = std::mem::take(&mut self.provenance.features);
+            self.provenance = Provenance::capture();
+            self.provenance.features = features;
+        }
     }
 
     /// Serializes the manifest as pretty JSON.
@@ -104,6 +194,10 @@ mod tests {
         assert_eq!(m, back);
         assert!(back.completed_unix_ms > 0);
         assert_eq!(back.warnings.len(), 1);
+        // stamp() captured provenance; fields are never empty strings.
+        assert!(!back.provenance.rustc.is_empty());
+        assert!(!back.provenance.git_commit.is_empty());
+        assert!(!back.provenance.hostname.is_empty());
     }
 
     #[test]
@@ -113,5 +207,30 @@ mod tests {
         assert!(!json.contains("summary"));
         assert!(!json.contains("outputs"));
         assert!(!json.contains("warnings"));
+        assert!(!json.contains("provenance"));
+    }
+
+    #[test]
+    fn stamp_preserves_caller_features() {
+        let mut m = RunManifest::new("x");
+        m.provenance.features = vec!["check-invariants".to_string()];
+        m.stamp();
+        assert_eq!(m.provenance.features, vec!["check-invariants"]);
+        assert!(!m.provenance.rustc.is_empty());
+    }
+
+    #[test]
+    fn manifests_without_provenance_still_parse() {
+        let json = r#"{
+            "experiment": "old",
+            "command": ["exp-all"],
+            "size": "tiny",
+            "seed": 1,
+            "threads": 2,
+            "wall_time_secs": 0.5,
+            "completed_unix_ms": 123
+        }"#;
+        let m: RunManifest = serde_json::from_str(json).unwrap();
+        assert!(m.provenance.is_empty());
     }
 }
