@@ -39,6 +39,18 @@ USAGE:
                   [--pattern <bit1|bit2|bit3|burst4|symbol|chiplane>] [--trials N] [--seed N]
   ccx perf-diff <run-dir-A> <run-dir-B> [--threshold-pct P] [--hit-threshold-pts P]
                 [--min-wall-delta SECS] [--bench-a FILE] [--bench-b FILE] [--force]
+  ccx chaos-soak <exp-name> [--size smoke|tiny|small|full] [--seed N] [--threads N]
+                 [--chaos <spec>] [--kills N] [--max-attempts N] [--exe PATH]
+
+CHAOS SOAK (ccx chaos-soak):
+  Verifies crash/fault recovery end to end: runs <exp-name> (e.g.
+  exp-main) once fault-free as a golden reference, then again with I/O
+  faults injected via CCRAFT_CHAOS (--chaos, e.g.
+  \"seed=7,eio=0.05,torn=0.05,flip=0.02\"), SIGKILLed at seeded points
+  and resumed with --resume until it completes. Exits 0 only when every
+  reference CSV comes back byte-identical and checksum-valid from the
+  chaos run. --size smoke is an alias for tiny. A chaos spec of
+  probabilities 0 (the default) degenerates to a pure kill/resume soak.
 
 PERF DIFF (ccx perf-diff):
   Joins each run directory's manifest.json, profile.json (from --profile)
@@ -332,7 +344,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = std::fs::write(&path, json) {
+        // Durable, checksummed write: perf-diff refuses to read a torn
+        // or bit-flipped profile silently.
+        if let Err(e) = ccraft_harness::store::write_durable(&path, json.as_bytes()) {
             eprintln!("failed to write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -477,6 +491,88 @@ impl Serialize for RawValue {
     }
 }
 
+/// `ccx chaos-soak <exp-name>`: crash/fault recovery verifier (see
+/// `ccraft_harness::soak`). Exit codes: 0 recovery contract held,
+/// 1 violated or soak setup failed, 2 bad arguments.
+fn cmd_chaos_soak(args: &[String]) -> ExitCode {
+    let mut opts = ccraft_harness::soak::SoakOptions::default();
+    let mut experiment: Option<String> = None;
+    let mut i = 1; // args[0] is "chaos-soak"
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                i += 1;
+                opts.size = match args.get(i).map(String::as_str) {
+                    // "smoke" is the CI alias for the smallest class.
+                    Some("smoke") | Some("tiny") => "tiny".to_string(),
+                    Some(s @ ("small" | "full")) => s.to_string(),
+                    other => {
+                        eprintln!("--size expects smoke|tiny|small|full, got {other:?}\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--seed" | "--threads" | "--kills" | "--max-attempts" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(Ok(v)) = args.get(i).map(|s| s.parse::<u64>()) else {
+                    eprintln!("{flag} expects an integer\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match flag.as_str() {
+                    "--seed" => opts.seed = v,
+                    "--threads" => opts.threads = v as usize,
+                    "--kills" => opts.kills = v as u32,
+                    _ => opts.max_attempts = v as u32,
+                }
+            }
+            "--chaos" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    eprintln!("--chaos expects a spec (e.g. seed=7,eio=0.05)\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.chaos = match ccraft_harness::chaos::ChaosConfig::parse(spec) {
+                    Ok(cfg) => cfg,
+                    Err(e) => {
+                        eprintln!("--chaos: {e}\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--exe" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--exe expects a file path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.exe = Some(std::path::PathBuf::from(path));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other:?}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            name => experiment = Some(name.to_string()),
+        }
+        i += 1;
+    }
+    let Some(experiment) = experiment else {
+        eprintln!("chaos-soak expects an experiment name (e.g. exp-main)\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    opts.experiment = experiment;
+    match ccraft_harness::soak::run_soak(&opts) {
+        Ok(report) => {
+            print!("{}", report.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaos-soak: FAILED: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn cmd_reliability(args: &[String]) -> ExitCode {
     let codec = match parse_flag(args, "--codec").as_deref() {
         None | Some("secded") => CodecKind::SecDed64,
@@ -542,6 +638,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args),
         Some("reliability") => cmd_reliability(&args),
         Some("perf-diff") => cmd_perf_diff(&args),
+        Some("chaos-soak") => cmd_chaos_soak(&args),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE

@@ -46,6 +46,11 @@ pub struct CellRecord {
     pub message: Option<String>,
     /// Execution attempts consumed (≥ 1).
     pub attempts: u32,
+    /// Per-attempt outcome log (`"attempt 1: failed: <msg>"`, ...),
+    /// recorded so a post-mortem can see *how* a cell reached its final
+    /// status. Absent in checkpoints from before this field existed.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub history: Vec<String>,
     /// The cell's results, for successful cells.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<SimStats>,
@@ -77,6 +82,9 @@ pub struct Session {
     /// Keys loaded from a resumed file — cells eligible for skipping.
     resumed_keys: Vec<String>,
     matrix_calls: u32,
+    /// Non-fatal problems hit while loading (corrupt checkpoint
+    /// quarantined, schema mismatch, ...); surfaced in the run manifest.
+    warnings: Vec<String>,
 }
 
 impl Session {
@@ -88,13 +96,14 @@ impl Session {
     /// mismatch, since that usually means a different `--size`/`--seed`).
     pub fn start(fingerprint: &str, path: PathBuf, resume: bool) -> Self {
         let mut resumed_keys = Vec::new();
+        let mut warnings = Vec::new();
         let mut checkpoint = Checkpoint {
             schema: CHECKPOINT_SCHEMA,
             fingerprint: fingerprint.to_string(),
             cells: Vec::new(),
         };
         if resume {
-            match Self::load(&path) {
+            match Self::load(&path, &mut warnings) {
                 Some(prev) if prev.fingerprint == fingerprint => {
                     resumed_keys = prev
                         .cells
@@ -105,14 +114,17 @@ impl Session {
                     checkpoint = prev;
                 }
                 Some(prev) => {
-                    eprintln!(
-                        "warning: checkpoint at {} was produced by a different \
+                    warnings.push(format!(
+                        "checkpoint at {} was produced by a different \
                          configuration ({} != {fingerprint}); starting fresh",
                         path.display(),
                         prev.fingerprint
-                    );
+                    ));
                 }
                 None => {}
+            }
+            for w in &warnings {
+                eprintln!("warning: {w}");
             }
         }
         Session {
@@ -120,26 +132,58 @@ impl Session {
             checkpoint,
             resumed_keys,
             matrix_calls: 0,
+            warnings,
         }
     }
 
-    fn load(path: &Path) -> Option<Checkpoint> {
-        let text = std::fs::read_to_string(path).ok()?;
+    /// Loads and verifies a checkpoint. A file that fails checksum
+    /// verification or cannot be parsed is *quarantined* (moved to
+    /// `<name>.corrupt-<n>` by [`crate::store`]) rather than silently
+    /// overwritten, and the problem is appended to `warnings` for the
+    /// run manifest.
+    fn load(path: &Path, warnings: &mut Vec<String>) -> Option<Checkpoint> {
+        if !path.exists() {
+            return None;
+        }
+        let text = match crate::store::read_verified_string(path) {
+            Ok((text, _verified)) => text,
+            Err(e @ Error::Corrupt { .. }) => {
+                // read_verified already quarantined the file.
+                warnings.push(format!("checkpoint {e}; starting fresh"));
+                return None;
+            }
+            Err(e) => {
+                warnings.push(format!(
+                    "checkpoint at {} unreadable: {e}; starting fresh",
+                    path.display()
+                ));
+                return None;
+            }
+        };
         match serde_json::from_str::<Checkpoint>(&text) {
             Ok(cp) if cp.schema == CHECKPOINT_SCHEMA => Some(cp),
             Ok(cp) => {
-                eprintln!(
-                    "warning: checkpoint at {} has schema {} (want {CHECKPOINT_SCHEMA}); ignoring",
+                let preserved = match crate::store::quarantine(path) {
+                    Ok(q) => format!("preserved at {}", q.display()),
+                    Err(e) => format!("quarantine failed: {e}"),
+                };
+                warnings.push(format!(
+                    "checkpoint at {} has schema {} (want {CHECKPOINT_SCHEMA}); \
+                     {preserved}; starting fresh",
                     path.display(),
                     cp.schema
-                );
+                ));
                 None
             }
             Err(e) => {
-                eprintln!(
-                    "warning: unreadable checkpoint at {}: {e}; starting fresh",
+                let preserved = match crate::store::quarantine(path) {
+                    Ok(q) => format!("preserved at {}", q.display()),
+                    Err(e) => format!("quarantine failed: {e}"),
+                };
+                warnings.push(format!(
+                    "unparseable checkpoint at {}: {e}; {preserved}; starting fresh",
                     path.display()
-                );
+                ));
                 None
             }
         }
@@ -206,16 +250,26 @@ impl Session {
         &self.path
     }
 
-    /// Writes the checkpoint atomically (temp file + rename), so a kill
-    /// mid-write leaves the previous checkpoint intact.
+    /// Non-fatal problems hit while loading the checkpoint (corrupt file
+    /// quarantined, schema mismatch, ...), for the run manifest.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Cells whose final status is not ok — the quarantined cells of a
+    /// degraded run.
+    pub fn failed_cells(&self) -> usize {
+        self.checkpoint.cells.iter().filter(|c| !c.is_ok()).count()
+    }
+
+    /// Writes the checkpoint durably through [`crate::store`]: checksum
+    /// footer, temp file + fsync + atomic rename + directory fsync. A
+    /// kill mid-write leaves the previous checkpoint intact; a host crash
+    /// after return cannot lose it.
     fn save(&self) -> Result<(), Error> {
         let json = serde_json::to_string_pretty(&self.checkpoint)
             .map_err(|e| Error::config(format!("serializing checkpoint: {e}")))?;
-        let tmp = self.path.with_extension("json.tmp");
-        std::fs::write(&tmp, json)
-            .map_err(|e| Error::io(format!("writing {}", tmp.display()), e))?;
-        std::fs::rename(&tmp, &self.path)
-            .map_err(|e| Error::io(format!("renaming to {}", self.path.display()), e))
+        crate::store::write_durable(&self.path, json.as_bytes())
     }
 }
 
@@ -272,6 +326,7 @@ mod tests {
             status: STATUS_OK.to_string(),
             message: None,
             attempts: 1,
+            history: vec!["attempt 1: ok".to_string()],
             stats: Some(sample_stats()),
         }
     }
@@ -315,6 +370,10 @@ mod tests {
             status: STATUS_FAILED.into(),
             message: Some("boom".into()),
             attempts: 2,
+            history: vec![
+                "attempt 1: failed: boom".to_string(),
+                "attempt 2: failed: boom".to_string(),
+            ],
             stats: None,
         })
         .unwrap();
@@ -324,6 +383,19 @@ mod tests {
         // Failed cells are not skippable: they re-run.
         assert!(resumed.resumable("m0/spmv/cachecraft").is_none());
         assert_eq!(resumed.cells().len(), 2);
+        assert_eq!(resumed.failed_cells(), 1);
+        // Attempt history round-trips through the durable store.
+        let failed = resumed
+            .cells()
+            .iter()
+            .find(|c| c.key == "m0/spmv/cachecraft")
+            .unwrap();
+        assert_eq!(failed.history.len(), 2);
+        assert!(
+            failed.history[0].contains("attempt 1"),
+            "{:?}",
+            failed.history
+        );
         let msgs = resumed.failure_messages();
         assert_eq!(msgs.len(), 1);
         assert!(msgs[0].contains("boom"), "{msgs:?}");
@@ -351,11 +423,63 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_checkpoint_starts_fresh() {
-        let path = tmpdir("corrupt").join("checkpoint.json");
+    fn corrupt_checkpoint_is_quarantined_not_dropped() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(dir.join("checkpoint.json.corrupt-0"));
         std::fs::write(&path, "{ not json").unwrap();
-        let s = Session::start("f", path, true);
+        let s = Session::start("f", path.clone(), true);
         assert!(s.cells().is_empty());
+        // The original bytes are preserved for post-mortem, and the
+        // problem is surfaced for the manifest.
+        assert!(!path.exists(), "corrupt checkpoint must be moved aside");
+        let q = dir.join("checkpoint.json.corrupt-0");
+        assert_eq!(std::fs::read_to_string(&q).unwrap(), "{ not json");
+        assert_eq!(s.warnings().len(), 1);
+        assert!(s.warnings()[0].contains("corrupt-0"), "{:?}", s.warnings());
+        let _ = std::fs::remove_file(q);
+    }
+
+    #[test]
+    fn checksum_corrupt_checkpoint_is_quarantined() {
+        let dir = tmpdir("crccorrupt");
+        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(dir.join("checkpoint.json.corrupt-0"));
+        let mut s = Session::start("f", path.clone(), false);
+        s.record(ok_record("m0/a/b")).unwrap();
+        drop(s);
+        // Flip a payload byte under the checksum footer.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[2] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let fresh = Session::start("f", path.clone(), true);
+        assert!(fresh.cells().is_empty());
+        assert!(!path.exists());
+        assert!(dir.join("checkpoint.json.corrupt-0").exists());
+        assert!(
+            fresh.warnings().iter().any(|w| w.contains("verification")),
+            "{:?}",
+            fresh.warnings()
+        );
+        let _ = std::fs::remove_file(dir.join("checkpoint.json.corrupt-0"));
+    }
+
+    #[test]
+    fn legacy_footerless_checkpoint_still_resumes() {
+        let dir = tmpdir("legacyresume");
+        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(&path);
+        // Write a valid checkpoint through the store, then strip the
+        // footer to simulate a file from before the store existed.
+        let mut s = Session::start("f", path.clone(), false);
+        s.record(ok_record("m0/a/b")).unwrap();
+        drop(s);
+        let raw = std::fs::read(&path).unwrap();
+        let payload = crate::store::strip_footer(&raw).to_vec();
+        std::fs::write(&path, payload).unwrap();
+        let resumed = Session::start("f", path, true);
+        assert!(resumed.resumable("m0/a/b").is_some());
+        assert!(resumed.warnings().is_empty());
     }
 
     #[test]
@@ -368,6 +492,7 @@ mod tests {
             status: STATUS_TIMEOUT.into(),
             message: Some("timed out after 1s".into()),
             attempts: 1,
+            history: Vec::new(),
             stats: None,
         })
         .unwrap();

@@ -1,13 +1,33 @@
 //! Typed errors for the experiment harness.
 //!
-//! The harness distinguishes four failure classes: bad user input
-//! ([`Error::Config`]), filesystem trouble ([`Error::Io`]), a simulation
-//! cell that panicked ([`Error::WorkerPanic`]), and a cell that exceeded
-//! its watchdog ([`Error::Timeout`]). Binaries convert these to exit
-//! status + stderr; the runner converts the last two into per-cell
-//! outcomes instead of aborting the whole matrix.
+//! The harness distinguishes several failure classes: bad user input
+//! ([`Error::Config`]), filesystem trouble ([`Error::Io`]), a persisted
+//! artifact whose checksum no longer matches ([`Error::Corrupt`]), a
+//! simulation cell that panicked ([`Error::WorkerPanic`]), and a cell
+//! that exceeded its watchdog ([`Error::Timeout`]). Binaries convert
+//! these to exit status + stderr; the runner converts the worker-side
+//! pair into per-cell outcomes instead of aborting the whole matrix.
+//!
+//! I/O errors additionally classify as *transient* (worth a bounded,
+//! deterministic retry — see [`crate::store`]) or *permanent* (retrying
+//! cannot help: the disk is full, the path is gone, permissions are
+//! wrong). The store consults [`io_error_is_transient`] before sleeping.
 
 use std::fmt;
+
+/// Whether an [`std::io::Error`] is worth retrying.
+///
+/// Transient kinds are interruptions the next attempt can reasonably
+/// survive: `Interrupted` (EINTR / injected transient EIO), `WouldBlock`,
+/// and `TimedOut`. Everything else — `NotFound`, `PermissionDenied`,
+/// out-of-space conditions — is permanent and fails immediately.
+pub fn io_error_is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+    )
+}
 
 /// A harness-level failure.
 #[derive(Debug)]
@@ -43,6 +63,15 @@ pub enum Error {
         /// `workload/scheme` identifier of the missing cell.
         cell: String,
     },
+    /// A persisted artifact failed checksum verification and was moved
+    /// aside (quarantined) rather than silently discarded.
+    Corrupt {
+        /// The artifact that failed verification.
+        path: String,
+        /// What exactly did not check out, and where the original was
+        /// preserved.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -57,6 +86,26 @@ impl Error {
     /// Convenience constructor for [`Error::Config`].
     pub fn config(msg: impl Into<String>) -> Self {
         Error::Config(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::Corrupt`].
+    pub fn corrupt(path: impl Into<String>, detail: impl Into<String>) -> Self {
+        Error::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Only [`Error::Io`] with a transient kind qualifies (see
+    /// [`io_error_is_transient`]); corruption, configuration mistakes,
+    /// and worker failures never do.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            Error::Io { source, .. } => io_error_is_transient(source),
+            _ => false,
+        }
     }
 }
 
@@ -73,6 +122,9 @@ impl fmt::Display for Error {
             }
             Error::MissingCell { cell } => {
                 write!(f, "cell {cell} missing from matrix results")
+            }
+            Error::Corrupt { path, detail } => {
+                write!(f, "{path} failed verification: {detail}")
             }
         }
     }
@@ -112,6 +164,40 @@ mod tests {
             secs: 30,
         };
         assert!(e.to_string().contains("30s"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+        ] {
+            let e = std::io::Error::new(kind, "x");
+            assert!(io_error_is_transient(&e), "{kind:?} must be transient");
+            assert!(Error::io("op", e).is_transient());
+        }
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::Other,
+        ] {
+            let e = std::io::Error::new(kind, "x");
+            assert!(!io_error_is_transient(&e), "{kind:?} must be permanent");
+        }
+        assert!(!Error::config("bad").is_transient());
+        assert!(!Error::corrupt("a.csv", "crc mismatch").is_transient());
+    }
+
+    #[test]
+    fn corrupt_display_names_path_and_detail() {
+        let e = Error::corrupt("results/checkpoint.json", "crc 1 != 2");
+        let s = e.to_string();
+        assert!(
+            s.contains("checkpoint.json") && s.contains("crc 1 != 2"),
+            "{s}"
+        );
     }
 
     #[test]

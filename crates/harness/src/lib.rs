@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod error;
 pub mod experiments;
@@ -18,11 +19,13 @@ pub mod metrics;
 pub mod perfdiff;
 pub mod report;
 pub mod runner;
+pub mod soak;
+pub mod store;
 
 pub use error::Error;
 pub use runner::{
     run_experiment, run_matrix, run_matrix_cells, CellOutcome, CellStatus, ExpOptions,
-    MatrixResult, OPTIONS_USAGE,
+    MatrixResult, EXIT_DEGRADED, EXIT_FAILED, EXIT_OK, OPTIONS_USAGE,
 };
 
 /// Geometric mean of positive values; 0.0 for an empty slice.

@@ -43,6 +43,10 @@ pub struct MetricsRegistry {
     cells_retried: AtomicU64,
     /// Cells replayed from a resume checkpoint without executing.
     cells_resumed: AtomicU64,
+    /// Cells quarantined after permanent failure (degraded completion).
+    cells_quarantined: AtomicU64,
+    /// Transient-I/O retries performed by the durable store.
+    store_retries: AtomicU64,
     /// Configured worker thread count for the current matrix call.
     workers: AtomicU64,
     /// Workers currently executing a cell.
@@ -72,6 +76,8 @@ impl MetricsRegistry {
             cells_failed: AtomicU64::new(0),
             cells_retried: AtomicU64::new(0),
             cells_resumed: AtomicU64::new(0),
+            cells_quarantined: AtomicU64::new(0),
+            store_retries: AtomicU64::new(0),
             workers: AtomicU64::new(0),
             workers_active: AtomicU64::new(0),
             cell_us_sum: AtomicU64::new(0),
@@ -91,6 +97,16 @@ impl MetricsRegistry {
     pub fn add_resumed(&self, n: u64) {
         self.cells_resumed.fetch_add(n, Ordering::Relaxed);
         self.cells_completed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one cell quarantined after exhausting its attempts.
+    pub fn cell_quarantined(&self) {
+        self.cells_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transient-I/O retry inside the durable store.
+    pub fn store_retry(&self) {
+        self.store_retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sets the configured worker count.
@@ -139,6 +155,8 @@ impl MetricsRegistry {
         let failed = self.cells_failed.load(Ordering::Relaxed);
         let retried = self.cells_retried.load(Ordering::Relaxed);
         let resumed = self.cells_resumed.load(Ordering::Relaxed);
+        let quarantined = self.cells_quarantined.load(Ordering::Relaxed);
+        let store_retries = self.store_retries.load(Ordering::Relaxed);
         let workers = self.workers.load(Ordering::Relaxed);
         let active = self.workers_active.load(Ordering::Relaxed);
         let count = self.cell_count.load(Ordering::Relaxed);
@@ -212,6 +230,16 @@ impl MetricsRegistry {
             "ccraft_cells_resumed_total",
             "Matrix cells replayed from a resume checkpoint.",
             resumed,
+        );
+        counter(
+            "ccraft_cells_quarantined_total",
+            "Matrix cells quarantined after permanent failure (degraded run).",
+            quarantined,
+        );
+        counter(
+            "ccraft_store_retries_total",
+            "Transient I/O retries performed by the durable store.",
+            store_retries,
         );
         let _ = writeln!(
             out,
@@ -375,12 +403,17 @@ mod tests {
         reg.observe_cell(2.0, false, 3);
         reg.worker_finished();
         reg.add_resumed(2);
+        reg.cell_quarantined();
+        reg.store_retry();
+        reg.store_retry();
         let text = reg.render();
         assert!(text.contains("ccraft_cells_planned 10"));
         assert!(text.contains("ccraft_cells_completed_total 4"));
         assert!(text.contains("ccraft_cells_failed_total 1"));
         assert!(text.contains("ccraft_cells_retried_total 2"));
         assert!(text.contains("ccraft_cells_resumed_total 2"));
+        assert!(text.contains("ccraft_cells_quarantined_total 1"));
+        assert!(text.contains("ccraft_store_retries_total 2"));
         assert!(text.contains("ccraft_workers 4"));
         assert!(text.contains("ccraft_workers_active 0"));
         assert!(text.contains("ccraft_cell_seconds_count 2"));

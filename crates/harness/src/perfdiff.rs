@@ -115,25 +115,30 @@ impl RunSnapshot {
     /// bench records are joined when found (`bench_override` wins over
     /// directory discovery).
     pub fn load(dir: &Path, bench_override: Option<&Path>) -> Result<RunSnapshot, Error> {
+        // Store-written artifacts carry a checksum footer; a corrupt
+        // manifest or profile is a hard error (quarantined by the read),
+        // never a silently-wrong comparison.
         let manifest_path = dir.join("manifest.json");
-        let text = std::fs::read_to_string(&manifest_path)
-            .map_err(|e| Error::io(format!("read {}", manifest_path.display()), e))?;
+        let (text, _) = crate::store::read_verified_string(&manifest_path)?;
         let manifest: RunManifest = serde_json::from_str(&text)
             .map_err(|e| Error::config(format!("parse {}: {e}", manifest_path.display())))?;
-        let profile = match std::fs::read_to_string(dir.join("profile.json")) {
-            Ok(text) => Some(serde_json::from_str::<ProfileReport>(&text).map_err(|e| {
-                Error::config(format!("parse {}/profile.json: {e}", dir.display()))
-            })?),
-            Err(_) => None,
-        };
+        let profile_path = dir.join("profile.json");
+        let profile =
+            if profile_path.is_file() {
+                let (text, _) = crate::store::read_verified_string(&profile_path)?;
+                Some(serde_json::from_str::<ProfileReport>(&text).map_err(|e| {
+                    Error::config(format!("parse {}/profile.json: {e}", dir.display()))
+                })?)
+            } else {
+                None
+            };
         let bench_path = match bench_override {
             Some(p) => Some(p.to_path_buf()),
             None => newest_bench_file(dir),
         };
         let bench = match bench_path {
             Some(p) => {
-                let text = std::fs::read_to_string(&p)
-                    .map_err(|e| Error::io(format!("read {}", p.display()), e))?;
+                let (text, _) = crate::store::read_verified_string(&p)?;
                 Some(
                     serde_json::from_str::<BenchRecord>(&text)
                         .map_err(|e| Error::config(format!("parse {}: {e}", p.display())))?,

@@ -119,62 +119,68 @@ pub fn results_dir() -> io::Result<PathBuf> {
     Ok(dir)
 }
 
-/// Writes a table as `<name>.csv` into the results directory and returns
-/// the path.
+/// Writes a table as `<name>.csv` into the results directory (durably,
+/// with a checksum footer — see [`crate::store`]) and returns the path.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn save_csv(name: &str, table: &Table) -> io::Result<PathBuf> {
-    let path = results_dir()?.join(format!("{name}.csv"));
-    fs::write(&path, table.to_csv())?;
+pub fn save_csv(name: &str, table: &Table) -> Result<PathBuf, crate::Error> {
+    let path = results_dir()
+        .map_err(|e| crate::Error::io("resolving results dir", e))?
+        .join(format!("{name}.csv"));
+    crate::store::write_durable(&path, table.to_csv().as_bytes())?;
     Ok(path)
 }
 
 /// Writes a run manifest as `manifest.json` into the results directory
-/// and returns the path. Each run overwrites the previous manifest, so
-/// the file always describes the most recent experiment.
+/// (durably, with a checksum footer) and returns the path. Each run
+/// overwrites the previous manifest, so the file always describes the
+/// most recent experiment.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write_manifest(manifest: &RunManifest) -> io::Result<PathBuf> {
-    let path = results_dir()?.join("manifest.json");
-    fs::write(&path, manifest.to_json())?;
+pub fn write_manifest(manifest: &RunManifest) -> Result<PathBuf, crate::Error> {
+    let path = results_dir()
+        .map_err(|e| crate::Error::io("resolving results dir", e))?
+        .join("manifest.json");
+    crate::store::write_durable(&path, manifest.to_json().as_bytes())?;
     Ok(path)
 }
 
-/// Writes raw run statistics as `<name>.json` and returns the path.
+/// Writes raw run statistics as `<name>.json` (durably, with a checksum
+/// footer) and returns the path.
 ///
 /// # Errors
 ///
 /// Propagates filesystem and serialization errors.
-pub fn save_stats_json(name: &str, stats: &[SimStats]) -> io::Result<PathBuf> {
-    let path = results_dir()?.join(format!("{name}.json"));
+pub fn save_stats_json(name: &str, stats: &[SimStats]) -> Result<PathBuf, crate::Error> {
+    let path = results_dir()
+        .map_err(|e| crate::Error::io("resolving results dir", e))?
+        .join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(stats)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(&path, json)?;
+        .map_err(|e| crate::Error::config(format!("serializing {name}.json: {e}")))?;
+    crate::store::write_durable(&path, json.as_bytes())?;
     Ok(path)
 }
 
-/// [`save_csv`], with the destination folded into a harness
-/// [`Error`](crate::Error) — the form experiment modules use with `?`.
+/// [`save_csv`] — the form experiment modules use with `?`.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Io`](crate::Error::Io) naming the file on failure.
 pub fn emit_csv(name: &str, table: &Table) -> Result<PathBuf, crate::Error> {
-    save_csv(name, table).map_err(|e| crate::Error::io(format!("writing {name}.csv"), e))
+    save_csv(name, table)
 }
 
-/// [`save_stats_json`], with the destination folded into a harness
-/// [`Error`](crate::Error) — the form experiment modules use with `?`.
+/// [`save_stats_json`] — the form experiment modules use with `?`.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Io`](crate::Error::Io) naming the file on failure.
 pub fn emit_stats_json(name: &str, stats: &[SimStats]) -> Result<PathBuf, crate::Error> {
-    save_stats_json(name, stats).map_err(|e| crate::Error::io(format!("writing {name}.json"), e))
+    save_stats_json(name, stats)
 }
 
 /// Prints an experiment banner.
@@ -192,13 +198,17 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", 100.0 * v)
 }
 
-/// Reads a results file back (testing / tooling convenience).
+/// Reads a results file back (testing / tooling convenience), with any
+/// checksum footer stripped. Does not verify the checksum — tooling that
+/// cares uses [`crate::store::read_verified`] directly.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn read_result(path: &Path) -> io::Result<String> {
-    fs::read_to_string(path)
+    let bytes = fs::read(path)?;
+    let payload = crate::store::strip_footer(&bytes);
+    String::from_utf8(payload.to_vec()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -260,6 +270,10 @@ mod tests {
         t.row(vec!["v"]);
         let path = save_csv("unit-test", &t).unwrap();
         assert_eq!(read_result(&path).unwrap(), "k\nv\n");
+        // The on-disk file carries a valid checksum footer.
+        let v = crate::store::read_verified(&path).unwrap();
+        assert!(v.verified);
+        assert_eq!(v.payload, b"k\nv\n");
         std::env::remove_var("CCRAFT_RESULTS");
         let _ = std::fs::remove_dir_all(dir);
     }

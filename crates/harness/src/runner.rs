@@ -40,8 +40,20 @@ common experiment options:
   --retries N              re-run a failed/timed-out cell N times (default: 0)
   --metrics-addr ADDR      serve live Prometheus metrics over HTTP while the
                            run executes, e.g. 127.0.0.1:9184 (default: off)
+  --fail-fast              abort the sweep on the first permanently failing
+                           cell and exit 2, instead of quarantining it and
+                           completing degraded (exit 3)
 
 Unrecognized flags are ignored here so each binary can define its own.";
+
+/// Exit status of a fully successful run.
+pub const EXIT_OK: i32 = 0;
+/// Exit status of a failed run (configuration error, `--fail-fast`
+/// abort, or a non-cell failure).
+pub const EXIT_FAILED: i32 = 2;
+/// Exit status of a *degraded* run: one or more cells were quarantined
+/// after exhausting their attempts, but the sweep itself completed.
+pub const EXIT_DEGRADED: i32 = 3;
 
 /// Options shared by every experiment binary, parsed from the command
 /// line.
@@ -61,6 +73,9 @@ pub struct ExpOptions {
     pub cell_timeout_secs: Option<u64>,
     /// Bounded retries for failed or timed-out cells.
     pub retries: u32,
+    /// Abort the sweep on the first permanently failing cell instead of
+    /// quarantining it and completing degraded.
+    pub fail_fast: bool,
 }
 
 impl Default for ExpOptions {
@@ -73,6 +88,7 @@ impl Default for ExpOptions {
             resume: false,
             cell_timeout_secs: None,
             retries: 0,
+            fail_fast: false,
         }
     }
 }
@@ -119,6 +135,7 @@ impl ExpOptions {
                     opts.inject = Some(FaultConfig::parse(spec).map_err(Error::Config)?);
                 }
                 "--resume" => opts.resume = true,
+                "--fail-fast" => opts.fail_fast = true,
                 "--cell-timeout" => {
                     i += 1;
                     let secs: u64 = parse_value(args, i, "--cell-timeout", "seconds")?;
@@ -273,6 +290,9 @@ pub enum CellStatus {
     },
     /// Replayed from a `--resume`d checkpoint without executing.
     Resumed,
+    /// Never executed: the sweep was aborted by `--fail-fast` before
+    /// this cell's turn. Not checkpointed and not counted in metrics.
+    Skipped,
 }
 
 impl CellStatus {
@@ -295,6 +315,9 @@ pub struct CellOutcome {
     pub stats: Option<SimStats>,
     /// Execution attempts consumed (0 for resumed cells).
     pub attempts: u32,
+    /// Per-attempt outcome log (`"attempt 1: failed: <msg>"`, ...),
+    /// persisted into the checkpoint record for post-mortems.
+    pub history: Vec<String>,
 }
 
 impl CellOutcome {
@@ -306,7 +329,7 @@ impl CellOutcome {
     /// The error equivalent of a non-ok outcome.
     pub fn as_error(&self) -> Option<Error> {
         match &self.status {
-            CellStatus::Ok | CellStatus::Resumed => None,
+            CellStatus::Ok | CellStatus::Resumed | CellStatus::Skipped => None,
             CellStatus::Failed { message } => Some(Error::WorkerPanic {
                 cell: self.cell_name(),
                 message: message.clone(),
@@ -377,19 +400,30 @@ fn run_one_cell(
 ) -> CellOutcome {
     let timeout = opts.cell_timeout_secs.map(Duration::from_secs);
     let mut attempts = 0;
+    let mut history: Vec<String> = Vec::new();
     loop {
         attempts += 1;
         match execute_once(body, idx, workload, scheme, timeout) {
             Ok(stats) => {
+                history.push(format!("attempt {attempts}: ok"));
                 return CellOutcome {
                     workload,
                     scheme,
                     status: CellStatus::Ok,
                     stats: Some(stats),
                     attempts,
-                }
+                    history,
+                };
             }
             Err(status) => {
+                history.push(format!(
+                    "attempt {attempts}: {}",
+                    match &status {
+                        CellStatus::Failed { message } => format!("failed: {message}"),
+                        CellStatus::TimedOut { secs } => format!("timeout after {secs}s"),
+                        other => format!("{other:?}"),
+                    }
+                ));
                 if attempts > opts.retries {
                     return CellOutcome {
                         workload,
@@ -397,6 +431,7 @@ fn run_one_cell(
                         status,
                         stats: None,
                         attempts,
+                        history,
                     };
                 }
                 eprintln!(
@@ -452,6 +487,7 @@ fn run_matrix_engine(
                     status: CellStatus::Resumed,
                     stats: Some(stats),
                     attempts: 0,
+                    history: vec!["resumed from checkpoint".to_string()],
                 });
             }
             None => jobs.push((idx, w, s)),
@@ -474,9 +510,15 @@ fn run_matrix_engine(
     let started = Instant::now();
     let completed = AtomicUsize::new(resumed);
     let show_progress = progress_enabled();
+    // Set by a worker that hit a permanent cell failure under
+    // `--fail-fast`; the remaining queue drains unexecuted.
+    let abort = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if abort.load(Ordering::SeqCst) {
+                    break;
+                }
                 let job = lock_clean(&queue).pop();
                 let Some((idx, workload, scheme)) = job else {
                     break;
@@ -496,6 +538,17 @@ fn run_matrix_engine(
                 }
                 if let Some(err) = outcome.as_error() {
                     eprintln!("warning: {err}");
+                    if opts.fail_fast {
+                        abort.store(true, Ordering::SeqCst);
+                        eprintln!("fail-fast: aborting sweep after {}", outcome.cell_name());
+                    } else {
+                        // Degraded mode: the cell is quarantined (its
+                        // failure recorded in checkpoint + manifest) and
+                        // the sweep continues.
+                        if let Some(m) = &metrics {
+                            m.cell_quarantined();
+                        }
+                    }
                 }
                 if let Some(sess) = &session {
                     let record = CellRecord {
@@ -504,9 +557,13 @@ fn run_matrix_engine(
                             CellStatus::Ok | CellStatus::Resumed => STATUS_OK.to_string(),
                             CellStatus::Failed { .. } => STATUS_FAILED.to_string(),
                             CellStatus::TimedOut { .. } => STATUS_TIMEOUT.to_string(),
+                            // Skipped cells never reach this point: they
+                            // are filled in after the scope joins.
+                            CellStatus::Skipped => unreachable!("skipped cell in worker"),
                         },
                         message: outcome.as_error().map(|e| e.to_string()),
                         attempts: outcome.attempts,
+                        history: outcome.history.clone(),
                         stats: outcome.stats.clone(),
                     };
                     if let Err(e) = lock_clean(sess).record(record) {
@@ -532,10 +589,23 @@ fn run_matrix_engine(
     });
     slots
         .into_iter()
-        .map(|o| match o {
+        .enumerate()
+        .map(|(idx, o)| match o {
             Some(o) => o,
-            // Unreachable: every index is either prefilled or queued, and
-            // workers drain the queue before the scope joins.
+            // A slot can only be empty after a `--fail-fast` abort
+            // drained the queue without executing it; otherwise every
+            // index is either prefilled or completed by a worker.
+            None if opts.fail_fast => {
+                let (_, w, s) = all[idx];
+                CellOutcome {
+                    workload: w,
+                    scheme: s,
+                    status: CellStatus::Skipped,
+                    stats: None,
+                    attempts: 0,
+                    history: vec!["skipped: --fail-fast abort".to_string()],
+                }
+            }
             None => unreachable!("matrix cell left without an outcome"),
         })
         .collect()
@@ -673,6 +743,20 @@ fn start_metrics_server() -> Option<crate::metrics::MetricsServer> {
 pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Error>) {
     let opts = ExpOptions::from_args();
     let started = Instant::now();
+    // I/O fault injection for chaos testing, off unless CCRAFT_CHAOS is
+    // set (ccx chaos-soak sets it on the child it spawns).
+    match crate::chaos::init_from_env() {
+        Ok(true) => {
+            if let Some(cfg) = crate::chaos::current() {
+                eprintln!("chaos: I/O fault injection active ({})", cfg.to_spec());
+            }
+        }
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: {}: {e}", crate::chaos::CHAOS_ENV);
+            std::process::exit(EXIT_FAILED);
+        }
+    }
     let metrics_server = start_metrics_server();
     let fingerprint = experiment_fingerprint(id, &opts);
     let session = match crate::report::results_dir() {
@@ -700,13 +784,34 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Err
     manifest.seed = opts.seed;
     manifest.threads = opts.effective_workers();
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
+    let mut failed_cells = 0usize;
     if let Some(sess) = &session {
         let sess = lock_clean(sess);
         manifest.note("checkpoint_cells", sess.cells().len() as f64);
+        manifest.note(
+            "cell_attempts_total",
+            sess.cells().iter().map(|c| f64::from(c.attempts)).sum(),
+        );
+        failed_cells = sess.failed_cells();
+        // Loader warnings (quarantined corrupt checkpoint, schema
+        // mismatch) reach the manifest, not just stderr.
+        for warning in sess.warnings() {
+            manifest.warn(warning.clone());
+        }
         for warning in sess.failure_messages() {
             eprintln!("warning: {warning}");
             manifest.warn(warning);
         }
+    }
+    // Graceful degradation: a permanently failing cell is quarantined
+    // (checkpoint + manifest + metric) and the sweep completes with a
+    // distinct exit code; --fail-fast opts out and fails outright.
+    let quarantined = if opts.fail_fast { 0 } else { failed_cells };
+    manifest.note("cells_quarantined", quarantined as f64);
+    if quarantined > 0 {
+        let w = format!("degraded run: {quarantined} cell(s) quarantined after all attempts");
+        eprintln!("warning: {w}");
+        manifest.warn(w);
     }
     if let Err(e) = &result {
         eprintln!("error: {id}: {e}");
@@ -722,8 +827,17 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Err
         Ok(path) => eprintln!("manifest: {}", path.display()),
         Err(e) => eprintln!("warning: failed to write manifest.json: {e}"),
     }
-    if result.is_err() {
-        std::process::exit(2);
+    let exit = match &result {
+        // A report that only failed because quarantined cells left holes
+        // in the matrix is a *degraded* completion, not a failure.
+        Err(Error::MissingCell { .. }) if quarantined > 0 => EXIT_DEGRADED,
+        Err(_) => EXIT_FAILED,
+        Ok(()) if opts.fail_fast && failed_cells > 0 => EXIT_FAILED,
+        Ok(()) if quarantined > 0 => EXIT_DEGRADED,
+        Ok(()) => EXIT_OK,
+    };
+    if exit != EXIT_OK {
+        std::process::exit(exit);
     }
 }
 
@@ -807,6 +921,9 @@ mod tests {
         assert!(o.resume);
         assert_eq!(o.cell_timeout_secs, Some(30));
         assert_eq!(o.retries, 2);
+        assert!(!o.fail_fast);
+        let o = ExpOptions::parse(&argv(&["--fail-fast"])).expect("parses");
+        assert!(o.fail_fast);
     }
 
     #[test]
@@ -1018,6 +1135,116 @@ mod tests {
     }
 
     #[test]
+    fn fail_fast_skips_remaining_cells() {
+        let _guard = crate::checkpoint::test_guard();
+        // Single worker; the queue is popped from the back, so histogram
+        // (the last matrix cell) executes first. Failing it permanently
+        // under --fail-fast must leave the remaining cells Skipped
+        // instead of executing them.
+        let body: Arc<CellBody> = Arc::new(|_, workload, scheme| {
+            if workload == Workload::Histogram && scheme.name() == "no-protection" {
+                panic!("fail-fast trigger");
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        let opts = ExpOptions {
+            fail_fast: true,
+            ..tiny_opts(1)
+        };
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd, Workload::Saxpy, Workload::Histogram],
+            &[SchemeKind::NoProtection],
+            &opts,
+            body,
+        );
+        assert_eq!(outcomes.len(), 3);
+        assert!(matches!(outcomes[2].status, CellStatus::Failed { .. }));
+        let skipped = outcomes
+            .iter()
+            .filter(|o| o.status == CellStatus::Skipped)
+            .count();
+        let executed_ok = outcomes.iter().filter(|o| o.status.is_ok()).count();
+        assert_eq!(skipped, 2, "{outcomes:?}");
+        assert_eq!(executed_ok, 0);
+        for o in outcomes.iter().filter(|o| o.status == CellStatus::Skipped) {
+            assert!(o.stats.is_none());
+            assert_eq!(o.attempts, 0);
+            assert!(o.as_error().is_none());
+        }
+    }
+
+    #[test]
+    fn without_fail_fast_failures_do_not_abort() {
+        let _guard = crate::checkpoint::test_guard();
+        let body: Arc<CellBody> = Arc::new(|_, workload, scheme| {
+            if workload == Workload::VecAdd {
+                panic!("quarantine me");
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        let registry = Arc::new(crate::metrics::MetricsRegistry::new());
+        crate::metrics::install(Arc::clone(&registry));
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd, Workload::Saxpy, Workload::Histogram],
+            &[SchemeKind::NoProtection],
+            &tiny_opts(1),
+            body,
+        );
+        crate::metrics::clear();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.status != CellStatus::Skipped));
+        assert_eq!(outcomes.iter().filter(|o| o.status.is_ok()).count(), 2);
+        assert!(registry
+            .render()
+            .contains("ccraft_cells_quarantined_total 1"));
+    }
+
+    #[test]
+    fn attempt_history_tracks_every_attempt() {
+        let _guard = crate::checkpoint::test_guard();
+        use std::sync::atomic::AtomicU32;
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls_in = Arc::clone(&calls);
+        let body: Arc<CellBody> = Arc::new(move |_, workload, scheme| {
+            if calls_in.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("flaky twice");
+            }
+            run_scheme(
+                &GpuConfig::tiny(),
+                scheme,
+                &workload.generate(SizeClass::Tiny, 1),
+            )
+        });
+        let opts = ExpOptions {
+            retries: 2,
+            ..tiny_opts(1)
+        };
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+            body,
+        );
+        assert_eq!(outcomes[0].attempts, 3);
+        assert_eq!(
+            outcomes[0].history,
+            vec![
+                "attempt 1: failed: flaky twice",
+                "attempt 2: failed: flaky twice",
+                "attempt 3: ok"
+            ]
+        );
+    }
+
+    #[test]
     fn watchdog_times_out_hung_cells() {
         let _guard = crate::checkpoint::test_guard();
         let body: Arc<CellBody> = Arc::new(|_, workload, scheme| {
@@ -1152,11 +1379,16 @@ mod tests {
         );
         let ran = lock_clean(&executed).clone();
         assert_eq!(ran, vec!["saxpy/inline-naive".to_string()]);
-        // After the resume, the checkpoint holds four completed cells.
-        let cp: crate::checkpoint::Checkpoint =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        // After the resume, the checkpoint holds four completed cells —
+        // read back through the verified store (the file carries a
+        // checksum footer now).
+        let (text, verified) = crate::store::read_verified_string(&path).unwrap();
+        assert!(verified, "checkpoint must carry a valid checksum footer");
+        let cp: crate::checkpoint::Checkpoint = serde_json::from_str(&text).unwrap();
         assert_eq!(cp.cells.len(), 4);
         assert!(cp.cells.iter().all(|c| c.is_ok()));
+        // Attempt history was persisted per cell.
+        assert!(cp.cells.iter().all(|c| !c.history.is_empty()));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 const TOTAL_CELLS: usize = 24;
 
 fn read_checkpoint(path: &Path) -> Option<Checkpoint> {
-    let text = std::fs::read_to_string(path).ok()?;
+    // Checkpoints carry a checksum footer now; read through the store
+    // (which also verifies it — a torn write must never parse).
+    let (text, _verified) = ccraft_harness::store::read_verified_string(path).ok()?;
     serde_json::from_str(&text).ok()
 }
 
@@ -112,6 +114,102 @@ fn killed_experiment_resumes_from_checkpoint() {
     // Cells executed by the resume run = total - skipped; together with
     // the skipped set they cover the matrix exactly once.
     assert_eq!(final_cp.fingerprint, "exp-faults/tiny/3/none");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Generalizes the single-kill test into a sweep: SIGKILL the experiment
+/// at several different checkpoint depths, resuming after each, and
+/// assert the final `--resume` leaves a complete, checksum-valid results
+/// directory — every CSV verifies through the store and the checkpoint
+/// holds the whole matrix.
+#[test]
+fn kill_point_sweep_recovers_at_every_depth() {
+    let dir = std::env::temp_dir().join(format!("ccraft-kill-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint_path = dir.join("checkpoint.json");
+    let exe = env!("CARGO_BIN_EXE_exp-faults");
+    let base_args = ["--size", "tiny", "--threads", "1", "--seed", "5"];
+
+    // Kill once the checkpoint first reaches each of these depths. A fast
+    // machine may blow past a target (or finish); both degrade safely.
+    let mut completed = false;
+    for (round, target) in [1usize, 4, 9].into_iter().enumerate() {
+        let mut cmd = Command::new(exe);
+        cmd.args(base_args);
+        if round > 0 {
+            cmd.arg("--resume");
+        }
+        let mut child = cmd
+            .env("CCRAFT_RESULTS", &dir)
+            .env("CCRAFT_PROGRESS", "0")
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn exp-faults");
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if read_checkpoint(&checkpoint_path).is_some_and(|cp| ok_cells(&cp) >= target) {
+                break;
+            }
+            if child.try_wait().expect("poll child").is_some() {
+                completed = true;
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "round {round} made no progress toward {target} cells"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if completed {
+            break;
+        }
+        child.kill().expect("kill exp-faults");
+        let _ = child.wait();
+        // Whatever survived each kill must already be a valid checkpoint:
+        // atomic rename means we never observe a torn file.
+        let cp = read_checkpoint(&checkpoint_path).expect("checkpoint readable after kill");
+        assert_eq!(cp.fingerprint, "exp-faults/tiny/5/none");
+    }
+
+    // Final resume runs the remainder to completion.
+    let out = Command::new(exe)
+        .args(base_args)
+        .arg("--resume")
+        .env("CCRAFT_RESULTS", &dir)
+        .env("CCRAFT_PROGRESS", "0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .output()
+        .expect("final resume");
+    assert!(out.status.success(), "final resume failed");
+    let final_cp = read_checkpoint(&checkpoint_path).expect("final checkpoint");
+    assert_eq!(ok_cells(&final_cp), TOTAL_CELLS);
+
+    // The resumed run rewrote complete, checksum-valid CSVs.
+    let csvs: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".csv"))
+        .collect();
+    assert!(!csvs.is_empty(), "exp-faults must emit at least one CSV");
+    for entry in csvs {
+        let v = ccraft_harness::store::read_verified(&entry.path()).expect("CSV readable");
+        assert!(
+            v.verified,
+            "{:?} must carry a valid checksum footer",
+            entry.file_name()
+        );
+        assert!(!v.payload.is_empty());
+    }
+    // No quarantine files: SIGKILL must never corrupt the store's files.
+    let corrupt: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".corrupt-"))
+        .collect();
+    assert!(corrupt.is_empty(), "kill left corrupt files: {corrupt:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -6,5 +6,6 @@ fn timed() {
     let _ = std::time::SystemTime::now();
     let mut rng = rand::thread_rng();
     let x: u64 = rand::random();
+    std::thread::sleep(std::time::Duration::from_millis(1));
     let _ = (t0, rng, x);
 }

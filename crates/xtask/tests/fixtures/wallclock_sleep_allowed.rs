@@ -1,0 +1,6 @@
+// Fixture: the store's sanctioned retry-backoff sleep, waived exactly
+// like crates/harness/src/store.rs does it.
+fn sleep_backoff(ms: u64) {
+    // lint: allow(wall-clock) reason=bounded deterministic retry backoff for transient I/O
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}

@@ -145,10 +145,14 @@ fn checkpoint_round_trips_across_sessions() {
     assert_eq!(first.len(), 2);
 
     // Simulate an interruption: drop one cell from the file, as if the
-    // process died before completing it.
-    let text = std::fs::read_to_string(&path).unwrap();
+    // process died before completing it. The file carries a checksum
+    // footer, so read it back through the verified store.
+    let (text, verified) = cachecraft::harness::store::read_verified_string(&path).unwrap();
+    assert!(verified, "checkpoint must carry a valid checksum footer");
     let mut cp: checkpoint::Checkpoint = serde_json::from_str(&text).unwrap();
     assert_eq!(cp.cells.len(), 2);
+    // Rewrite it footer-less on purpose: a legacy (pre-checksum)
+    // checkpoint must still resume.
     cp.cells.retain(|c| c.key.contains("no-protection"));
     std::fs::write(&path, serde_json::to_string(&cp).unwrap()).unwrap();
 
@@ -163,9 +167,11 @@ fn checkpoint_round_trips_across_sessions() {
     for (a, b) in first.iter().zip(&second) {
         assert_eq!(Some(&a.stats), b.stats.as_ref(), "resume is bit-identical");
     }
-    // The repaired checkpoint again holds both cells.
-    let cp: checkpoint::Checkpoint =
-        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    // The repaired checkpoint again holds both cells (and is re-written
+    // with a footer by the session's durable save).
+    let (text, verified) = cachecraft::harness::store::read_verified_string(&path).unwrap();
+    assert!(verified);
+    let cp: checkpoint::Checkpoint = serde_json::from_str(&text).unwrap();
     assert_eq!(cp.cells.len(), 2);
     assert!(cp.cells.iter().all(|c| c.is_ok()));
     let _ = std::fs::remove_file(&path);
