@@ -24,11 +24,13 @@
 //! Every mechanism can be disabled independently ([`CacheCraftConfig`]) for
 //! the ablation study (experiment F7).
 
-use crate::inline_map::{EccStore, InlineMap, StoreProbe};
+use crate::inline_map::{ChannelStore, InlineMap, StoreProbe};
 use ccraft_ecc::layout::EccPlacement;
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::fxmap::FxHashMap;
-use ccraft_sim::protection::{FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan};
+use ccraft_sim::protection::{
+    ChannelScheme, FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan,
+};
 use ccraft_sim::types::{Cycle, LogicalAtom, PhysLoc};
 use std::collections::VecDeque;
 
@@ -199,72 +201,50 @@ impl CoalesceBuffer {
     }
 }
 
-/// The CacheCraft protection scheme.
+/// One channel's worth of CacheCraft state: the coalescing buffer, the
+/// channel's fragment-store slice, and channel-local counters. The scheme
+/// logic lives here — [`CacheCraft`] routes every channel-scoped call to
+/// the owning channel, and sharded execution detaches these objects so
+/// shard workers tick them without synchronization. `cfg` and `map` are
+/// `Copy` replicas, so detaching moves no shared state.
 #[derive(Debug)]
-pub struct CacheCraft {
+struct CacheCraftChannel {
     cfg: CacheCraftConfig,
     map: InlineMap,
-    store: Option<EccStore>,
-    coalesce: Vec<CoalesceBuffer>,
+    coalesce: CoalesceBuffer,
+    store: Option<ChannelStore>,
     stats: ProtectionStats,
 }
 
-impl CacheCraft {
-    /// Builds CacheCraft for a machine.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is inconsistent with the machine
-    /// geometry (e.g. the fragment budget does not form a valid cache, or
-    /// the row size cannot host the carve-out).
-    pub fn new(gpu: &GpuConfig, cfg: CacheCraftConfig) -> Self {
-        let placement = if cfg.colocate {
-            EccPlacement::RowColocated {
-                row_atoms: gpu.mem.row_atoms() as u32,
-            }
-        } else {
-            EccPlacement::ReservedRegion
-        };
-        let map = InlineMap::new(gpu, placement, cfg.coverage);
-        let store = cfg
-            .fragment_store
-            .then(|| EccStore::new(gpu.mem.channels, cfg.fragment_bytes_per_slice, 8));
-        CacheCraft {
+impl CacheCraftChannel {
+    fn new(cfg: CacheCraftConfig, map: InlineMap) -> Self {
+        CacheCraftChannel {
             cfg,
             map,
-            store,
-            coalesce: (0..gpu.mem.channels)
-                .map(|_| CoalesceBuffer::default())
-                .collect(),
+            coalesce: CoalesceBuffer::default(),
+            store: cfg
+                .fragment_store
+                .then(|| ChannelStore::new(cfg.fragment_bytes_per_slice, 8)),
             stats: ProtectionStats::default(),
         }
-    }
-
-    /// Builds the full design with default parameters.
-    pub fn full(gpu: &GpuConfig) -> Self {
-        Self::new(gpu, CacheCraftConfig::full())
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> CacheCraftConfig {
-        self.cfg
     }
 
     /// Queues an outgoing ECC write, via the coalescing buffer when C3 is
     /// enabled. Returns `None` when the write was buffered or merged;
     /// `Some(atom)` when it must be issued immediately.
-    fn queue_ecc_write(&mut self, channel: u16, ecc: u64, now: Cycle) -> Option<u64> {
+    fn queue_ecc_write(&mut self, ecc: u64, now: Cycle) -> Option<u64> {
         if self.cfg.reconstruct {
-            let buf = &mut self.coalesce[channel as usize];
-            match buf.push(ecc, now + self.cfg.coalesce_age) {
+            match self.coalesce.push(ecc, now + self.cfg.coalesce_age) {
                 Some(depth) => {
                     self.stats.coalesced_ecc_writes += 1;
                     self.stats.coalesce_max_merge_depth =
                         self.stats.coalesce_max_merge_depth.max(depth);
                 }
                 None => {
-                    self.stats.coalesce_peak_occupancy =
-                        self.stats.coalesce_peak_occupancy.max(buf.len() as u64);
+                    self.stats.coalesce_peak_occupancy = self
+                        .stats
+                        .coalesce_peak_occupancy
+                        .max(self.coalesce.len() as u64);
                 }
             }
             None
@@ -272,26 +252,29 @@ impl CacheCraft {
             Some(ecc)
         }
     }
+
+    fn flush(&mut self) {
+        self.coalesce.make_all_due();
+        if let Some(store) = &mut self.store {
+            store.flush();
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.coalesce.is_empty() && self.store.as_ref().is_none_or(|s| s.is_drained())
+    }
 }
 
-impl ProtectionScheme for CacheCraft {
-    fn name(&self) -> &str {
-        "cachecraft"
-    }
-
-    fn map(&self, logical: LogicalAtom) -> PhysLoc {
-        self.map.map(logical)
-    }
-
+impl ChannelScheme for CacheCraftChannel {
     fn demand_fill(&mut self, loc: PhysLoc, _now: Cycle) -> FillPlan {
         let ecc = self.map.ecc_atom(loc);
         // A pending coalesced write holds the freshest ECC on chip.
-        if self.cfg.reconstruct && self.coalesce[loc.channel as usize].contains(ecc) {
+        if self.cfg.reconstruct && self.coalesce.contains(ecc) {
             self.stats.ecc_fetch_hits += 1;
             return FillPlan::none();
         }
         if let Some(store) = &mut self.store {
-            match store.probe_fill(loc.channel, ecc) {
+            match store.probe_fill(ecc) {
                 probe @ (StoreProbe::Hit | StoreProbe::InFlight) => {
                     self.stats.ecc_fetch_hits += 1;
                     if probe == StoreProbe::Hit {
@@ -316,7 +299,7 @@ impl ProtectionScheme for CacheCraft {
 
     fn ecc_arrived(&mut self, loc: PhysLoc, _now: Cycle) {
         if let Some(store) = &mut self.store {
-            store.install(loc.channel, loc.atom, false);
+            store.install(loc.atom, false);
         }
     }
 
@@ -329,14 +312,14 @@ impl ProtectionScheme for CacheCraft {
         let ecc = self.map.ecc_atom(loc);
         // 1. Fragment-store hit: merge on chip, write on eviction.
         if let Some(store) = &mut self.store {
-            if store.absorb_write(loc.channel, ecc) {
+            if store.absorb_write(ecc) {
                 self.stats.absorbed_writebacks += 1;
                 return WritebackPlan::none();
             }
         }
         // 2. Pending coalesced write to the same ECC atom: merge.
-        if self.cfg.reconstruct && self.coalesce[loc.channel as usize].contains(ecc) {
-            let depth = self.coalesce[loc.channel as usize].merge_into(ecc);
+        if self.cfg.reconstruct && self.coalesce.contains(ecc) {
+            let depth = self.coalesce.merge_into(ecc);
             self.stats.coalesced_ecc_writes += 1;
             self.stats.coalesce_max_merge_depth = self.stats.coalesce_max_merge_depth.max(depth);
             self.stats.absorbed_writebacks += 1;
@@ -347,7 +330,7 @@ impl ProtectionScheme for CacheCraft {
             let (first, count) = self.map.ecc_group(loc);
             if (first..first + count).all(resident) {
                 self.stats.reconstructed_writebacks += 1;
-                let immediate = self.queue_ecc_write(loc.channel, ecc, now);
+                let immediate = self.queue_ecc_write(ecc, now);
                 return WritebackPlan {
                     ecc_reads: Vec::new(),
                     ecc_writes: immediate.into_iter().collect(),
@@ -358,13 +341,13 @@ impl ProtectionScheme for CacheCraft {
         self.stats.rmw_writebacks += 1;
         if let Some(store) = &mut self.store {
             // Write-allocate the merged result in the fragment store.
-            store.install(loc.channel, ecc, true);
+            store.install(ecc, true);
             WritebackPlan {
                 ecc_reads: vec![ecc],
                 ecc_writes: Vec::new(),
             }
         } else {
-            let immediate = self.queue_ecc_write(loc.channel, ecc, now);
+            let immediate = self.queue_ecc_write(ecc, now);
             WritebackPlan {
                 ecc_reads: vec![ecc],
                 ecc_writes: immediate.into_iter().collect(),
@@ -372,39 +355,123 @@ impl ProtectionScheme for CacheCraft {
         }
     }
 
-    fn drain_ecc_writes(&mut self, channel: u16, now: Cycle, budget: usize) -> Vec<u64> {
-        let mut out = self.coalesce[channel as usize].drain(now, self.cfg.coalesce_entries, budget);
+    fn drain_ecc_writes(&mut self, now: Cycle, budget: usize) -> Vec<u64> {
+        let mut out = self.coalesce.drain(now, self.cfg.coalesce_entries, budget);
         if out.len() < budget {
             if let Some(store) = &mut self.store {
-                out.extend(store.drain_writes(channel, budget - out.len()));
+                out.extend(store.drain_writes(budget - out.len()));
             }
         }
         self.stats.ecc_structure_writebacks += out.len() as u64;
         out
     }
 
-    fn flush(&mut self) {
-        for buf in &mut self.coalesce {
-            buf.make_all_due();
-        }
-        if let Some(store) = &mut self.store {
-            store.flush();
-        }
-    }
-
-    fn is_drained(&self) -> bool {
-        self.coalesce.iter().all(|b| b.is_empty())
-            && self.store.as_ref().is_none_or(|s| s.is_drained())
-    }
-
     fn next_timed_event(&self) -> Option<Cycle> {
-        // The coalesce buffers are the scheme's only age-triggered state:
+        // The coalesce buffer is the channel's only age-triggered state:
         // an entry that yields nothing today drains by itself once its
         // due cycle passes, so idle fast-forwards must stop there. (The
         // fragment store drains purely on demand/capacity and needs no
         // event.) After `flush` all dues are 0, which reads as "busy now"
         // and correctly pins the end-of-kernel drain to real cycles.
-        self.coalesce.iter().filter_map(|b| b.next_due()).min()
+        self.coalesce.next_due()
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// The CacheCraft protection scheme.
+#[derive(Debug)]
+pub struct CacheCraft {
+    cfg: CacheCraftConfig,
+    map: InlineMap,
+    /// One state block per channel; empty while detached for sharding.
+    channels: Vec<CacheCraftChannel>,
+}
+
+impl CacheCraft {
+    /// Builds CacheCraft for a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent with the machine
+    /// geometry (e.g. the fragment budget does not form a valid cache, or
+    /// the row size cannot host the carve-out).
+    pub fn new(gpu: &GpuConfig, cfg: CacheCraftConfig) -> Self {
+        let placement = if cfg.colocate {
+            EccPlacement::RowColocated {
+                row_atoms: gpu.mem.row_atoms() as u32,
+            }
+        } else {
+            EccPlacement::ReservedRegion
+        };
+        let map = InlineMap::new(gpu, placement, cfg.coverage);
+        CacheCraft {
+            cfg,
+            map,
+            channels: (0..gpu.mem.channels)
+                .map(|_| CacheCraftChannel::new(cfg, map))
+                .collect(),
+        }
+    }
+
+    /// Builds the full design with default parameters.
+    pub fn full(gpu: &GpuConfig) -> Self {
+        Self::new(gpu, CacheCraftConfig::full())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CacheCraftConfig {
+        self.cfg
+    }
+}
+
+impl ProtectionScheme for CacheCraft {
+    fn name(&self) -> &str {
+        "cachecraft"
+    }
+
+    fn map(&self, logical: LogicalAtom) -> PhysLoc {
+        self.map.map(logical)
+    }
+
+    fn demand_fill(&mut self, loc: PhysLoc, now: Cycle) -> FillPlan {
+        self.channels[loc.channel as usize].demand_fill(loc, now)
+    }
+
+    fn ecc_arrived(&mut self, loc: PhysLoc, now: Cycle) {
+        self.channels[loc.channel as usize].ecc_arrived(loc, now)
+    }
+
+    fn writeback(
+        &mut self,
+        loc: PhysLoc,
+        now: Cycle,
+        resident: &mut dyn FnMut(u64) -> bool,
+    ) -> WritebackPlan {
+        self.channels[loc.channel as usize].writeback(loc, now, resident)
+    }
+
+    fn drain_ecc_writes(&mut self, channel: u16, now: Cycle, budget: usize) -> Vec<u64> {
+        ChannelScheme::drain_ecc_writes(&mut self.channels[channel as usize], now, budget)
+    }
+
+    fn flush(&mut self) {
+        for ch in &mut self.channels {
+            ch.flush();
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.channels.iter().all(|c| c.is_drained())
+    }
+
+    fn next_timed_event(&self) -> Option<Cycle> {
+        self.channels
+            .iter()
+            .filter_map(|c| c.next_timed_event())
+            .min()
     }
 
     fn l2_tax_bytes(&self) -> u64 {
@@ -421,7 +488,36 @@ impl ProtectionScheme for CacheCraft {
     }
 
     fn stats(&self) -> ProtectionStats {
-        self.stats
+        // Counters sum and watermarks max across channels
+        // (order-independent), reproducing the single-struct aggregate a
+        // pre-split CacheCraft reported.
+        let mut total = ProtectionStats::default();
+        for c in &self.channels {
+            total.merge(&c.stats);
+        }
+        total
+    }
+
+    fn detach_channels(&mut self) -> Option<Vec<Box<dyn ChannelScheme>>> {
+        Some(
+            std::mem::take(&mut self.channels)
+                .into_iter()
+                .map(|c| Box::new(c) as Box<dyn ChannelScheme>)
+                .collect(),
+        )
+    }
+
+    fn attach_channels(&mut self, channels: Vec<Box<dyn ChannelScheme>>) {
+        debug_assert!(self.channels.is_empty(), "attach over live channels");
+        self.channels = channels
+            .into_iter()
+            .map(|c| match c.into_any().downcast::<CacheCraftChannel>() {
+                Ok(c) => *c,
+                // Reaching this is an engine bookkeeping bug: the boxes a
+                // scheme re-attaches are the ones its own detach produced.
+                Err(_) => unreachable!("foreign channel object at attach"),
+            })
+            .collect();
     }
 }
 

@@ -10,62 +10,33 @@
 //! visibility into what the L2 already holds, which is exactly the gap
 //! CacheCraft exploits.
 
-use crate::inline_map::{EccStore, InlineMap, StoreProbe};
+use crate::inline_map::{ChannelStore, InlineMap, StoreProbe};
 use ccraft_ecc::layout::EccPlacement;
 use ccraft_sim::config::GpuConfig;
-use ccraft_sim::protection::{FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan};
+use ccraft_sim::protection::{
+    ChannelScheme, FillPlan, ProtectionScheme, ProtectionStats, WritebackPlan,
+};
 use ccraft_sim::types::{Cycle, LogicalAtom, PhysLoc};
 
 /// Default dedicated capacity per memory controller (16 KiB, as in the
 /// evaluation's T1 configuration).
 pub const DEFAULT_CAPACITY_PER_MC: u64 = 16 << 10;
 
-/// The dedicated-ECC-cache scheme.
+/// One memory controller's dedicated ECC cache plus channel-local
+/// counters. The scheme logic lives here — [`EccCache`] routes each
+/// channel-scoped call to the owning channel, and sharded execution
+/// detaches these objects for lock-free shard ownership.
 #[derive(Debug)]
-pub struct EccCache {
+struct EccCacheChannel {
     map: InlineMap,
-    store: EccStore,
+    store: ChannelStore,
     stats: ProtectionStats,
 }
 
-impl EccCache {
-    /// Builds the scheme with `capacity_per_mc` bytes of dedicated ECC
-    /// cache per channel.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the capacity does not form a valid 8-way cache geometry.
-    pub fn new(cfg: &GpuConfig, coverage: u32, capacity_per_mc: u64) -> Self {
-        EccCache {
-            map: InlineMap::new(cfg, EccPlacement::ReservedRegion, coverage),
-            store: EccStore::new(cfg.mem.channels, capacity_per_mc, 8),
-            stats: ProtectionStats::default(),
-        }
-    }
-
-    /// Builds the scheme with the default 16 KiB/MC capacity.
-    pub fn with_default_capacity(cfg: &GpuConfig, coverage: u32) -> Self {
-        Self::new(cfg, coverage, DEFAULT_CAPACITY_PER_MC)
-    }
-
-    /// Dedicated SRAM bytes per channel.
-    pub fn capacity_per_mc(&self) -> u64 {
-        self.store.capacity_per_channel()
-    }
-}
-
-impl ProtectionScheme for EccCache {
-    fn name(&self) -> &str {
-        "ecc-cache"
-    }
-
-    fn map(&self, logical: LogicalAtom) -> PhysLoc {
-        self.map.map(logical)
-    }
-
+impl ChannelScheme for EccCacheChannel {
     fn demand_fill(&mut self, loc: PhysLoc, _now: Cycle) -> FillPlan {
         let ecc = self.map.ecc_atom(loc);
-        match self.store.probe_fill(loc.channel, ecc) {
+        match self.store.probe_fill(ecc) {
             StoreProbe::Hit | StoreProbe::InFlight => {
                 self.stats.ecc_fetch_hits += 1;
                 FillPlan::none()
@@ -80,7 +51,7 @@ impl ProtectionScheme for EccCache {
     }
 
     fn ecc_arrived(&mut self, loc: PhysLoc, _now: Cycle) {
-        self.store.install(loc.channel, loc.atom, false);
+        self.store.install(loc.atom, false);
     }
 
     fn writeback(
@@ -90,7 +61,7 @@ impl ProtectionScheme for EccCache {
         _resident: &mut dyn FnMut(u64) -> bool,
     ) -> WritebackPlan {
         let ecc = self.map.ecc_atom(loc);
-        if self.store.absorb_write(loc.channel, ecc) {
+        if self.store.absorb_write(ecc) {
             self.stats.absorbed_writebacks += 1;
             return WritebackPlan::none();
         }
@@ -98,25 +69,102 @@ impl ProtectionScheme for EccCache {
         // merged result resident and dirty; DRAM sees the write when the
         // entry is evicted or flushed.
         self.stats.rmw_writebacks += 1;
-        self.store.install(loc.channel, ecc, true);
+        self.store.install(ecc, true);
         WritebackPlan {
             ecc_reads: vec![ecc],
             ecc_writes: Vec::new(),
         }
     }
 
-    fn drain_ecc_writes(&mut self, channel: u16, _now: Cycle, budget: usize) -> Vec<u64> {
-        let drained = self.store.drain_writes(channel, budget);
+    fn drain_ecc_writes(&mut self, _now: Cycle, budget: usize) -> Vec<u64> {
+        let drained = self.store.drain_writes(budget);
         self.stats.ecc_structure_writebacks += drained.len() as u64;
         drained
     }
 
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// The dedicated-ECC-cache scheme.
+#[derive(Debug)]
+pub struct EccCache {
+    map: InlineMap,
+    /// One dedicated cache per channel; empty while detached for sharding.
+    channels: Vec<EccCacheChannel>,
+}
+
+impl EccCache {
+    /// Builds the scheme with `capacity_per_mc` bytes of dedicated ECC
+    /// cache per channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not form a valid 8-way cache geometry.
+    pub fn new(cfg: &GpuConfig, coverage: u32, capacity_per_mc: u64) -> Self {
+        let map = InlineMap::new(cfg, EccPlacement::ReservedRegion, coverage);
+        EccCache {
+            map,
+            channels: (0..cfg.mem.channels)
+                .map(|_| EccCacheChannel {
+                    map,
+                    store: ChannelStore::new(capacity_per_mc, 8),
+                    stats: ProtectionStats::default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the scheme with the default 16 KiB/MC capacity.
+    pub fn with_default_capacity(cfg: &GpuConfig, coverage: u32) -> Self {
+        Self::new(cfg, coverage, DEFAULT_CAPACITY_PER_MC)
+    }
+
+    /// Dedicated SRAM bytes per channel.
+    pub fn capacity_per_mc(&self) -> u64 {
+        self.channels[0].store.capacity_bytes()
+    }
+}
+
+impl ProtectionScheme for EccCache {
+    fn name(&self) -> &str {
+        "ecc-cache"
+    }
+
+    fn map(&self, logical: LogicalAtom) -> PhysLoc {
+        self.map.map(logical)
+    }
+
+    fn demand_fill(&mut self, loc: PhysLoc, now: Cycle) -> FillPlan {
+        self.channels[loc.channel as usize].demand_fill(loc, now)
+    }
+
+    fn ecc_arrived(&mut self, loc: PhysLoc, now: Cycle) {
+        self.channels[loc.channel as usize].ecc_arrived(loc, now)
+    }
+
+    fn writeback(
+        &mut self,
+        loc: PhysLoc,
+        now: Cycle,
+        resident: &mut dyn FnMut(u64) -> bool,
+    ) -> WritebackPlan {
+        self.channels[loc.channel as usize].writeback(loc, now, resident)
+    }
+
+    fn drain_ecc_writes(&mut self, channel: u16, now: Cycle, budget: usize) -> Vec<u64> {
+        ChannelScheme::drain_ecc_writes(&mut self.channels[channel as usize], now, budget)
+    }
+
     fn flush(&mut self) {
-        self.store.flush();
+        for ch in &mut self.channels {
+            ch.store.flush();
+        }
     }
 
     fn is_drained(&self) -> bool {
-        self.store.is_drained()
+        self.channels.iter().all(|c| c.store.is_drained())
     }
 
     fn fault_codec(&self) -> ccraft_sim::faults::ProtectionCodec {
@@ -125,7 +173,35 @@ impl ProtectionScheme for EccCache {
     }
 
     fn stats(&self) -> ProtectionStats {
-        self.stats
+        // Counters sum across channels (order-independent merge), matching
+        // the single-struct aggregate a pre-split EccCache reported.
+        let mut total = ProtectionStats::default();
+        for c in &self.channels {
+            total.merge(&c.stats);
+        }
+        total
+    }
+
+    fn detach_channels(&mut self) -> Option<Vec<Box<dyn ChannelScheme>>> {
+        Some(
+            std::mem::take(&mut self.channels)
+                .into_iter()
+                .map(|c| Box::new(c) as Box<dyn ChannelScheme>)
+                .collect(),
+        )
+    }
+
+    fn attach_channels(&mut self, channels: Vec<Box<dyn ChannelScheme>>) {
+        debug_assert!(self.channels.is_empty(), "attach over live channels");
+        self.channels = channels
+            .into_iter()
+            .map(|c| match c.into_any().downcast::<EccCacheChannel>() {
+                Ok(c) => *c,
+                // The boxes a scheme re-attaches are the ones its own
+                // detach produced; anything else is an engine bug.
+                Err(_) => unreachable!("foreign channel object at attach"),
+            })
+            .collect();
     }
 }
 

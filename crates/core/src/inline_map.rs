@@ -38,6 +38,11 @@ impl InlineMap {
         &self.layout
     }
 
+    /// Number of memory channels the map stripes across.
+    pub fn channels(&self) -> u16 {
+        self.interleave.channels()
+    }
+
     /// Maps a software-visible atom to its physical location.
     pub fn map(&self, logical: LogicalAtom) -> PhysLoc {
         let (channel, local) = self.interleave.split(logical);
@@ -59,11 +64,113 @@ impl InlineMap {
 /// An on-chip store of ECC atoms (a dedicated ECC cache or CacheCraft's
 /// repurposed-L2 fragment store): set-associative at ECC-atom granularity,
 /// with in-flight-fetch merging and a dirty-eviction write queue.
+///
+/// Internally one independent [`ChannelStore`] per channel; sharded
+/// execution detaches those channel stores so each shard worker can own
+/// its channel's ECC state (see
+/// [`ProtectionScheme::detach_channels`](ccraft_sim::protection::ProtectionScheme::detach_channels)).
 #[derive(Debug)]
 pub struct EccStore {
-    caches: Vec<SectorCache>,
-    inflight: Vec<FxHashSet<u64>>,
-    pending_writes: Vec<VecDeque<u64>>,
+    channels: Vec<ChannelStore>,
+}
+
+/// One channel's slice of an on-chip ECC store. All state is channel-local,
+/// so a detached `ChannelStore` ticks without synchronization.
+#[derive(Debug)]
+pub struct ChannelStore {
+    cache: SectorCache,
+    inflight: FxHashSet<u64>,
+    pending_writes: VecDeque<u64>,
+}
+
+impl ChannelStore {
+    /// Builds one channel's store with `bytes` capacity, `ways`-associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (capacity must give a power-of-two
+    /// set count).
+    pub fn new(bytes: u64, ways: u32) -> Self {
+        ChannelStore {
+            cache: SectorCache::with_capacity_hashed(bytes, ways, 1),
+            inflight: FxHashSet::default(),
+            pending_writes: VecDeque::new(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.cache.capacity_bytes()
+    }
+
+    /// Probes for a demand fill: on a miss the atom is registered as in
+    /// flight, so concurrent misses to the same ECC atom fetch once.
+    pub fn probe_fill(&mut self, ecc_atom: u64) -> StoreProbe {
+        if self.cache.probe(ecc_atom) {
+            // Refresh LRU.
+            let _ = self.cache.lookup_read(ecc_atom);
+            StoreProbe::Hit
+        } else if self.inflight.contains(&ecc_atom) {
+            StoreProbe::InFlight
+        } else {
+            self.inflight.insert(ecc_atom);
+            StoreProbe::Miss
+        }
+    }
+
+    /// Installs an ECC atom that arrived from DRAM (clears its in-flight
+    /// entry). Dirty evictions join the write queue.
+    pub fn install(&mut self, ecc_atom: u64, dirty: bool) {
+        self.inflight.remove(&ecc_atom);
+        if let Some(ev) = self.cache.fill(ecc_atom, dirty) {
+            for atom in ev.dirty_atoms {
+                self.pending_writes.push_back(atom);
+            }
+        }
+    }
+
+    /// Attempts to absorb a write-back's ECC update: returns `true` when
+    /// the atom is resident (now marked dirty) and no DRAM traffic is
+    /// needed.
+    pub fn absorb_write(&mut self, ecc_atom: u64) -> bool {
+        if self.cache.probe(ecc_atom) {
+            let _ = self.cache.lookup_write(ecc_atom);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dirty-eviction (and flush) write queue, up to `budget` atoms.
+    pub fn drain_writes(&mut self, budget: usize) -> Vec<u64> {
+        let n = budget.min(self.pending_writes.len());
+        self.pending_writes.drain(..n).collect()
+    }
+
+    /// Moves every dirty resident atom into the write queue (end of
+    /// kernel).
+    pub fn flush(&mut self) {
+        let dirty: Vec<u64> = self
+            .cache
+            .iter_valid()
+            .filter(|&(_, d)| d)
+            .map(|(a, _)| a)
+            .collect();
+        for a in dirty {
+            self.cache.clean(a);
+            self.pending_writes.push_back(a);
+        }
+    }
+
+    /// `true` when no pending writes remain.
+    pub fn is_drained(&self) -> bool {
+        self.pending_writes.is_empty()
+    }
+
+    /// Queued-but-undrained dirty-eviction writes (diagnostics).
+    pub fn pending_write_count(&self) -> usize {
+        self.pending_writes.len()
+    }
 }
 
 /// Outcome of probing the store on a demand fill.
@@ -87,93 +194,72 @@ impl EccStore {
     /// power-of-two set count).
     pub fn new(channels: u16, bytes_per_channel: u64, ways: u32) -> Self {
         EccStore {
-            caches: (0..channels)
-                .map(|_| SectorCache::with_capacity_hashed(bytes_per_channel, ways, 1))
+            channels: (0..channels)
+                .map(|_| ChannelStore::new(bytes_per_channel, ways))
                 .collect(),
-            inflight: (0..channels).map(|_| FxHashSet::default()).collect(),
-            pending_writes: (0..channels).map(|_| VecDeque::new()).collect(),
         }
     }
 
     /// Capacity per channel in bytes.
     pub fn capacity_per_channel(&self) -> u64 {
-        self.caches[0].capacity_bytes()
+        self.channels[0].capacity_bytes()
     }
 
     /// Probes for a demand fill: on a miss the atom is registered as in
     /// flight, so concurrent misses to the same ECC atom fetch once.
     pub fn probe_fill(&mut self, channel: u16, ecc_atom: u64) -> StoreProbe {
-        let ch = channel as usize;
-        if self.caches[ch].probe(ecc_atom) {
-            // Refresh LRU.
-            let _ = self.caches[ch].lookup_read(ecc_atom);
-            StoreProbe::Hit
-        } else if self.inflight[ch].contains(&ecc_atom) {
-            StoreProbe::InFlight
-        } else {
-            self.inflight[ch].insert(ecc_atom);
-            StoreProbe::Miss
-        }
+        self.channels[channel as usize].probe_fill(ecc_atom)
     }
 
     /// Installs an ECC atom that arrived from DRAM (clears its in-flight
     /// entry). Dirty evictions join the write queue.
     pub fn install(&mut self, channel: u16, ecc_atom: u64, dirty: bool) {
-        let ch = channel as usize;
-        self.inflight[ch].remove(&ecc_atom);
-        if let Some(ev) = self.caches[ch].fill(ecc_atom, dirty) {
-            for atom in ev.dirty_atoms {
-                self.pending_writes[ch].push_back(atom);
-            }
-        }
+        self.channels[channel as usize].install(ecc_atom, dirty)
     }
 
     /// Attempts to absorb a write-back's ECC update: returns `true` when
     /// the atom is resident (now marked dirty) and no DRAM traffic is
     /// needed.
     pub fn absorb_write(&mut self, channel: u16, ecc_atom: u64) -> bool {
-        let ch = channel as usize;
-        if self.caches[ch].probe(ecc_atom) {
-            let _ = self.caches[ch].lookup_write(ecc_atom);
-            true
-        } else {
-            false
-        }
+        self.channels[channel as usize].absorb_write(ecc_atom)
     }
 
     /// Dirty-eviction (and flush) write queue for `channel`, up to
     /// `budget` atoms.
     pub fn drain_writes(&mut self, channel: u16, budget: usize) -> Vec<u64> {
-        let q = &mut self.pending_writes[channel as usize];
-        let n = budget.min(q.len());
-        q.drain(..n).collect()
+        self.channels[channel as usize].drain_writes(budget)
     }
 
     /// Moves every dirty resident atom into the write queue (end of
     /// kernel).
     pub fn flush(&mut self) {
-        for ch in 0..self.caches.len() {
-            let dirty: Vec<u64> = self.caches[ch]
-                .iter_valid()
-                .filter(|&(_, d)| d)
-                .map(|(a, _)| a)
-                .collect();
-            for a in dirty {
-                self.caches[ch].clean(a);
-                self.pending_writes[ch].push_back(a);
-            }
+        for ch in &mut self.channels {
+            ch.flush();
         }
     }
 
     /// `true` when no pending writes remain in any channel.
     pub fn is_drained(&self) -> bool {
-        self.pending_writes.iter().all(|q| q.is_empty())
+        self.channels.iter().all(|c| c.is_drained())
     }
 
     /// Number of dirty-eviction writes that have been queued but not yet
     /// drained (diagnostics).
     pub fn pending_write_count(&self) -> usize {
-        self.pending_writes.iter().map(|q| q.len()).sum()
+        self.channels.iter().map(|c| c.pending_write_count()).sum()
+    }
+
+    /// Moves the per-channel stores out for shard ownership; the store is
+    /// empty (and must not be queried) until [`attach`](Self::attach).
+    pub fn detach(&mut self) -> Vec<ChannelStore> {
+        std::mem::take(&mut self.channels)
+    }
+
+    /// Restores channel stores previously produced by
+    /// [`detach`](Self::detach), in channel order.
+    pub fn attach(&mut self, channels: Vec<ChannelStore>) {
+        debug_assert!(self.channels.is_empty(), "attach over live channels");
+        self.channels = channels;
     }
 }
 

@@ -11,7 +11,7 @@
 //! ```
 
 use ccraft_core::cachecraft::CacheCraftConfig;
-use ccraft_core::factory::{run_scheme, run_scheme_profiled, SchemeKind};
+use ccraft_core::factory::{run_scheme, run_scheme_exec, SchemeKind};
 use ccraft_core::reliability::{Campaign, CodecKind};
 use ccraft_ecc::inject::ErrorPattern;
 use ccraft_harness::perfdiff::{self, DiffOptions};
@@ -32,7 +32,7 @@ ccx — CacheCraft simulator driver
 USAGE:
   ccx list
   ccx run --workload <name|all> [--scheme <name|all>] [--size tiny|small|full]
-          [--machine gddr6|hbm2] [--seed N] [--energy]
+          [--machine gddr6|hbm2] [--seed N] [--energy] [--sim-threads N]
           [--inject <pattern>:<rate>]
           [--hist] [--timeline <file>] [--trace <file>] [--profile]
   ccx reliability [--codec <secded|rs36|rs18|crc32|tagged4>]
@@ -40,7 +40,17 @@ USAGE:
   ccx perf-diff <run-dir-A> <run-dir-B> [--threshold-pct P] [--hit-threshold-pts P]
                 [--min-wall-delta SECS] [--bench-a FILE] [--bench-b FILE] [--force]
   ccx chaos-soak <exp-name> [--size smoke|tiny|small|full] [--seed N] [--threads N]
-                 [--chaos <spec>] [--kills N] [--max-attempts N] [--exe PATH]
+                 [--sim-threads N] [--chaos <spec>] [--kills N] [--max-attempts N]
+                 [--exe PATH]
+
+SHARDED SIMULATION (--sim-threads):
+  --sim-threads N    shard each simulation's cycle loop across N threads by
+                     memory channel. Statistics are bit-identical to
+                     --sim-threads 1; only wall-clock changes, so the value
+                     is recorded in manifest.json and perf-diff refuses
+                     mixed-sim_threads wall comparisons without --force.
+                     Telemetry (--hist/--timeline/--trace) and --inject
+                     fall back to the single-threaded loop.
 
 CHAOS SOAK (ccx chaos-soak):
   Verifies crash/fault recovery end to end: runs <exp-name> (e.g.
@@ -161,6 +171,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let show_energy = args.iter().any(|a| a == "--energy");
     let show_hist = args.iter().any(|a| a == "--hist");
     let profile = args.iter().any(|a| a == "--profile");
+    let sim_threads: u32 = match parse_flag(args, "--sim-threads").map(|s| s.parse()) {
+        None => 1,
+        Some(Ok(v)) if v >= 1 => v,
+        Some(_) => {
+            eprintln!("--sim-threads expects an integer >= 1\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
     let timeline_path = parse_flag(args, "--timeline");
     let trace_path = parse_flag(args, "--trace");
     for (flag, value) in [("--timeline", &timeline_path), ("--trace", &trace_path)] {
@@ -177,6 +195,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         TelemetryConfig::disabled()
     };
     let telemetry_on = tel.enabled || tel.trace_events;
+    if sim_threads > 1 && (telemetry_on || fault_cfg.is_some()) {
+        eprintln!(
+            "note: telemetry/fault-injection cells run single-threaded (--sim-threads ignored)"
+        );
+    }
     let Some(workload_arg) = parse_flag(args, "--workload") else {
         eprintln!("--workload is required\n\n{USAGE}");
         return ExitCode::FAILURE;
@@ -216,9 +239,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         let trace = w.generate(size, seed);
         println!("\n{trace}");
         for &kind in &schemes {
-            let s = if profile || telemetry_on || fault_cfg.is_some() {
-                let out =
-                    run_scheme_profiled(&cfg, kind, &trace, &tel, fault_cfg.as_ref(), profile);
+            let s = if profile || telemetry_on || fault_cfg.is_some() || sim_threads > 1 {
+                let out = run_scheme_exec(
+                    &cfg,
+                    kind,
+                    &trace,
+                    &tel,
+                    fault_cfg.as_ref(),
+                    profile,
+                    &ccraft_sim::ExecConfig { sim_threads },
+                );
                 if let Some(chrome) = out.trace {
                     last_trace = Some((format!("{}/{}", w.name(), kind.name()), chrome));
                 }
@@ -295,6 +325,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     manifest.size = size.to_string();
     manifest.seed = seed;
     manifest.threads = 1;
+    manifest.sim_threads = sim_threads;
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
     manifest.note("cells", cells as f64);
     if fault_cfg.is_some() {
@@ -512,7 +543,7 @@ fn cmd_chaos_soak(args: &[String]) -> ExitCode {
                     }
                 };
             }
-            "--seed" | "--threads" | "--kills" | "--max-attempts" => {
+            "--seed" | "--threads" | "--sim-threads" | "--kills" | "--max-attempts" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(Ok(v)) = args.get(i).map(|s| s.parse::<u64>()) else {
@@ -522,6 +553,7 @@ fn cmd_chaos_soak(args: &[String]) -> ExitCode {
                 match flag.as_str() {
                     "--seed" => opts.seed = v,
                     "--threads" => opts.threads = v as usize,
+                    "--sim-threads" => opts.sim_threads = (v as u32).max(1),
                     "--kills" => opts.kills = v as u32,
                     _ => opts.max_attempts = v as u32,
                 }

@@ -64,11 +64,31 @@ impl Default for DiffOptions {
     }
 }
 
+/// One entry of a `sim_threads` sweep in a schema-2 bench record: the
+/// same sweep re-run with the cycle loop sharded across `sim_threads`
+/// worker threads.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BenchThreadEntry {
+    /// Shard count the sweep ran with.
+    #[serde(default)]
+    pub sim_threads: u32,
+    /// Wall time of the sweep at this shard count, seconds.
+    #[serde(default)]
+    pub wall_time_secs: f64,
+    /// Throughput at this shard count, cells per second.
+    #[serde(default)]
+    pub cells_per_sec: f64,
+    /// Wall-clock speedup vs the `sim_threads = 1` entry of the same
+    /// record (1.0 for the baseline entry itself).
+    #[serde(default)]
+    pub speedup: f64,
+}
+
 /// One `BENCH_*.json` record as written by `scripts/bench_smoke`.
 /// Schema documented in DESIGN.md ("Performance observatory").
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct BenchRecord {
-    /// Format version (1).
+    /// Format version (2 since the `sim_threads` sweep; 1 before).
     #[serde(default)]
     pub schema: u64,
     /// UTC timestamp of the bench run (RFC 3339).
@@ -95,6 +115,18 @@ pub struct BenchRecord {
     /// Throughput, cells per second.
     #[serde(default)]
     pub cells_per_sec: f64,
+    /// Shard count of the headline numbers above (1 = the plain loop;
+    /// schema-1 records omit it and read back as 1 via the sweep default).
+    #[serde(default = "default_bench_sim_threads")]
+    pub sim_threads: u32,
+    /// Per-`sim_threads` sweep entries (schema 2; empty in older records).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub sweep: Vec<BenchThreadEntry>,
+}
+
+/// Serde default: schema-1 bench records predate sharding.
+fn default_bench_sim_threads() -> u32 {
+    1
 }
 
 /// Everything loadable from one run directory.
@@ -215,6 +247,16 @@ pub fn comparability(a: &RunSnapshot, b: &RunSnapshot) -> Vec<String> {
         reasons.push(format!(
             "feature flags differ: {:?} vs {:?}",
             ma.provenance.features, mb.provenance.features
+        ));
+    }
+    if ma.sim_threads != mb.sim_threads {
+        // Stats are bit-identical across sim_threads, but wall-clock is
+        // not: a sharded run is expected to be several times faster, so a
+        // mixed comparison would mistake the execution strategy for a
+        // performance change.
+        reasons.push(format!(
+            "sim_threads differs: {} vs {} (wall-clock not comparable)",
+            ma.sim_threads, mb.sim_threads
         ));
     }
     reasons
@@ -389,6 +431,13 @@ pub fn diff(a: &RunSnapshot, b: &RunSnapshot, opts: &DiffOptions) -> DiffReport 
 
     // Bench records, when both runs have one.
     match (&a.bench, &b.bench) {
+        (Some(ba), Some(bb)) if ba.sim_threads != bb.sim_threads && !opts.force => {
+            report.notes.push(format!(
+                "bench records ran at different sim_threads ({} vs {}); \
+                 wall metrics skipped (--force to compare anyway)",
+                ba.sim_threads, bb.sim_threads
+            ));
+        }
         (Some(ba), Some(bb)) => {
             let drifted = (bb.wall_time_secs - ba.wall_time_secs).abs() >= opts.min_wall_delta_secs;
             report.rows.push(DiffRow {
@@ -587,6 +636,51 @@ mod tests {
             .rows
             .iter()
             .any(|r| r.metric == "bench_cells_per_sec" && r.regressed));
+    }
+
+    #[test]
+    fn sim_threads_mismatch_makes_runs_incomparable() {
+        let a = snapshot(10.0, 90, 10, [500, 500]);
+        let mut b = snapshot(10.0, 90, 10, [500, 500]);
+        b.manifest.sim_threads = 4;
+        let reasons = comparability(&a, &b);
+        assert_eq!(reasons.len(), 1, "{reasons:?}");
+        assert!(reasons[0].contains("sim_threads"), "{reasons:?}");
+    }
+
+    #[test]
+    fn mixed_sim_threads_bench_walls_skipped_unless_forced() {
+        let mk = |sim_threads, wall| BenchRecord {
+            schema: 2,
+            wall_time_secs: wall,
+            cells: 22,
+            cells_per_sec: 22.0 / wall,
+            sim_threads,
+            ..BenchRecord::default()
+        };
+        let mut a = snapshot(10.0, 90, 10, [500, 500]);
+        let mut b = snapshot(10.0, 90, 10, [500, 500]);
+        a.bench = Some(mk(1, 40.0));
+        b.bench = Some(mk(4, 12.0)); // faster only because it is sharded
+        let report = diff(&a, &b, &DiffOptions::default());
+        assert!(!report.rows.iter().any(|r| r.metric.starts_with("bench_")));
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("different sim_threads")));
+        // --force compares anyway.
+        let forced = diff(
+            &a,
+            &b,
+            &DiffOptions {
+                force: true,
+                ..DiffOptions::default()
+            },
+        );
+        assert!(forced
+            .rows
+            .iter()
+            .any(|r| r.metric == "bench_wall_time_secs"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::checkpoint::{self, CellRecord, STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT};
 use crate::error::Error;
-use ccraft_core::factory::{run_scheme, run_scheme_instrumented, SchemeKind};
+use ccraft_core::factory::{run_scheme_exec, run_scheme_instrumented, SchemeKind};
 use ccraft_sim::config::GpuConfig;
 use ccraft_sim::faults::FaultConfig;
 use ccraft_sim::stats::SimStats;
@@ -31,6 +31,11 @@ common experiment options:
   --size tiny|small|full   workload size class (default: small)
   --seed N                 trace-generation seed (default: 1)
   --threads N              worker threads, 0 = number of CPUs (default: 0)
+  --sim-threads N          shard each simulation's cycle loop across N
+                           threads by memory channel (default: 1); stats
+                           are bit-identical at every setting, and the
+                           worker pool shrinks so that
+                           workers x sim-threads stays within the budget
   --inject <pat>:<rate>    in-situ DRAM fault injection, e.g. symbol:1e-6
                            or bit2:fit=5000@24 (pattern bit1|bit2|bit3|
                            burst4|symbol|chiplane; rate per access or
@@ -65,6 +70,10 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Worker threads (0 = number of CPUs).
     pub threads: usize,
+    /// Threads each simulation's cycle loop is sharded across (1 = the
+    /// plain single-threaded loop). Purely an execution strategy: stats
+    /// stay bit-identical at every setting.
+    pub sim_threads: u32,
     /// In-situ fault injection, when configured (`--inject`).
     pub inject: Option<FaultConfig>,
     /// Resume from `results/checkpoint.json`, skipping finished cells.
@@ -84,6 +93,7 @@ impl Default for ExpOptions {
             size: SizeClass::Small,
             seed: 1,
             threads: 0,
+            sim_threads: 1,
             inject: None,
             resume: false,
             cell_timeout_secs: None,
@@ -126,6 +136,14 @@ impl ExpOptions {
                 "--threads" => {
                     i += 1;
                     opts.threads = parse_value(args, i, "--threads", "an integer")?;
+                }
+                "--sim-threads" => {
+                    i += 1;
+                    let n: u32 = parse_value(args, i, "--sim-threads", "an integer")?;
+                    if n == 0 {
+                        return Err(Error::config("--sim-threads must be at least 1"));
+                    }
+                    opts.sim_threads = n;
                 }
                 "--inject" => {
                     i += 1;
@@ -180,11 +198,20 @@ impl ExpOptions {
         }
     }
 
+    /// Effective per-simulation shard count (floor 1).
+    pub fn effective_sim_threads(&self) -> u32 {
+        self.sim_threads.max(1)
+    }
+
     /// Worker count the matrix engine actually spawns: the effective
-    /// thread count clamped to `[1, 64]`. This — not the raw request —
-    /// is what run manifests record.
+    /// thread count clamped to `[1, 64]`, then shrunk so the total
+    /// `workers x sim_threads` footprint stays within the same budget —
+    /// sharded cells each occupy `sim_threads` CPUs, so the pool narrows
+    /// rather than oversubscribing. This — not the raw request — is what
+    /// run manifests record.
     pub fn effective_workers(&self) -> usize {
-        self.effective_threads().clamp(1, 64)
+        let budget = self.effective_threads().clamp(1, 64);
+        (budget / self.effective_sim_threads() as usize).max(1)
     }
 
     /// Canonical inject spec for checkpoint fingerprints (`"none"` when
@@ -619,7 +646,23 @@ fn standard_body(cfg: &GpuConfig, opts: &ExpOptions) -> Arc<CellBody> {
     Arc::new(move |idx, workload, scheme| {
         let trace = workload.generate(opts.size, opts.seed);
         match opts.inject {
-            None => run_scheme(&cfg, scheme, &trace),
+            // Sharded execution is bit-identical, so the exec-aware entry
+            // point is safe for every cell; with `--sim-threads 1` it is
+            // the plain loop.
+            None => {
+                run_scheme_exec(
+                    &cfg,
+                    scheme,
+                    &trace,
+                    &TelemetryConfig::disabled(),
+                    None,
+                    false,
+                    &ccraft_sim::ExecConfig {
+                        sim_threads: opts.effective_sim_threads(),
+                    },
+                )
+                .stats
+            }
             Some(fc) => {
                 // Each cell gets its own injection stream, derived from the
                 // experiment seed and the cell index so runs reproduce.
@@ -783,6 +826,7 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Err
     manifest.size = opts.size.to_string();
     manifest.seed = opts.seed;
     manifest.threads = opts.effective_workers();
+    manifest.sim_threads = opts.effective_sim_threads();
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
     let mut failed_cells = 0usize;
     if let Some(sess) = &session {
@@ -873,6 +917,7 @@ pub fn require<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccraft_core::factory::run_scheme;
 
     fn argv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()

@@ -1,0 +1,760 @@
+//! Channel-sharded parallel execution engine.
+//!
+//! The cycle loop in [`crate::gpu`] is single-threaded. For multi-channel
+//! machines the memory side — one (L2 slice, memory controller, DRAM
+//! channel) stack per channel — dominates host time, and the stacks are
+//! nearly independent timing domains: they interact only through the
+//! crossbar, whose latency `L >= 1` cycles bounds how fast information
+//! can cross between an SM and a slice.
+//!
+//! This module exploits that bound. Simulated time is cut into *epochs*
+//! of exactly `L` cycles. Within one epoch:
+//!
+//! - a request sent by an SM at cycle `t` arrives at its slice at
+//!   `t + L`, i.e. strictly inside a *later* epoch, so slices never need
+//!   to see intra-epoch sends;
+//! - a response emitted by a slice at cycle `t` arrives at its SM at
+//!   `t + L`, strictly inside a later epoch, so SMs never need to see
+//!   intra-epoch emissions.
+//!
+//! Each worker thread owns one or more channel stacks (a *lane* each)
+//! and ticks them through the epoch while the main thread concurrently
+//! runs the SM side over the same cycles. The only intra-epoch feedback
+//! is *capacity*: the crossbar rejects a send when the target channel's
+//! request queue holds `REQ_QUEUE_CAP` entries, and queue occupancy
+//! depends on how many requests the lane drained each cycle. Lanes
+//! therefore publish a per-cycle drain counter through [`LaneShared`];
+//! the main thread mirrors queue occupancy as `pushes - pops` and folds
+//! drain counters in lazily, only when it actually gates a send on that
+//! channel — so in the common (non-full) case the threads never wait on
+//! each other inside an epoch.
+//!
+//! At the epoch barrier the main thread collects each lane's emitted
+//! responses and merges them into the crossbar in *canonical order* —
+//! ascending cycle, then ascending channel, then emission order — which
+//! is exactly the order the single-threaded loop calls `send_response`.
+//! Request interleaving, rejects, and therefore `SimStats` are
+//! bit-identical to the single-threaded simulator at every shard count.
+//!
+//! Epochs run only while a conservative bound
+//! ([`SmCore::done_horizon`]) proves no warp set can retire inside the
+//! epoch; the endgame (flush, drain, timeout) always runs on the
+//! untouched single-threaded loop, which resumes from the handback
+//! cycle with state indistinguishable from having run alone.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::config::GpuConfig;
+use crate::l2::L2Slice;
+use crate::msg::{L2Request, L2Response};
+use crate::protection::{ChannelScheme, ProtectionScheme, ShardSchemeAdapter};
+use crate::sm::SmCore;
+use crate::types::Cycle;
+use crate::xbar::{Crossbar, REQ_QUEUE_CAP};
+use ccraft_telemetry::profiler::PhaseTimer;
+
+/// Mutable views over the simulator state the prologue advances. The
+/// fields are exactly the locals of the single-threaded loop; on return
+/// they hold the state that loop would have reached at `*now`.
+pub(crate) struct ShardEnv<'a> {
+    /// Machine description (epoch guard needs `max_cycles`).
+    pub cfg: &'a GpuConfig,
+    /// The SM cores, ticked by the main thread's SM phase.
+    pub sms: &'a mut [SmCore],
+    /// Per-channel L2 slices; drained into lanes, restored in order.
+    pub slices: &'a mut Vec<L2Slice>,
+    /// The crossbar; its request queues are mirrored by the gate.
+    pub xbar: &'a mut Crossbar,
+    /// Per-SM sleep memo (same semantics as the plain loop's).
+    pub sm_wake: &'a mut [Cycle],
+    /// Per-SM cached doneness (valid while the memo sleeps).
+    pub sm_done: &'a mut [bool],
+    /// Current cycle; advanced to the handback cycle.
+    pub now: &'a mut Cycle,
+}
+
+impl std::fmt::Debug for ShardEnv<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardEnv").field("now", self.now).finish()
+    }
+}
+
+/// What the prologue did, for the profiler's shard attribution.
+#[derive(Debug, Default)]
+pub(crate) struct ShardReport {
+    /// Epochs executed before handing back to the plain loop.
+    pub epochs: u64,
+    /// Host ns the main thread spent blocked at epoch barriers.
+    pub sm_wait_ns: u64,
+    /// Per-worker load (index = shard id).
+    pub workers: Vec<WorkerLoad>,
+}
+
+/// One worker's host-time split.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WorkerLoad {
+    /// Channel lanes this worker owned.
+    pub lanes: u32,
+    /// Host ns ticking lanes (epoch work).
+    pub busy_ns: u64,
+    /// Host ns waiting for the next epoch command.
+    pub wait_ns: u64,
+}
+
+/// Cross-thread state for one worker: the per-cycle drain counters its
+/// lanes publish and the progress watermark that orders them.
+///
+/// `progress` holds `t + 1` once every lane finished cycle `t`
+/// (`Release`-stored; the gate `Acquire`-loads it before reading
+/// `drains`). `drains` is a ring of one slot per (lane, epoch cycle):
+/// slot `lane * epoch_len + (t - epoch_start)` holds how many requests
+/// that lane drained from its ingress queue at cycle `t`. Slots are
+/// reused across epochs; the barrier protocol guarantees the main
+/// thread folds every slot of epoch `k` before any lane starts epoch
+/// `k + 1`.
+struct LaneShared {
+    progress: AtomicU64,
+    drains: Vec<AtomicU32>,
+}
+
+/// Spin until `sh.progress >= target`. A short busy-spin covers the
+/// common case where the producer is mid-epoch on another core; past
+/// that the waiter yields on every check so an oversubscribed host
+/// (fewer cores than lanes) hands the CPU straight to the lane it is
+/// waiting on instead of burning its timeslice.
+fn wait_progress(sh: &LaneShared, target: u64) {
+    let mut spins: u32 = 0;
+    while sh.progress.load(Ordering::Acquire) < target {
+        if spins < 64 {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// One channel stack owned by a worker: the slice, the scheme's
+/// detached per-channel state, and the not-yet-delivered ingress queue
+/// (the shard-side mirror of the crossbar's per-channel request queue).
+struct Lane {
+    channel: u16,
+    slice: L2Slice,
+    adapter: ShardSchemeAdapter,
+    pending: VecDeque<(Cycle, L2Request)>,
+    delivered: u64,
+}
+
+/// Epoch command sent main → worker.
+enum Cmd {
+    /// Run cycles `[start, start + epoch_len)`; `ingress[i]` is the
+    /// arrival-stamped request batch for the worker's `i`-th lane,
+    /// gated during the previous SM phase, in send order.
+    Epoch {
+        start: Cycle,
+        ingress: Vec<Vec<(Cycle, L2Request)>>,
+    },
+    /// Hand the lanes back and exit.
+    Finish,
+}
+
+/// Per-epoch reply, worker → main.
+struct EpochReply {
+    /// Per-lane responses in emission order, stamped with the emission
+    /// cycle. The driver merges these canonically at the barrier.
+    egress: Vec<Vec<(Cycle, L2Response)>>,
+    /// Per-lane ingress queue length at epoch end, for the gate-mirror
+    /// cross-check.
+    #[cfg(feature = "check-invariants")]
+    pending_lens: Vec<usize>,
+}
+
+/// Final reply, worker → main.
+struct LaneReturn {
+    lanes: Vec<Lane>,
+    busy_ns: u64,
+    wait_ns: u64,
+}
+
+enum Reply {
+    Epoch(EpochReply),
+    Finish(Box<LaneReturn>),
+}
+
+/// A worker thread's lanes plus its scratch state.
+struct Worker {
+    lanes: Vec<Lane>,
+    ports: u32,
+    /// Epoch length in cycles (= crossbar latency); also the per-lane
+    /// stride into [`LaneShared::drains`].
+    stride: usize,
+    resp_buf: Vec<L2Response>,
+}
+
+impl Worker {
+    /// Earliest cycle `> t` at which any of this worker's lanes can act,
+    /// capped at `end`, or `None` when some lane is busy at `t`. Same
+    /// contract as the plain loop's `idle_wake`, restricted to the
+    /// lane-local components: a lane whose slice reports
+    /// `next_event > t`, whose ingress front has not matured and whose
+    /// channel scheme has no due pacing event provably no-ops at `t`.
+    #[cfg(not(feature = "check-invariants"))]
+    fn idle_until(&self, t: Cycle, end: Cycle) -> Option<Cycle> {
+        let mut wake = end;
+        for lane in &self.lanes {
+            match lane.slice.next_event(t) {
+                Some(c) if c <= t => return None,
+                Some(c) => wake = wake.min(c),
+                None => {}
+            }
+            if let Some(&(arrival, _)) = lane.pending.front() {
+                if arrival <= t {
+                    return None;
+                }
+                wake = wake.min(arrival);
+            }
+            match lane.adapter.channel_timed_event() {
+                Some(c) if c <= t => return None,
+                Some(c) => wake = wake.min(c),
+                None => {}
+            }
+        }
+        Some(wake)
+    }
+
+    /// Runs one epoch over this worker's lanes, publishing per-cycle
+    /// drain counts through `shared` as each cycle completes.
+    fn run_epoch(
+        &mut self,
+        shared: &LaneShared,
+        start: Cycle,
+        ingress: Vec<Vec<(Cycle, L2Request)>>,
+    ) -> EpochReply {
+        let end = start + self.stride as Cycle;
+        for (lane, batch) in self.lanes.iter_mut().zip(ingress) {
+            lane.pending.extend(batch);
+        }
+        let mut egress: Vec<Vec<(Cycle, L2Response)>> =
+            self.lanes.iter().map(|_| Vec::new()).collect();
+        let mut t = start;
+        while t < end {
+            // Lane-local idle skip: all lanes quiescent until `wake`.
+            // Skipped slots still publish (zero) drains so the gate's
+            // fold never reads a stale ring entry. Disabled under the
+            // oracle build, which ticks through every cycle.
+            #[cfg(not(feature = "check-invariants"))]
+            {
+                if let Some(wake) = self.idle_until(t, end) {
+                    if wake > t {
+                        let base_slot = (t - start) as usize;
+                        let n = (wake - t) as usize;
+                        for li in 0..self.lanes.len() {
+                            for s in 0..n {
+                                shared.drains[li * self.stride + base_slot + s]
+                                    .store(0, Ordering::Relaxed);
+                            }
+                        }
+                        shared.progress.store(wake, Ordering::Release);
+                        t = wake;
+                        continue;
+                    }
+                }
+            }
+            let slot = (t - start) as usize;
+            for (li, lane) in self.lanes.iter_mut().enumerate() {
+                // Same per-channel order as the plain loop: slice tick,
+                // response emission, then request delivery.
+                lane.slice.tick(&mut lane.adapter, t);
+                lane.slice.pop_responses_into(t, &mut self.resp_buf);
+                for &resp in self.resp_buf.iter() {
+                    egress[li].push((t, resp));
+                }
+                let mut drained: u32 = 0;
+                for _ in 0..self.ports {
+                    let matured =
+                        matches!(lane.pending.front(), Some(&(arrival, _)) if arrival <= t);
+                    if !matured || !lane.slice.can_accept() {
+                        break;
+                    }
+                    if let Some((_, req)) = lane.pending.pop_front() {
+                        lane.slice.push(req);
+                        lane.delivered += 1;
+                        drained += 1;
+                    }
+                }
+                shared.drains[li * self.stride + slot].store(drained, Ordering::Relaxed);
+                #[cfg(feature = "check-invariants")]
+                lane.slice.assert_coherent();
+            }
+            shared.progress.store(t + 1, Ordering::Release);
+            t += 1;
+        }
+        EpochReply {
+            egress,
+            #[cfg(feature = "check-invariants")]
+            pending_lens: self.lanes.iter().map(|l| l.pending.len()).collect(),
+        }
+    }
+}
+
+/// Worker thread entry: serve epoch commands until `Finish`.
+fn worker_main(
+    mut w: Worker,
+    shared: &LaneShared,
+    rx: Receiver<Cmd>,
+    tx: Sender<Reply>,
+    profile: bool,
+) {
+    let mut busy_ns: u64 = 0;
+    let mut wait_ns: u64 = 0;
+    let mut timer = PhaseTimer::start(profile);
+    loop {
+        let cmd = match rx.recv() {
+            Ok(c) => c,
+            // Driver gone (panic unwinding the scope): just exit.
+            Err(_) => return,
+        };
+        wait_ns = wait_ns.saturating_add(timer.lap());
+        match cmd {
+            Cmd::Epoch { start, ingress } => {
+                let reply = w.run_epoch(shared, start, ingress);
+                busy_ns = busy_ns.saturating_add(timer.lap());
+                if tx.send(Reply::Epoch(reply)).is_err() {
+                    return;
+                }
+            }
+            Cmd::Finish => {
+                let _ = tx.send(Reply::Finish(Box::new(LaneReturn {
+                    lanes: w.lanes,
+                    busy_ns,
+                    wait_ns,
+                })));
+                return;
+            }
+        }
+    }
+}
+
+/// The main thread's mirror of the crossbar's per-channel request
+/// queues while lanes own the real delivery side. Occupancy is
+/// `pushes - pops`; `pops` lags the lanes' published drain counters and
+/// is folded forward lazily, only when a send must be gated.
+struct Gate<'s> {
+    latency: Cycle,
+    cap: u64,
+    pushes: Vec<u64>,
+    pops: Vec<u64>,
+    /// Next cycle (per channel) whose drain counter has not been folded
+    /// into `pops` yet.
+    drained_upto: Vec<Cycle>,
+    /// Requests gated since the last handoff, stamped with their
+    /// arrival cycle, in send order. Becomes the next epoch's ingress.
+    batches: Vec<Vec<(Cycle, L2Request)>>,
+    sent: u64,
+    rejects: u64,
+    shared: &'s [LaneShared],
+    workers: usize,
+    stride: usize,
+    epoch_start: Cycle,
+}
+
+impl<'s> Gate<'s> {
+    fn new(latency: Cycle, channels: usize, init_lens: &[u64], shared: &'s [LaneShared]) -> Self {
+        let workers = shared.len();
+        let stride = latency as usize;
+        Gate {
+            latency,
+            cap: REQ_QUEUE_CAP as u64,
+            pushes: init_lens.to_vec(),
+            pops: vec![0; channels],
+            drained_upto: vec![0; channels],
+            batches: vec![Vec::new(); channels],
+            sent: 0,
+            rejects: 0,
+            shared,
+            workers,
+            stride,
+            epoch_start: 0,
+        }
+    }
+
+    /// Folds channel `ch`'s drain counters through cycle `through`
+    /// (inclusive) into `pops`, waiting for the owning lane to publish
+    /// them first.
+    fn fold(&mut self, ch: usize, through: Cycle) {
+        if self.drained_upto[ch] > through {
+            return;
+        }
+        let sh = &self.shared[ch % self.workers];
+        wait_progress(sh, through + 1);
+        let base = (ch / self.workers) * self.stride;
+        for c in self.drained_upto[ch]..=through {
+            let slot = (c - self.epoch_start) as usize;
+            self.pops[ch] += u64::from(sh.drains[base + slot].load(Ordering::Relaxed));
+        }
+        self.drained_upto[ch] = through + 1;
+    }
+
+    /// The SM phase's send hook: same accept/reject decision, stamp and
+    /// counter updates as `Crossbar::try_send_request`, against the
+    /// mirrored occupancy.
+    fn try_send(&mut self, req: L2Request, now: Cycle) -> bool {
+        let ch = req.loc.channel as usize;
+        self.fold(ch, now);
+        if self.pushes[ch] - self.pops[ch] >= self.cap {
+            self.rejects += 1;
+            return false;
+        }
+        self.batches[ch].push((now + self.latency, req));
+        self.pushes[ch] += 1;
+        self.sent += 1;
+        true
+    }
+}
+
+/// Conservative earliest cycle at which *every* warp in the machine
+/// could have retired: the max over SMs of [`SmCore::done_horizon`].
+fn done_horizon_all(sms: &[SmCore], now: Cycle) -> Cycle {
+    sms.iter()
+        .map(|s| s.done_horizon(now))
+        .fold(now, Cycle::max)
+}
+
+/// Runs the SM side of cycles `[from, to)`: response delivery, core
+/// ticks (sends routed through the gate mirror) and the per-SM sleep
+/// memo — a faithful transcription of the plain loop's phases 2b/3,
+/// valid because the termination scan, flush, telemetry and fault
+/// hooks are all provably inert inside a guarded epoch.
+#[allow(clippy::too_many_arguments)]
+fn sm_phase(
+    sms: &mut [SmCore],
+    xbar: &mut Crossbar,
+    sm_wake: &mut [Cycle],
+    sm_done: &mut [bool],
+    scheme: &dyn ProtectionScheme,
+    gate: &mut Gate<'_>,
+    resp_buf: &mut Vec<L2Response>,
+    from: Cycle,
+    to: Cycle,
+) {
+    let mut t = from;
+    while t < to {
+        // All-asleep skip: no SM can act before the earliest wake or
+        // response arrival, so the only per-cycle effect is the stall
+        // accounting — batch it. (The crossbar's request queues are
+        // empty while sharded, so `next_event` is the earliest response
+        // arrival.) Disabled under the oracle build.
+        #[cfg(not(feature = "check-invariants"))]
+        {
+            if sm_wake.iter().all(|&w| w > t) {
+                let mut wake = to;
+                for &w in sm_wake.iter() {
+                    if w < wake {
+                        wake = w;
+                    }
+                }
+                match xbar.next_event() {
+                    Some(c) if c <= t => wake = t,
+                    Some(c) => wake = wake.min(c),
+                    None => {}
+                }
+                if wake > t {
+                    let span = wake - t;
+                    for (i, sm) in sms.iter_mut().enumerate() {
+                        if !sm_done[i] {
+                            sm.account_stalled_span(span);
+                        }
+                    }
+                    t = wake;
+                    continue;
+                }
+            }
+        }
+        for (i, sm) in sms.iter_mut().enumerate() {
+            xbar.deliver_responses_into(i as u16, t, resp_buf);
+            if !resp_buf.is_empty() {
+                sm_wake[i] = 0;
+            }
+            for &resp in resp_buf.iter() {
+                sm.l1.accept_response(resp);
+            }
+        }
+        for (i, sm) in sms.iter_mut().enumerate() {
+            if sm_wake[i] > t {
+                #[cfg(feature = "check-invariants")]
+                {
+                    if let Some(c) = sm.next_event(t) {
+                        assert!(
+                            c >= sm_wake[i],
+                            "invariant violated: SM {i} asleep until {} but \
+                             next_event says {c} (cycle {t}, sharded)",
+                            sm_wake[i]
+                        );
+                    }
+                    assert_eq!(
+                        sm.all_warps_done(t),
+                        sm_done[i],
+                        "invariant violated: SM {i} doneness flipped while \
+                         asleep (cycle {t}, sharded)"
+                    );
+                }
+                if !sm_done[i] {
+                    sm.account_stalled_span(1);
+                }
+                continue;
+            }
+            let stalled = sm.tick(t, &mut |atom| scheme.map(atom), &mut |req| {
+                gate.try_send(req, t)
+            });
+            if stalled {
+                sm_wake[i] = match sm.next_event(t) {
+                    Some(c) if c <= t => 0,
+                    Some(c) => c,
+                    None => Cycle::MAX,
+                };
+                if sm_wake[i] > t {
+                    sm_done[i] = sm.all_warps_done(t);
+                }
+            } else {
+                sm_wake[i] = 0;
+            }
+        }
+        t += 1;
+    }
+}
+
+/// Runs the channel-sharded prologue, advancing `env` through whole
+/// epochs while the done-horizon guard holds, then hands back with
+/// every piece of state bit-identical to a single-threaded run reaching
+/// `*env.now`. Returns `None` (leaving `env` untouched) when sharding
+/// cannot engage: one thread, fewer than two channels, a zero-latency
+/// crossbar, a scheme without per-channel partitioning, or a run too
+/// short to prove even one completion-free epoch.
+pub(crate) fn run_prologue(
+    env: &mut ShardEnv<'_>,
+    scheme: &mut dyn ProtectionScheme,
+    sim_threads: u32,
+    profile: bool,
+) -> Option<ShardReport> {
+    let channels = usize::from(env.cfg.mem.channels);
+    let latency = Cycle::from(env.xbar.latency());
+    let epoch = latency;
+    if sim_threads <= 1 || channels < 2 || epoch == 0 || *env.now != 0 {
+        return None;
+    }
+    let mut horizon = done_horizon_all(env.sms, 0);
+    if epoch > horizon || epoch >= env.cfg.max_cycles {
+        return None;
+    }
+    let chan_schemes = scheme.detach_channels()?;
+    debug_assert_eq!(chan_schemes.len(), channels, "detach_channels arity");
+
+    // Partition channels round-robin over workers: worker `w` owns
+    // channels `w, w + S, w + 2S, ...` (lane `li` of worker `w` is
+    // channel `w + li * S`). The merge order is canonical by channel
+    // regardless of the partition, so the assignment only affects load
+    // balance.
+    let workers_n = (sim_threads as usize - 1).min(channels);
+    let stride = epoch as usize;
+    let ports = env.xbar.ports();
+    let mut scheme_slots: Vec<Option<Box<dyn ChannelScheme>>> =
+        chan_schemes.into_iter().map(Some).collect();
+    let mut slice_slots: Vec<Option<L2Slice>> = env.slices.drain(..).map(Some).collect();
+    let mut workers: Vec<Worker> = (0..workers_n)
+        .map(|_| Worker {
+            lanes: Vec::new(),
+            ports,
+            stride,
+            resp_buf: Vec::new(),
+        })
+        .collect();
+    let mut init_lens: Vec<u64> = vec![0; channels];
+    for ch in 0..channels {
+        let slice = slice_slots[ch].take().unwrap_or_else(|| unreachable!());
+        let cs = scheme_slots[ch].take().unwrap_or_else(|| unreachable!());
+        let pending = env.xbar.take_requests(ch as u16);
+        init_lens[ch] = pending.len() as u64;
+        workers[ch % workers_n].lanes.push(Lane {
+            channel: ch as u16,
+            slice,
+            adapter: ShardSchemeAdapter::new(cs, ch as u16),
+            pending,
+            delivered: 0,
+        });
+    }
+    let shared: Vec<LaneShared> = workers
+        .iter()
+        .map(|w| LaneShared {
+            progress: AtomicU64::new(0),
+            drains: (0..w.lanes.len() * stride)
+                .map(|_| AtomicU32::new(0))
+                .collect(),
+        })
+        .collect();
+
+    let mut report = ShardReport::default();
+    let mut barrier_timer = PhaseTimer::start(profile);
+
+    std::thread::scope(|scope| {
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(workers_n);
+        let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(workers_n);
+        for (wi, w) in workers.into_iter().enumerate() {
+            let (ctx, crx) = channel::<Cmd>();
+            let (rtx, rrx) = channel::<Reply>();
+            let sh = &shared[wi];
+            scope.spawn(move || worker_main(w, sh, crx, rtx, profile));
+            cmd_txs.push(ctx);
+            reply_rxs.push(rrx);
+        }
+
+        let mut gate = Gate::new(latency, channels, &init_lens, &shared);
+        let mut resp_buf: Vec<L2Response> = Vec::new();
+        let mut e: Cycle = 0;
+        loop {
+            // Epoch guard: the whole epoch must be provably
+            // completion-free (so the plain loop's per-cycle
+            // termination scan stays a no-op) and inside the timeout.
+            if e + epoch > horizon {
+                horizon = done_horizon_all(env.sms, e);
+                if e + epoch > horizon {
+                    break;
+                }
+            }
+            if e + epoch >= env.cfg.max_cycles {
+                break;
+            }
+            gate.epoch_start = e;
+            for (wi, tx) in cmd_txs.iter().enumerate() {
+                let ingress: Vec<Vec<(Cycle, L2Request)>> = (0..channels)
+                    .skip(wi)
+                    .step_by(workers_n)
+                    .map(|ch| std::mem::take(&mut gate.batches[ch]))
+                    .collect();
+                if tx.send(Cmd::Epoch { start: e, ingress }).is_err() {
+                    panic!("shard worker {wi} disconnected");
+                }
+            }
+            sm_phase(
+                env.sms,
+                env.xbar,
+                env.sm_wake,
+                env.sm_done,
+                scheme,
+                &mut gate,
+                &mut resp_buf,
+                e,
+                e + epoch,
+            );
+            // Epoch barrier: collect every lane's egress.
+            let mut egress_by_ch: Vec<Vec<(Cycle, L2Response)>> =
+                (0..channels).map(|_| Vec::new()).collect();
+            #[cfg(feature = "check-invariants")]
+            let mut pending_lens: Vec<usize> = vec![0; channels];
+            for (wi, rx) in reply_rxs.iter().enumerate() {
+                barrier_timer.reset();
+                let reply = match rx.recv() {
+                    Ok(Reply::Epoch(r)) => r,
+                    _ => panic!("shard worker {wi} disconnected"),
+                };
+                report.sm_wait_ns = report.sm_wait_ns.saturating_add(barrier_timer.lap());
+                for (li, eg) in reply.egress.into_iter().enumerate() {
+                    egress_by_ch[wi + li * workers_n] = eg;
+                }
+                #[cfg(feature = "check-invariants")]
+                for (li, &len) in reply.pending_lens.iter().enumerate() {
+                    pending_lens[wi + li * workers_n] = len;
+                }
+            }
+            // Fold the epoch's remaining drain counters (all published:
+            // the replies above are sent after the final progress
+            // store) so the mirror is exact at the boundary.
+            for ch in 0..channels {
+                gate.fold(ch, e + epoch - 1);
+            }
+            #[cfg(feature = "check-invariants")]
+            for ch in 0..channels {
+                assert_eq!(
+                    gate.pushes[ch] - gate.pops[ch],
+                    (pending_lens[ch] + gate.batches[ch].len()) as u64,
+                    "invariant violated: gate mirror diverged from lane \
+                     queue on channel {ch} at epoch end {e}",
+                );
+            }
+            // Canonical merge: ascending cycle, then ascending channel,
+            // then emission order — exactly the single-threaded
+            // `send_response` order. Every response emitted in this
+            // epoch arrives strictly inside the next one, so merging at
+            // the barrier is always in time.
+            let mut idx = vec![0usize; channels];
+            for t in e..e + epoch {
+                for (q, i) in egress_by_ch.iter().zip(idx.iter_mut()) {
+                    while *i < q.len() && q[*i].0 == t {
+                        let (cycle, resp) = q[*i];
+                        env.xbar.push_stamped_response(resp, cycle + latency);
+                        *i += 1;
+                    }
+                }
+            }
+            debug_assert!(
+                idx.iter()
+                    .zip(egress_by_ch.iter())
+                    .all(|(&i, q)| i == q.len()),
+                "unmerged egress outside the epoch window"
+            );
+            e += epoch;
+            report.epochs += 1;
+        }
+
+        // Shutdown and reassembly: lanes hand their state back; the
+        // crossbar's request queues are rebuilt as (undelivered
+        // ingress) ++ (requests gated since the last handoff), which is
+        // arrival order.
+        for tx in &cmd_txs {
+            let _ = tx.send(Cmd::Finish);
+        }
+        let mut slice_back: Vec<Option<L2Slice>> = (0..channels).map(|_| None).collect();
+        let mut scheme_back: Vec<Option<Box<dyn ChannelScheme>>> =
+            (0..channels).map(|_| None).collect();
+        let mut delivered_total: u64 = 0;
+        for (wi, rx) in reply_rxs.iter().enumerate() {
+            let ret = match rx.recv() {
+                Ok(Reply::Finish(r)) => r,
+                _ => panic!("shard worker {wi} disconnected"),
+            };
+            report.workers.push(WorkerLoad {
+                lanes: ret.lanes.len() as u32,
+                busy_ns: ret.busy_ns,
+                wait_ns: ret.wait_ns,
+            });
+            for (li, lane) in ret.lanes.into_iter().enumerate() {
+                let ch = wi + li * workers_n;
+                debug_assert_eq!(usize::from(lane.channel), ch, "lane returned out of order");
+                delivered_total += lane.delivered;
+                let mut q = lane.pending;
+                q.extend(gate.batches[ch].drain(..));
+                env.xbar.restore_requests(ch as u16, q);
+                slice_back[ch] = Some(lane.slice);
+                scheme_back[ch] = Some(lane.adapter.into_inner());
+            }
+        }
+        for slot in &mut slice_back {
+            env.slices
+                .push(slot.take().unwrap_or_else(|| unreachable!()));
+        }
+        scheme.attach_channels(
+            scheme_back
+                .into_iter()
+                .map(|o| o.unwrap_or_else(|| unreachable!()))
+                .collect(),
+        );
+        env.xbar.add_request_stats(gate.sent, gate.rejects);
+        #[cfg(feature = "check-invariants")]
+        env.xbar.note_shard_delivered_requests(delivered_total);
+        #[cfg(not(feature = "check-invariants"))]
+        let _ = delivered_total;
+        *env.now = e;
+    });
+    Some(report)
+}

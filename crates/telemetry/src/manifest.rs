@@ -83,6 +83,12 @@ fn capture_hostname() -> String {
         .unwrap_or_else(|| probe_cmd("uname", &["-n"]))
 }
 
+/// Serde default: manifests written before sharded execution ran
+/// everything single-threaded.
+fn default_sim_threads() -> u32 {
+    1
+}
+
 /// Description of one completed experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -96,6 +102,13 @@ pub struct RunManifest {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Threads each simulation's cycle loop was sharded across (1 = the
+    /// single-threaded loop). Stats are bit-identical at every setting,
+    /// but wall-clock is not comparable across different values, so
+    /// `ccx perf-diff` refuses mixed-`sim_threads` comparisons without
+    /// `--force`. Defaults to 1 for manifests from before sharding.
+    #[serde(default = "default_sim_threads")]
+    pub sim_threads: u32,
     /// Wall-clock duration of the run in seconds.
     pub wall_time_secs: f64,
     /// Completion time, milliseconds since the Unix epoch.
@@ -126,6 +139,7 @@ impl RunManifest {
             size: String::new(),
             seed: 0,
             threads: 0,
+            sim_threads: 1,
             wall_time_secs: 0.0,
             completed_unix_ms: 0,
             summary: Vec::new(),
@@ -232,5 +246,7 @@ mod tests {
         }"#;
         let m: RunManifest = serde_json::from_str(json).unwrap();
         assert!(m.provenance.is_empty());
+        // Pre-sharding manifests read back as single-threaded simulation.
+        assert_eq!(m.sim_threads, 1);
     }
 }

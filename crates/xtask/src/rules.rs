@@ -1,6 +1,6 @@
 //! The determinism lint rules.
 //!
-//! Four rules, all properties clippy cannot express because they are
+//! Five rules, all properties clippy cannot express because they are
 //! repo-specific policy rather than general Rust hygiene:
 //!
 //! * `default-hash-state` (L1) — no default-`RandomState` `HashMap`/`HashSet`
@@ -21,6 +21,15 @@
 //!   `tick`, and vice versa, so new components cannot silently opt out of
 //!   (or lie to) the fast-forward machinery. `next_event` must be a
 //!   side-effect-free `&self` probe returning `Option<Cycle>`.
+//! * `shard-shared-state` (L5) — in `sim`, no `static` items and no
+//!   shared-mutability primitives (`lazy_static`, `thread_local`,
+//!   `OnceLock`/`OnceCell`/`LazyLock`, `Mutex`/`RwLock`, `RefCell`,
+//!   `Rc`/`Arc`). The channel-sharded engine replays bit-identically only
+//!   because every piece of mutable state has exactly one owner per
+//!   epoch; process-global or reference-counted state would leak across
+//!   shard boundaries invisibly. Scoped `Atomic*` values are exempt —
+//!   they are the blessed cross-lane signalling primitive, always owned
+//!   by one `run_prologue` call and dropped with it.
 //!
 //! Violations can be waived with `// lint: allow(<rule>) reason=<text>` on
 //! or immediately above the offending line; every directive must justify
@@ -30,11 +39,12 @@
 use crate::lexer::{Directive, Lexed, TokKind, Token};
 
 /// Canonical rule names, as used in `allow(...)` directives.
-pub const RULE_NAMES: [&str; 4] = [
+pub const RULE_NAMES: [&str; 5] = [
     "default-hash-state",
     "wall-clock",
     "float-stats",
     "next-event-pairing",
+    "shard-shared-state",
 ];
 
 /// Which rules apply to a file, derived from its workspace-relative path.
@@ -50,6 +60,8 @@ pub struct Scope {
     pub float_accum: bool,
     /// L4: next_event/tick pairing (sim only).
     pub pairing: bool,
+    /// L5: static items / shared-mutability primitives ban (sim only).
+    pub shard_state: bool,
 }
 
 /// Path of the `SimStats` declaration, the anchor for rule L3.
@@ -70,6 +82,7 @@ pub fn scope_for(rel: &str) -> Scope {
         float_fields: rel == SIMSTATS_PATH,
         float_accum: in_any(&["crates/sim/src/", "crates/core/src/"]),
         pairing: rel.starts_with("crates/sim/src/"),
+        shard_state: rel.starts_with("crates/sim/src/"),
     }
 }
 
@@ -239,6 +252,9 @@ pub fn lint_file(rel: &str, lexed: &Lexed, scope: Scope, ctx: &LintContext) -> F
     }
     if scope.pairing {
         rule_next_event_pairing(rel, lexed, &mut raw);
+    }
+    if scope.shard_state {
+        rule_shard_shared_state(rel, lexed, &mut raw);
     }
     resolve_directives(rel, lexed, raw)
 }
@@ -432,6 +448,78 @@ fn rule_wall_clock(rel: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
         };
         out.push(Violation {
             rule: "wall-clock",
+            file: rel.to_string(),
+            line: t[i].line,
+            msg,
+        });
+    }
+}
+
+/// L5: `static` items and shared-mutability primitives in `sim`.
+///
+/// The sharded engine's bit-identity proof rests on single ownership:
+/// every mutable object belongs to exactly one lane (or the driver)
+/// between barriers. A `static`, a `lazy_static!`/`thread_local!` cell,
+/// a `OnceLock`/`OnceCell`/`LazyLock`, a lock (`Mutex`/`RwLock`), interior
+/// mutability (`RefCell`) or shared ownership (`Rc`/`Arc`) all create
+/// state whose visibility is scheduler-dependent, which this lint makes
+/// impossible to introduce silently. `Atomic*` is deliberately *not*
+/// flagged: scoped atomics owned by one `run_prologue` call are the
+/// sanctioned cross-lane signalling mechanism.
+fn rule_shard_shared_state(rel: &str, lexed: &Lexed, out: &mut Vec<Violation>) {
+    let t = &lexed.tokens;
+    for i in 0..t.len() {
+        let TokKind::Ident(name) = &t[i].kind else {
+            continue;
+        };
+        let msg = match name.as_str() {
+            // A `static` item declaration: `static [mut] NAME :`. The
+            // shape check keeps `'static` lifetimes (lexed as `Lifetime`,
+            // never `Ident`) and prose out; requiring the `:` avoids
+            // firing twice inside a flagged `thread_local!` body... which
+            // would still be correct, just noisy.
+            "static" => {
+                let mut j = i + 1;
+                if matches!(t.get(j).map(|x| &x.kind), Some(TokKind::Ident(m)) if m == "mut") {
+                    j += 1;
+                }
+                let named = matches!(t.get(j).map(|x| &x.kind), Some(TokKind::Ident(_)));
+                let typed = matches!(t.get(j + 1).map(|x| &x.kind), Some(TokKind::Punct(':')));
+                if !(named && typed) {
+                    continue;
+                }
+                "`static` item in simulator code — process-global state outlives the \
+                 simulation and is visible across shard lanes; thread it through the \
+                 owning component instead"
+                    .to_string()
+            }
+            "lazy_static" | "thread_local" => format!(
+                "`{name}!` in simulator code — lazily initialized global state breaks \
+                 the one-owner-per-epoch model the sharded engine's bit-identity \
+                 depends on"
+            ),
+            "OnceLock" | "OnceCell" | "LazyLock" => format!(
+                "`{name}` in simulator code — write-once global cells still make \
+                 initialization order observable across shard lanes; pass the value \
+                 through the component that owns it"
+            ),
+            "Mutex" | "RwLock" => format!(
+                "`{name}` in simulator code — lock acquisition order is scheduler- \
+                 dependent, so anything guarded by it cannot replay bit-identically; \
+                 partition the state per channel instead"
+            ),
+            "RefCell" => "`RefCell` in simulator code — interior mutability hides writes \
+                 from the ownership structure the shard partition is derived from"
+                .to_string(),
+            "Rc" | "Arc" => format!(
+                "`{name}` in simulator code — shared ownership lets two shard lanes \
+                 alias the same mutable object; give the state a single owner and \
+                 hand off through the epoch barrier"
+            ),
+            _ => continue,
+        };
+        out.push(Violation {
+            rule: "shard-shared-state",
             file: rel.to_string(),
             line: t[i].line,
             msg,

@@ -172,6 +172,59 @@ fn pairing_clean() {
 }
 
 #[test]
+fn shard_state_fires() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/shard_state_fires.rs"),
+    );
+    // Line 2: Arc + Mutex; 3: RefCell; 5/6: static items; 8: the
+    // thread_local macro name; 10: the static inside its body; 14: Arc +
+    // Mutex again; 15: RefCell; 21: OnceLock in the type and in the call.
+    assert_eq!(
+        lines_of(&r, "shard-shared-state"),
+        vec![2, 2, 3, 5, 6, 8, 10, 14, 14, 15, 21, 21]
+    );
+    assert!(r.waived.is_empty());
+    assert!(r.directive_errors.is_empty(), "{:?}", r.directive_errors);
+}
+
+#[test]
+fn shard_state_allow_listed() {
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/shard_state_allowed.rs"),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waived.len(), 2);
+    assert!(r.waived.iter().all(|w| w.rule == "shard-shared-state"));
+    // The waiver syntax makes the reason mandatory; both carry one.
+    assert!(r.waived.iter().all(|w| !w.reason.is_empty()));
+    assert!(r.directive_errors.is_empty(), "{:?}", r.directive_errors);
+}
+
+#[test]
+fn shard_state_out_of_scope_outside_sim() {
+    // The same source under core/ or harness/ paths is out of scope:
+    // host-side orchestration legitimately uses Arc/Mutex.
+    for rel in ["crates/core/src/fixture.rs", "crates/harness/src/pool.rs"] {
+        let r = run(rel, include_str!("fixtures/shard_state_fires.rs"));
+        assert!(lines_of(&r, "shard-shared-state").is_empty(), "{rel}");
+    }
+}
+
+#[test]
+fn shard_state_does_not_flag_scoped_atomics() {
+    // Atomics are the sanctioned signalling primitive; the real shard
+    // engine (crates/sim/src/shard.rs) must lint clean with no waivers.
+    let r = run(
+        "crates/sim/src/fixture.rs",
+        "use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};\n\
+         struct LaneShared { progress: AtomicU64, drains: Vec<AtomicU32> }\n",
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
 fn directive_errors_are_hard_errors() {
     let r = run(
         "crates/sim/src/fixture.rs",

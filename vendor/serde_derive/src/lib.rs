@@ -11,6 +11,8 @@
 //! Supported field attributes:
 //!
 //! * `#[serde(default)]` — a missing key deserializes via `Default`;
+//! * `#[serde(default = "path")]` — a missing key deserializes via the
+//!   named function (resolved in the defining module, like real serde);
 //! * `#[serde(skip_serializing_if = "path")]` — the field is omitted from
 //!   the serialized object when `path(&value)` is true.
 //!
@@ -20,11 +22,30 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// How a missing key fills in during deserialization.
+#[derive(Clone)]
+enum FieldDefault {
+    /// `#[serde(default)]`: `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: call the named function.
+    Path(String),
+}
+
+impl FieldDefault {
+    /// The expression the generated impl evaluates for a missing key.
+    fn expr(&self) -> String {
+        match self {
+            FieldDefault::Trait => "Default::default()".to_string(),
+            FieldDefault::Path(p) => format!("{p}()"),
+        }
+    }
+}
+
 /// One parsed field of a struct or struct variant.
 struct Field {
     name: String,
-    /// `#[serde(default)]` present.
-    default: bool,
+    /// `#[serde(default)]` / `#[serde(default = "path")]` payload.
+    default: Option<FieldDefault>,
     /// `#[serde(skip_serializing_if = "path")]` payload.
     skip_if: Option<String>,
 }
@@ -45,7 +66,7 @@ enum Input {
 
 /// Extracts serde attributes from an attribute group token sequence.
 /// `tokens` is the content inside `#[...]`.
-fn parse_serde_attr(tokens: &[TokenTree], default: &mut bool, skip_if: &mut Option<String>) {
+fn parse_serde_attr(tokens: &[TokenTree], default: &mut Option<FieldDefault>, skip_if: &mut Option<String>) {
     // Expect: serde ( ... )
     let mut it = tokens.iter();
     match it.next() {
@@ -60,8 +81,21 @@ fn parse_serde_attr(tokens: &[TokenTree], default: &mut bool, skip_if: &mut Opti
     while i < inner.len() {
         match &inner[i] {
             TokenTree::Ident(id) if id.to_string() == "default" => {
-                *default = true;
-                i += 1;
+                // Either bare `default` or `default = "path"`.
+                let is_path = matches!(
+                    (inner.get(i + 1), inner.get(i + 2)),
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(_))) if p.as_char() == '='
+                );
+                if is_path {
+                    if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                        let s = lit.to_string();
+                        *default = Some(FieldDefault::Path(s.trim_matches('"').to_string()));
+                    }
+                    i += 3;
+                } else {
+                    *default = Some(FieldDefault::Trait);
+                    i += 1;
+                }
             }
             TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
                 // skip_serializing_if = "path"
@@ -79,7 +113,12 @@ fn parse_serde_attr(tokens: &[TokenTree], default: &mut bool, skip_if: &mut Opti
 
 /// Consumes attribute groups (`#[...]`) at `*i`, collecting serde field
 /// attributes.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize, default: &mut bool, skip_if: &mut Option<String>) {
+fn skip_attrs(
+    tokens: &[TokenTree],
+    i: &mut usize,
+    default: &mut Option<FieldDefault>,
+    skip_if: &mut Option<String>,
+) {
     while *i < tokens.len() {
         match &tokens[*i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -100,7 +139,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let mut default = false;
+        let mut default = None;
         let mut skip_if = None;
         skip_attrs(&tokens, &mut i, &mut default, &mut skip_if);
         // Optional visibility: `pub` possibly followed by `(...)`.
@@ -152,7 +191,7 @@ fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let mut default = false;
+        let mut default = None;
         let mut skip_if = None;
         skip_attrs(&tokens, &mut i, &mut default, &mut skip_if);
         let Some(TokenTree::Ident(name)) = tokens.get(i) else {
@@ -325,9 +364,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             ));
             for f in &fields {
                 let fname = &f.name;
-                if f.default {
+                if let Some(d) = &f.default {
+                    let dexpr = d.expr();
                     out.push_str(&format!(
-                        "      {fname}: match v.get(\"{fname}\") {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => Default::default() }},\n"
+                        "      {fname}: match v.get(\"{fname}\") {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => {dexpr} }},\n"
                     ));
                 } else {
                     out.push_str(&format!(
@@ -359,9 +399,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     out.push_str(&format!("          \"{vname}\" => Ok({name}::{vname} {{\n"));
                     for f in fields {
                         let fname = &f.name;
-                        if f.default {
+                        if let Some(d) = &f.default {
+                            let dexpr = d.expr();
                             out.push_str(&format!(
-                                "            {fname}: match body.get(\"{fname}\") {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => Default::default() }},\n"
+                                "            {fname}: match body.get(\"{fname}\") {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => {dexpr} }},\n"
                             ));
                         } else {
                             out.push_str(&format!(
