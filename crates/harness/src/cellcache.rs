@@ -1,0 +1,564 @@
+//! Content-addressed cell result cache.
+//!
+//! Every matrix cell's result is keyed by a canonical digest of
+//! everything that determines it: scheme (including its full config),
+//! workload, machine config, size class, seed, fault-injection spec,
+//! cargo feature flags, and the code version captured by
+//! [`ccraft_telemetry::manifest::Provenance`]. Two processes that agree
+//! on those inputs agree on the digest, so a warm `ccraft-serve` daemon
+//! can answer a repeated sweep without simulating anything.
+//!
+//! Entries are stored durably through [`crate::store`]
+//! (`write_durable`/`read_verified`), so the chaos-soak guarantees
+//! extend to the cache: a corrupted entry is quarantined to
+//! `<digest>.json.corrupt-<n>` on read and reported as a miss — the cell
+//! is recomputed, never served from damaged bytes. In front of the disk
+//! sit an in-memory index of known digests and a bloom-style negative
+//! filter, so the common cold-miss path costs two hash probes, not a
+//! filesystem round trip.
+//!
+//! `sim_threads` is deliberately NOT part of the key: sharded execution
+//! is bit-identical to sequential execution at every setting (pinned by
+//! `thread_count_does_not_change_stats`), so a result computed at
+//! `--sim-threads 4` is valid for a request at 1. The entry records the
+//! producer's value for provenance only.
+
+use crate::error::Error;
+use crate::store;
+use ccraft_sim::stats::SimStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit offset basis (first digest half).
+const FNV_BASIS_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent basis (the first basis XOR a large odd
+/// constant) so the two halves of the digest are decorrelated.
+const FNV_BASIS_B: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Bloom filter size in 64-bit words (2^13 words = 512 Kibit). At the
+/// few-thousand-entry scale of a sweep cache the false-positive rate is
+/// negligible, and a false positive only costs one disk probe.
+const BLOOM_WORDS: usize = 1 << 13;
+/// Probes per digest (Kirsch–Mitzenmacher double hashing).
+const BLOOM_PROBES: u64 = 4;
+
+/// FNV-1a over `bytes` from an explicit basis. Pure arithmetic — no
+/// `DefaultHasher`, whose output is allowed to vary across processes and
+/// releases, which would break the cross-process digest guarantee.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Everything that determines one cell's result. All fields are part of
+/// the digest; changing any single one changes the key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Scheme identity *with its configuration* — the `Debug` rendering
+    /// of `SchemeKind`, which includes e.g. CacheCraft's geometry, so two
+    /// schemes sharing a short name but differing in config never alias.
+    pub scheme: String,
+    /// Workload short name.
+    pub workload: String,
+    /// Machine (GPU config) description.
+    pub machine: String,
+    /// Size class name.
+    pub size: String,
+    /// Base RNG seed for the cell.
+    pub seed: u64,
+    /// Canonical fault-injection spec, or `"none"`.
+    pub inject: String,
+    /// Cargo feature flags that alter runtime behavior, sorted.
+    pub features: Vec<String>,
+    /// Code version (git commit + toolchain from `Provenance`).
+    pub code_version: String,
+}
+
+impl CellKey {
+    /// The canonical byte string the digest is computed over: one
+    /// `field=value` line per field, in fixed order. Newlines inside
+    /// values are escaped so no two distinct keys share a canonical form.
+    pub fn canonical(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('\n', "\\n");
+        let mut features = self.features.clone();
+        features.sort_unstable();
+        format!(
+            "ccraft-cellkey:v1\nscheme={}\nworkload={}\nmachine={}\nsize={}\nseed={}\ninject={}\nfeatures={}\ncode_version={}\n",
+            esc(&self.scheme),
+            esc(&self.workload),
+            esc(&self.machine),
+            esc(&self.size),
+            self.seed,
+            esc(&self.inject),
+            esc(&features.join(",")),
+            esc(&self.code_version),
+        )
+    }
+
+    /// 128-bit content digest as 32 lowercase hex characters: two
+    /// independent FNV-1a-64 passes over [`CellKey::canonical`].
+    /// Deterministic across processes, platforms, and releases.
+    pub fn digest(&self) -> String {
+        let canon = self.canonical();
+        let a = fnv1a64(canon.as_bytes(), FNV_BASIS_A);
+        let b = fnv1a64(canon.as_bytes(), FNV_BASIS_B);
+        format!("{a:016x}{b:016x}")
+    }
+}
+
+/// One durable cache entry: the full key (for post-mortem and collision
+/// rejection), the result, and producer provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Digest the entry was stored under.
+    pub digest: String,
+    /// The key that produced it, verbatim.
+    pub key: CellKey,
+    /// The simulated result.
+    pub stats: SimStats,
+    /// `sim_threads` the producer ran with (provenance only — results
+    /// are bit-identical across settings, so this is not part of the key).
+    pub sim_threads: u32,
+}
+
+/// Counters describing cache behavior, snapshot via
+/// [`ResultCache::counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Lookups served from a durable entry.
+    pub hits: u64,
+    /// Lookups that found no entry (including bloom negatives).
+    pub misses: u64,
+    /// Misses answered by the bloom filter without touching disk.
+    pub negative_hits: u64,
+    /// Entries written.
+    pub inserts: u64,
+    /// Entries quarantined after failing checksum or schema verification.
+    pub corrupt: u64,
+}
+
+/// A directory of content-addressed cell results with an in-memory
+/// digest index and a bloom-style negative filter. All methods take
+/// `&self`; the cache is shared across executor threads via `Arc`.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    /// Digests known to exist on disk.
+    index: Mutex<BTreeSet<String>>,
+    /// Negative filter: a digest whose probes are not all set is
+    /// definitely absent.
+    bloom: Box<[AtomicU64]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    negative_hits: AtomicU64,
+    inserts: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory and indexes any
+    /// existing entries. Quarantine leftovers (`*.corrupt-*`) are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the directory cannot be created or
+    /// listed.
+    pub fn open(dir: &Path) -> Result<ResultCache, Error> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::io(format!("creating cache dir {}", dir.display()), e))?;
+        let cache = ResultCache {
+            dir: dir.to_path_buf(),
+            index: Mutex::new(BTreeSet::new()),
+            bloom: (0..BLOOM_WORDS).map(|_| AtomicU64::new(0)).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            negative_hits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        };
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| Error::io(format!("listing cache dir {}", dir.display()), e))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(digest) = name.strip_suffix(".json") {
+                if digest.len() == 32 && digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    cache.remember(digest);
+                }
+            }
+        }
+        Ok(cache)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        lock_clean(&self.index).len()
+    }
+
+    /// True when no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the behavior counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// Marks `digest` present in the index and bloom filter.
+    fn remember(&self, digest: &str) {
+        lock_clean(&self.index).insert(digest.to_string());
+        for bit in bloom_bits(digest) {
+            self.bloom[(bit / 64) as usize % BLOOM_WORDS]
+                .fetch_or(1 << (bit % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// True when the bloom filter cannot rule the digest out.
+    fn bloom_maybe(&self, digest: &str) -> bool {
+        bloom_bits(digest).into_iter().all(|bit| {
+            self.bloom[(bit / 64) as usize % BLOOM_WORDS].load(Ordering::Relaxed)
+                & (1 << (bit % 64))
+                != 0
+        })
+    }
+
+    /// Looks `key` up. Returns the verified entry on a hit; `None` on a
+    /// miss — including when the durable entry exists but fails checksum
+    /// or schema verification (the damaged file is quarantined by
+    /// [`store::read_verified`] / moved aside here, so the caller
+    /// recomputes instead of consuming corruption).
+    pub fn lookup(&self, key: &CellKey) -> Option<CacheEntry> {
+        let digest = key.digest();
+        if !self.bloom_maybe(&digest) {
+            self.negative_hits.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let path = self.entry_path(&digest);
+        let text = match store::read_verified_string(&path) {
+            Ok((text, _verified)) => text,
+            Err(Error::Corrupt { .. }) => {
+                // read_verified already moved the file aside.
+                self.forget(&digest);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                // Not on disk (bloom false positive or a racing delete).
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match serde_json::from_str::<CacheEntry>(&text) {
+            // Digest collisions are astronomically unlikely but cheap to
+            // reject: the stored key must match the requested one.
+            Ok(entry) if entry.key == *key => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            _ => {
+                // Unparseable or aliased entry: quarantine and recompute.
+                let _ = store::quarantine(&path);
+                self.forget(&digest);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed result under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the durable write fails; the index is
+    /// only updated on success.
+    pub fn insert(&self, key: &CellKey, stats: &SimStats, sim_threads: u32) -> Result<(), Error> {
+        let digest = key.digest();
+        let entry = CacheEntry {
+            digest: digest.clone(),
+            key: key.clone(),
+            stats: stats.clone(),
+            sim_threads,
+        };
+        let text = serde_json::to_string_pretty(&entry)
+            .map_err(|e| Error::Config(format!("serializing cache entry {digest}: {e}")))?;
+        store::write_durable(&self.entry_path(&digest), text.as_bytes())?;
+        self.remember(&digest);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drops `digest` from the in-memory index (bloom bits stay set —
+    /// the filter is one-sided, so a stale positive only costs a probe).
+    fn forget(&self, digest: &str) {
+        lock_clean(&self.index).remove(digest);
+    }
+}
+
+/// The `BLOOM_PROBES` bit positions for a digest, derived from its two
+/// 64-bit hex halves via double hashing. Falls back to re-hashing the
+/// digest text if it is not 32 hex chars (never the case for
+/// [`CellKey::digest`] output, but `open` indexes foreign files too).
+fn bloom_bits(digest: &str) -> [u64; BLOOM_PROBES as usize] {
+    let (h1, h2) = match (
+        u64::from_str_radix(digest.get(..16).unwrap_or(""), 16),
+        u64::from_str_radix(digest.get(16..32).unwrap_or(""), 16),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => (
+            fnv1a64(digest.as_bytes(), FNV_BASIS_A),
+            fnv1a64(digest.as_bytes(), FNV_BASIS_B),
+        ),
+    };
+    let mut bits = [0u64; BLOOM_PROBES as usize];
+    for (i, bit) in bits.iter_mut().enumerate() {
+        // Ensure the stride is odd so probes never collapse onto one bit.
+        *bit = h1.wrapping_add((i as u64).wrapping_mul(h2 | 1)) % (BLOOM_WORDS as u64 * 64);
+    }
+    bits
+}
+
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccraft_core::factory::{run_scheme, SchemeKind};
+    use ccraft_sim::config::GpuConfig;
+    use ccraft_workloads::{SizeClass, Workload};
+
+    fn sample_key() -> CellKey {
+        CellKey {
+            scheme: format!("{:?}", SchemeKind::NoProtection),
+            workload: "vecadd".to_string(),
+            machine: "tiny".to_string(),
+            size: "tiny".to_string(),
+            seed: 1,
+            inject: "none".to_string(),
+            features: vec!["check-invariants".to_string()],
+            code_version: "rustc 1.80 @ abc123".to_string(),
+        }
+    }
+
+    fn sample_stats() -> SimStats {
+        run_scheme(
+            &GpuConfig::tiny(),
+            SchemeKind::NoProtection,
+            &Workload::VecAdd.generate(SizeClass::Tiny, 1),
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ccraft-cellcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn digest_is_stable_and_process_independent() {
+        let key = sample_key();
+        // Two independent computations agree (no per-process salt) and
+        // the exact value is pinned: any accidental change to the
+        // canonical form or hash constants breaks cross-process and
+        // cross-release cache reuse, which this test makes loud.
+        assert_eq!(key.digest(), sample_key().digest());
+        assert_eq!(key.digest().len(), 32);
+        assert!(key.digest().bytes().all(|b| b.is_ascii_hexdigit()));
+        let recomputed = {
+            let a = fnv1a64(key.canonical().as_bytes(), FNV_BASIS_A);
+            let b = fnv1a64(key.canonical().as_bytes(), FNV_BASIS_B);
+            format!("{a:016x}{b:016x}")
+        };
+        assert_eq!(key.digest(), recomputed);
+    }
+
+    #[test]
+    fn every_field_reaches_the_digest() {
+        let base = sample_key();
+        let variants = [
+            CellKey {
+                scheme: format!("{:?}", SchemeKind::InlineNaive { coverage: 8 }),
+                ..base.clone()
+            },
+            CellKey {
+                workload: "saxpy".to_string(),
+                ..base.clone()
+            },
+            CellKey {
+                machine: "small".to_string(),
+                ..base.clone()
+            },
+            CellKey {
+                size: "small".to_string(),
+                ..base.clone()
+            },
+            CellKey {
+                seed: 2,
+                ..base.clone()
+            },
+            CellKey {
+                inject: "symbol:p=0.0001".to_string(),
+                ..base.clone()
+            },
+            CellKey {
+                features: Vec::new(),
+                ..base.clone()
+            },
+            CellKey {
+                code_version: "rustc 1.80 @ def456".to_string(),
+                ..base.clone()
+            },
+        ];
+        let mut digests: Vec<String> = variants.iter().map(CellKey::digest).collect();
+        digests.push(base.digest());
+        let unique: BTreeSet<&String> = digests.iter().collect();
+        assert_eq!(
+            unique.len(),
+            digests.len(),
+            "every key field must change the digest: {digests:?}"
+        );
+    }
+
+    #[test]
+    fn feature_order_does_not_change_the_digest() {
+        let mut a = sample_key();
+        a.features = vec!["b".to_string(), "a".to_string()];
+        let mut b = sample_key();
+        b.features = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).expect("open cache");
+        let key = sample_key();
+        assert!(cache.lookup(&key).is_none(), "cold cache misses");
+        let stats = sample_stats();
+        cache.insert(&key, &stats, 4).expect("insert");
+        let entry = cache.lookup(&key).expect("hit after insert");
+        assert_eq!(entry.stats, stats);
+        assert_eq!(entry.sim_threads, 4);
+        assert_eq!(entry.key, key);
+        // A different seed is a different cell: still a miss.
+        let other = CellKey {
+            seed: 99,
+            ..sample_key()
+        };
+        assert!(cache.lookup(&other).is_none());
+        let c = cache.counters();
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.inserts, 1);
+        assert!(c.misses >= 2);
+        assert!(
+            c.negative_hits >= 1,
+            "the unknown-seed miss must be answered by the bloom filter: {c:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_survives_reopen_in_a_new_instance() {
+        // Same config through "two processes": a second ResultCache over
+        // the same directory reindexes the entry and serves the hit.
+        let dir = temp_dir("reopen");
+        let key = sample_key();
+        let stats = sample_stats();
+        {
+            let cache = ResultCache::open(&dir).expect("open cache");
+            cache.insert(&key, &stats, 1).expect("insert");
+        }
+        let reopened = ResultCache::open(&dir).expect("reopen cache");
+        assert_eq!(reopened.len(), 1);
+        let entry = reopened.lookup(&key).expect("hit across instances");
+        assert_eq!(entry.stats, stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_and_recomputed_not_served() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::open(&dir).expect("open cache");
+        let key = sample_key();
+        let stats = sample_stats();
+        cache.insert(&key, &stats, 1).expect("insert");
+        // Flip bytes in the durable file's payload so the crc32 footer
+        // no longer matches.
+        let path = dir.join(format!("{}.json", key.digest()));
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        bytes[10] ^= 0xFF;
+        bytes[11] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt entry");
+
+        assert!(
+            cache.lookup(&key).is_none(),
+            "a corrupted entry must be a miss, never served"
+        );
+        assert!(!path.exists(), "the damaged file was moved aside");
+        let quarantined = std::fs::read_dir(&dir)
+            .expect("list dir")
+            .flatten()
+            .any(|e| e.file_name().to_string_lossy().contains(".corrupt-"));
+        assert!(quarantined, "quarantine sibling must exist");
+        assert_eq!(cache.counters().corrupt, 1);
+
+        // Recompute-and-reinsert heals the cache.
+        cache.insert(&key, &stats, 1).expect("reinsert");
+        assert_eq!(cache.lookup(&key).expect("healed hit").stats, stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_key_under_same_digest_is_rejected() {
+        // Simulate a digest collision by writing an entry whose stored
+        // key differs from the lookup key at the colliding path.
+        let dir = temp_dir("collision");
+        let cache = ResultCache::open(&dir).expect("open cache");
+        let key = sample_key();
+        let stats = sample_stats();
+        cache.insert(&key, &stats, 1).expect("insert");
+        let path = dir.join(format!("{}.json", key.digest()));
+        let (text, _) = store::read_verified_string(&path).expect("read back");
+        let mut entry: CacheEntry = serde_json::from_str(&text).expect("parse");
+        entry.key.seed = 12345; // now the stored key lies
+        let forged = serde_json::to_string_pretty(&entry).expect("serialize");
+        store::write_durable(&path, forged.as_bytes()).expect("rewrite");
+        cache.remember(&key.digest());
+        assert!(
+            cache.lookup(&key).is_none(),
+            "an aliased entry must not be served"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

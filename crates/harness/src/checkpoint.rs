@@ -54,6 +54,23 @@ pub struct CellRecord {
     /// The cell's results, for successful cells.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<SimStats>,
+    /// Threads the cell's cycle loop was *actually* sharded across.
+    /// Telemetry/fault-injection cells fall back to 1 regardless of the
+    /// requested `--sim-threads`; resumed cells replay this recorded
+    /// value so manifests stay truthful across a resume. Checkpoints
+    /// from before this field existed read back as 1.
+    #[serde(default = "default_cell_sim_threads")]
+    pub sim_threads: u32,
+    /// Result-cache disposition (`"hit"` / `"miss"` / `"uncached"`);
+    /// empty in checkpoints from before the cache existed.
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub cache: String,
+}
+
+/// Serde default: checkpoints from before sharded execution ran every
+/// cell single-threaded.
+fn default_cell_sim_threads() -> u32 {
+    1
 }
 
 impl CellRecord {
@@ -328,6 +345,8 @@ mod tests {
             attempts: 1,
             history: vec!["attempt 1: ok".to_string()],
             stats: Some(sample_stats()),
+            sim_threads: 1,
+            cache: String::new(),
         }
     }
 
@@ -375,6 +394,8 @@ mod tests {
                 "attempt 2: failed: boom".to_string(),
             ],
             stats: None,
+            sim_threads: 1,
+            cache: String::new(),
         })
         .unwrap();
 
@@ -494,6 +515,8 @@ mod tests {
             attempts: 1,
             history: Vec::new(),
             stats: None,
+            sim_threads: 1,
+            cache: String::new(),
         })
         .unwrap();
         s.record(ok_record("m0/a/b")).unwrap();

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cellcache;
 pub mod chaos;
 pub mod checkpoint;
 pub mod error;
@@ -24,8 +25,9 @@ pub mod store;
 
 pub use error::Error;
 pub use runner::{
-    run_experiment, run_matrix, run_matrix_cells, CellOutcome, CellStatus, ExpOptions,
-    MatrixResult, EXIT_DEGRADED, EXIT_FAILED, EXIT_OK, OPTIONS_USAGE,
+    run_cell, run_experiment, run_matrix, run_matrix_cells, run_matrix_cells_with_body,
+    CacheDisposition, CellOutcome, CellRun, CellStatus, ExpOptions, MatrixResult, EXIT_DEGRADED,
+    EXIT_FAILED, EXIT_OK, OPTIONS_USAGE,
 };
 
 /// Geometric mean of positive values; 0.0 for an empty slice.

@@ -127,9 +127,16 @@ impl MetricsRegistry {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
     }
 
-    /// Records one executed cell: wall time, final status, attempts.
-    pub fn observe_cell(&self, wall_secs: f64, ok: bool, attempts: u32) {
-        self.cells_completed.fetch_add(1, Ordering::Relaxed);
+    /// Records one executed cell: wall time, final status, attempts, and
+    /// whether the cell was quarantined (permanently failed on a
+    /// degraded run). Quarantined cells count as failed + quarantined —
+    /// not completed — so the ETA can reach zero on degraded runs.
+    pub fn observe_cell(&self, wall_secs: f64, ok: bool, attempts: u32, quarantined: bool) {
+        if quarantined {
+            self.cells_quarantined.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cells_completed.fetch_add(1, Ordering::Relaxed);
+        }
         if !ok {
             self.cells_failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -168,7 +175,12 @@ impl MetricsRegistry {
             .and_then(|s| *s)
             .map_or(0.0, |t| t.elapsed().as_secs_f64());
         // ETA from mean throughput so far; 0 when unknown or done.
-        let remaining = planned.saturating_sub(completed);
+        // Quarantined cells will never complete, so they are excluded
+        // from `remaining` — otherwise a degraded run's ETA stays
+        // nonzero forever.
+        let remaining = planned
+            .saturating_sub(completed)
+            .saturating_sub(quarantined);
         let eta = if completed > 0 && remaining > 0 && elapsed > 0.0 {
             elapsed / completed as f64 * remaining as f64
         } else {
@@ -399,16 +411,17 @@ mod tests {
         reg.add_planned(10);
         reg.set_workers(4);
         reg.worker_started();
-        reg.observe_cell(0.2, true, 1);
-        reg.observe_cell(2.0, false, 3);
+        reg.observe_cell(0.2, true, 1, false);
+        reg.observe_cell(2.0, false, 3, true);
         reg.worker_finished();
         reg.add_resumed(2);
-        reg.cell_quarantined();
         reg.store_retry();
         reg.store_retry();
         let text = reg.render();
         assert!(text.contains("ccraft_cells_planned 10"));
-        assert!(text.contains("ccraft_cells_completed_total 4"));
+        // 1 executed ok + 2 resumed; the quarantined cell is *not*
+        // completed (it counts under quarantined instead).
+        assert!(text.contains("ccraft_cells_completed_total 3"));
         assert!(text.contains("ccraft_cells_failed_total 1"));
         assert!(text.contains("ccraft_cells_retried_total 2"));
         assert!(text.contains("ccraft_cells_resumed_total 2"));
@@ -423,6 +436,24 @@ mod tests {
     }
 
     #[test]
+    fn quarantined_cells_do_not_pin_eta_above_zero() {
+        // A degraded run: 2 planned, 1 ok, 1 quarantined. The quarantined
+        // cell will never complete, so remaining must be 0 and the ETA
+        // must read 0 — not extrapolate forever from the dead cell.
+        let reg = MetricsRegistry::new();
+        reg.add_planned(2);
+        reg.observe_cell(0.5, true, 1, false);
+        reg.observe_cell(0.5, false, 3, true);
+        let text = reg.render();
+        assert!(text.contains("ccraft_cells_completed_total 1"));
+        assert!(text.contains("ccraft_cells_quarantined_total 1"));
+        assert!(
+            text.contains("ccraft_run_eta_seconds 0"),
+            "degraded run must report ETA 0, got:\n{text}"
+        );
+    }
+
+    #[test]
     fn worker_gauge_does_not_underflow() {
         let reg = MetricsRegistry::new();
         reg.worker_finished();
@@ -433,7 +464,7 @@ mod tests {
     fn bucket_counts_are_monotone() {
         let reg = MetricsRegistry::new();
         for secs in [0.001, 0.1, 0.3, 2.0, 30.0, 5000.0] {
-            reg.observe_cell(secs, true, 1);
+            reg.observe_cell(secs, true, 1, false);
         }
         let mut prev = 0u64;
         for b in &reg.cell_buckets {

@@ -249,14 +249,18 @@ pub fn comparability(a: &RunSnapshot, b: &RunSnapshot) -> Vec<String> {
             ma.provenance.features, mb.provenance.features
         ));
     }
-    if ma.sim_threads != mb.sim_threads {
-        // Stats are bit-identical across sim_threads, but wall-clock is
-        // not: a sharded run is expected to be several times faster, so a
-        // mixed comparison would mistake the execution strategy for a
-        // performance change.
+    // Stats are bit-identical across sim_threads, but wall-clock is
+    // not: a sharded run is expected to be several times faster, so a
+    // mixed comparison would mistake the execution strategy for a
+    // performance change. The comparison reads the per-cell *effective*
+    // values (telemetry/fault-injection cells fall back to 1 no matter
+    // what was requested) — two runs that both fell back are comparable
+    // even when their requested counts differ.
+    let ta = ma.effective_sim_threads();
+    let tb = mb.effective_sim_threads();
+    if ta != tb {
         reasons.push(format!(
-            "sim_threads differs: {} vs {} (wall-clock not comparable)",
-            ma.sim_threads, mb.sim_threads
+            "effective sim_threads differs: {ta:?} vs {tb:?} (wall-clock not comparable)"
         ));
     }
     reasons
@@ -646,6 +650,50 @@ mod tests {
         let reasons = comparability(&a, &b);
         assert_eq!(reasons.len(), 1, "{reasons:?}");
         assert!(reasons[0].contains("sim_threads"), "{reasons:?}");
+    }
+
+    #[test]
+    fn fallback_cells_make_requested_sim_threads_comparable() {
+        use ccraft_telemetry::manifest::CellManifest;
+        let cell = |threads| CellManifest {
+            cell: "vecadd/no-protection".to_string(),
+            sim_threads: threads,
+            cache: "uncached".to_string(),
+            status: "ok".to_string(),
+        };
+        // Run B *requested* 4 shards but every cell fell back to 1
+        // (e.g. fault injection): the effective values agree with the
+        // plain run, so the guard must NOT refuse the comparison.
+        let mut a = snapshot(10.0, 90, 10, [500, 500]);
+        a.manifest.sim_threads = 1;
+        a.manifest.cells = vec![cell(1)];
+        let mut b = snapshot(10.0, 90, 10, [500, 500]);
+        b.manifest.sim_threads = 4; // the former lie
+        b.manifest.cells = vec![cell(1)];
+        assert!(
+            comparability(&a, &b).is_empty(),
+            "both runs effectively ran single-threaded"
+        );
+    }
+
+    #[test]
+    fn genuinely_sharded_cells_refuse_comparison() {
+        use ccraft_telemetry::manifest::CellManifest;
+        let cell = |threads| CellManifest {
+            cell: "vecadd/no-protection".to_string(),
+            sim_threads: threads,
+            cache: "uncached".to_string(),
+            status: "ok".to_string(),
+        };
+        let mut a = snapshot(10.0, 90, 10, [500, 500]);
+        a.manifest.sim_threads = 1;
+        a.manifest.cells = vec![cell(1)];
+        let mut b = snapshot(10.0, 90, 10, [500, 500]);
+        b.manifest.sim_threads = 4;
+        b.manifest.cells = vec![cell(4)]; // genuinely sharded
+        let reasons = comparability(&a, &b);
+        assert_eq!(reasons.len(), 1, "{reasons:?}");
+        assert!(reasons[0].contains("effective sim_threads"), "{reasons:?}");
     }
 
     #[test]

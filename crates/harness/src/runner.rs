@@ -49,7 +49,16 @@ common experiment options:
                            cell and exit 2, instead of quarantining it and
                            completing degraded (exit 3)
 
-Unrecognized flags are ignored here so each binary can define its own.";
+Unrecognized flags are passed through so each binary can define its own,
+but they are reported (stderr + manifest warnings) so a typo like
+--sim-thread is never silently ignored.";
+
+/// Flags parsed outside [`ExpOptions`] that are still legitimate on
+/// harness binaries: `--metrics-addr` is consumed by
+/// [`run_experiment`]'s metrics listener, `--workload` by the `probe`
+/// diagnostic binary. They are excluded from the unrecognized-flag
+/// warning.
+pub const EXTRA_HARNESS_FLAGS: [&str; 2] = ["--metrics-addr", "--workload"];
 
 /// Exit status of a fully successful run.
 pub const EXIT_OK: i32 = 0;
@@ -105,14 +114,31 @@ impl Default for ExpOptions {
 
 impl ExpOptions {
     /// Parses options from an argument list (without the binary name).
-    /// Unknown arguments are ignored so binaries can add their own.
+    /// Unknown arguments are ignored so binaries can add their own; use
+    /// [`ExpOptions::parse_with_unknown`] to also learn which `--` flags
+    /// went unrecognized.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] on a malformed or missing value for a
     /// recognized flag.
     pub fn parse(args: &[String]) -> Result<Self, Error> {
+        Self::parse_with_unknown(args).map(|(opts, _)| opts)
+    }
+
+    /// [`ExpOptions::parse`], additionally returning every `--` flag the
+    /// parser did not recognize (excluding [`EXTRA_HARNESS_FLAGS`], which
+    /// other harness layers consume). Values of unknown flags are not
+    /// reported — only the flags themselves — so a typo like
+    /// `--sim-thread 4` surfaces as `--sim-thread`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on a malformed or missing value for a
+    /// recognized flag.
+    pub fn parse_with_unknown(args: &[String]) -> Result<(Self, Vec<String>), Error> {
         let mut opts = ExpOptions::default();
+        let mut unknown: Vec<String> = Vec::new();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -166,20 +192,28 @@ impl ExpOptions {
                     i += 1;
                     opts.retries = parse_value(args, i, "--retries", "an integer")?;
                 }
-                _ => {}
+                other => {
+                    if other.starts_with("--") && !EXTRA_HARNESS_FLAGS.contains(&other) {
+                        unknown.push(other.to_string());
+                    }
+                }
             }
             i += 1;
         }
-        Ok(opts)
+        Ok((opts, unknown))
     }
 
     /// Parses options from `std::env::args`. On a malformed value this
     /// prints the error and [`OPTIONS_USAGE`] to stderr and exits with
-    /// status 2 instead of panicking.
+    /// status 2 instead of panicking. Unrecognized `--` flags are
+    /// reported on stderr (they may be typos of recognized ones).
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        match Self::parse(&args) {
-            Ok(opts) => opts,
+        match Self::parse_with_unknown(&args) {
+            Ok((opts, unknown)) => {
+                warn_unknown_flags(&unknown);
+                opts
+            }
             Err(msg) => {
                 eprintln!("error: {msg}\n\n{OPTIONS_USAGE}");
                 std::process::exit(2);
@@ -198,9 +232,23 @@ impl ExpOptions {
         }
     }
 
-    /// Effective per-simulation shard count (floor 1).
+    /// Effective per-simulation shard count (floor 1). This is the
+    /// *requested* value; see [`ExpOptions::effective_cell_sim_threads`]
+    /// for what a standard simulation cell actually runs with.
     pub fn effective_sim_threads(&self) -> u32 {
         self.sim_threads.max(1)
+    }
+
+    /// Shard count a standard simulation cell *actually* runs with:
+    /// fault-injection cells always take the single-threaded
+    /// instrumented loop, regardless of `--sim-threads`. Manifests
+    /// record this truthful per-cell value, not the request.
+    pub fn effective_cell_sim_threads(&self) -> u32 {
+        if self.inject.is_some() {
+            1
+        } else {
+            self.effective_sim_threads()
+        }
     }
 
     /// Worker count the matrix engine actually spawns: the effective
@@ -221,6 +269,16 @@ impl ExpOptions {
     pub fn inject_fingerprint(&self) -> String {
         self.inject
             .map_or_else(|| "none".to_string(), |cfg| cfg.canonical_spec())
+    }
+}
+
+/// Reports unrecognized `--` flags on stderr (once, comma-joined).
+fn warn_unknown_flags(unknown: &[String]) {
+    if !unknown.is_empty() {
+        eprintln!(
+            "warning: unrecognized flag(s): {} (see the options list below)\n\n{OPTIONS_USAGE}",
+            unknown.join(", ")
+        );
     }
 }
 
@@ -329,6 +387,64 @@ impl CellStatus {
     }
 }
 
+/// How one cell's result relates to the content-addressed result cache
+/// (see `crate::cellcache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheDisposition {
+    /// No cache was in play (plain experiment binaries).
+    #[default]
+    Uncached,
+    /// Served from the cache; the simulation never ran.
+    Hit,
+    /// Simulated and inserted into the cache.
+    Miss,
+}
+
+impl CacheDisposition {
+    /// Stable string form used in checkpoints and manifests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDisposition::Uncached => "uncached",
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+        }
+    }
+
+    /// Parses the string form; anything unrecognized (including the
+    /// empty string of pre-cache checkpoints) reads as `Uncached`.
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "hit" => CacheDisposition::Hit,
+            "miss" => CacheDisposition::Miss,
+            _ => CacheDisposition::Uncached,
+        }
+    }
+}
+
+/// What one executed cell produced: the simulation results plus the
+/// truthful execution provenance the manifest records per cell.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// Simulation results.
+    pub stats: SimStats,
+    /// Threads the cell's cycle loop was *actually* sharded across
+    /// (1 for fault-injection/telemetry fallbacks, whatever the request).
+    pub sim_threads: u32,
+    /// Result-cache disposition.
+    pub cache: CacheDisposition,
+}
+
+impl CellRun {
+    /// Wraps raw stats as a plain uncached, single-threaded execution.
+    pub fn plain(stats: SimStats) -> Self {
+        CellRun {
+            stats,
+            sim_threads: 1,
+            cache: CacheDisposition::Uncached,
+        }
+    }
+}
+
 /// Full outcome of one matrix cell, successful or not.
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
@@ -345,6 +461,11 @@ pub struct CellOutcome {
     /// Per-attempt outcome log (`"attempt 1: failed: <msg>"`, ...),
     /// persisted into the checkpoint record for post-mortems.
     pub history: Vec<String>,
+    /// Effective per-cell shard count (for resumed cells, the value the
+    /// original execution recorded).
+    pub sim_threads: u32,
+    /// Result-cache disposition of the cell's stats.
+    pub cache: CacheDisposition,
 }
 
 impl CellOutcome {
@@ -369,9 +490,10 @@ impl CellOutcome {
     }
 }
 
-/// The simulation body of one cell. Must be `'static` so a watchdogged
-/// cell can run on its own abandonable thread.
-type CellBody = dyn Fn(usize, Workload, SchemeKind) -> SimStats + Send + Sync;
+/// The simulation body of one cell: returns the stats plus the truthful
+/// execution provenance ([`CellRun`]). Must be `'static` so a
+/// watchdogged cell can run on its own abandonable thread.
+pub type CellBody = dyn Fn(usize, Workload, SchemeKind) -> CellRun + Send + Sync;
 
 /// Runs one attempt of a cell: inline under `catch_unwind` without a
 /// timeout, or on a watchdogged helper thread with one. On timeout the
@@ -383,7 +505,7 @@ fn execute_once(
     workload: Workload,
     scheme: SchemeKind,
     timeout: Option<Duration>,
-) -> Result<SimStats, CellStatus> {
+) -> Result<CellRun, CellStatus> {
     match timeout {
         None => catch_unwind(AssertUnwindSafe(|| body(idx, workload, scheme))).map_err(|p| {
             CellStatus::Failed {
@@ -431,15 +553,17 @@ fn run_one_cell(
     loop {
         attempts += 1;
         match execute_once(body, idx, workload, scheme, timeout) {
-            Ok(stats) => {
+            Ok(run) => {
                 history.push(format!("attempt {attempts}: ok"));
                 return CellOutcome {
                     workload,
                     scheme,
                     status: CellStatus::Ok,
-                    stats: Some(stats),
+                    stats: Some(run.stats),
                     attempts,
                     history,
+                    sim_threads: run.sim_threads,
+                    cache: run.cache,
                 };
             }
             Err(status) => {
@@ -459,6 +583,11 @@ fn run_one_cell(
                         stats: None,
                         attempts,
                         history,
+                        // The cell never completed; record the shard
+                        // count it was *going to* run with so degraded
+                        // manifests stay self-consistent.
+                        sim_threads: opts.effective_cell_sim_threads(),
+                        cache: CacheDisposition::Uncached,
                     };
                 }
                 eprintln!(
@@ -502,12 +631,15 @@ fn run_matrix_engine(
     for &(idx, w, s) in &all {
         let key = format!("{prefix}/{}/{}", w.name(), s.name());
         let replay = session.as_ref().and_then(|sess| {
-            lock_clean(sess)
-                .resumable(&key)
-                .and_then(|r| r.stats.clone())
+            let sess = lock_clean(sess);
+            sess.resumable(&key).and_then(|r| {
+                r.stats
+                    .clone()
+                    .map(|stats| (stats, r.sim_threads, r.cache.clone()))
+            })
         });
         match replay {
-            Some(stats) => {
+            Some((stats, sim_threads, cache)) => {
                 slots[idx] = Some(CellOutcome {
                     workload: w,
                     scheme: s,
@@ -515,6 +647,10 @@ fn run_matrix_engine(
                     stats: Some(stats),
                     attempts: 0,
                     history: vec!["resumed from checkpoint".to_string()],
+                    // Replay the provenance the original execution
+                    // recorded, not this run's request.
+                    sim_threads,
+                    cache: CacheDisposition::from_str_lossy(&cache),
                 });
             }
             None => jobs.push((idx, w, s)),
@@ -555,11 +691,18 @@ fn run_matrix_engine(
                 }
                 let cell_started = Instant::now();
                 let outcome = run_one_cell(&body, idx, workload, scheme, opts);
+                // Degraded mode: a permanently failing cell is
+                // quarantined (failure recorded in checkpoint, manifest
+                // and metrics) and the sweep continues; it no longer
+                // counts toward completion, so the endpoint's ETA can
+                // reach zero on degraded runs.
+                let quarantined = !outcome.status.is_ok() && !opts.fail_fast;
                 if let Some(m) = &metrics {
                     m.observe_cell(
                         cell_started.elapsed().as_secs_f64(),
                         outcome.status.is_ok(),
                         outcome.attempts,
+                        quarantined,
                     );
                     m.worker_finished();
                 }
@@ -568,13 +711,6 @@ fn run_matrix_engine(
                     if opts.fail_fast {
                         abort.store(true, Ordering::SeqCst);
                         eprintln!("fail-fast: aborting sweep after {}", outcome.cell_name());
-                    } else {
-                        // Degraded mode: the cell is quarantined (its
-                        // failure recorded in checkpoint + manifest) and
-                        // the sweep continues.
-                        if let Some(m) = &metrics {
-                            m.cell_quarantined();
-                        }
                     }
                 }
                 if let Some(sess) = &session {
@@ -592,6 +728,8 @@ fn run_matrix_engine(
                         attempts: outcome.attempts,
                         history: outcome.history.clone(),
                         stats: outcome.stats.clone(),
+                        sim_threads: outcome.sim_threads,
+                        cache: outcome.cache.as_str().to_string(),
                     };
                     if let Err(e) = lock_clean(sess).record(record) {
                         eprintln!("warning: failed to write checkpoint: {e}");
@@ -631,6 +769,8 @@ fn run_matrix_engine(
                     stats: None,
                     attempts: 0,
                     history: vec!["skipped: --fail-fast abort".to_string()],
+                    sim_threads: opts.effective_cell_sim_threads(),
+                    cache: CacheDisposition::Uncached,
                 }
             }
             None => unreachable!("matrix cell left without an outcome"),
@@ -638,48 +778,64 @@ fn run_matrix_engine(
         .collect()
 }
 
-/// Builds the standard cell body: generate the workload trace, run the
-/// scheme, with per-cell-seeded fault injection when configured.
+/// Runs one standard simulation cell: generate the workload trace, run
+/// the scheme, with per-cell-seeded fault injection when configured.
+/// Returns the stats along with the truthful execution provenance —
+/// fault-injection cells take the single-threaded instrumented loop, so
+/// their [`CellRun::sim_threads`] is 1 whatever `--sim-threads` asked.
+pub fn run_cell(
+    cfg: &GpuConfig,
+    opts: &ExpOptions,
+    idx: usize,
+    workload: Workload,
+    scheme: SchemeKind,
+) -> CellRun {
+    let trace = workload.generate(opts.size, opts.seed);
+    let sim_threads = opts.effective_cell_sim_threads();
+    let stats = match opts.inject {
+        // Sharded execution is bit-identical, so the exec-aware entry
+        // point is safe for every cell; with `--sim-threads 1` it is
+        // the plain loop.
+        None => {
+            run_scheme_exec(
+                cfg,
+                scheme,
+                &trace,
+                &TelemetryConfig::disabled(),
+                None,
+                false,
+                &ccraft_sim::ExecConfig { sim_threads },
+            )
+            .stats
+        }
+        Some(fc) => {
+            // Each cell gets its own injection stream, derived from the
+            // experiment seed and the cell index so runs reproduce.
+            let seed = opts
+                .seed
+                .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            run_scheme_instrumented(
+                cfg,
+                scheme,
+                &trace,
+                &TelemetryConfig::disabled(),
+                Some(&fc.with_seed(seed)),
+            )
+            .stats
+        }
+    };
+    CellRun {
+        stats,
+        sim_threads,
+        cache: CacheDisposition::Uncached,
+    }
+}
+
+/// Builds the standard cell body around [`run_cell`].
 fn standard_body(cfg: &GpuConfig, opts: &ExpOptions) -> Arc<CellBody> {
     let cfg = *cfg;
     let opts = *opts;
-    Arc::new(move |idx, workload, scheme| {
-        let trace = workload.generate(opts.size, opts.seed);
-        match opts.inject {
-            // Sharded execution is bit-identical, so the exec-aware entry
-            // point is safe for every cell; with `--sim-threads 1` it is
-            // the plain loop.
-            None => {
-                run_scheme_exec(
-                    &cfg,
-                    scheme,
-                    &trace,
-                    &TelemetryConfig::disabled(),
-                    None,
-                    false,
-                    &ccraft_sim::ExecConfig {
-                        sim_threads: opts.effective_sim_threads(),
-                    },
-                )
-                .stats
-            }
-            Some(fc) => {
-                // Each cell gets its own injection stream, derived from the
-                // experiment seed and the cell index so runs reproduce.
-                let seed = opts
-                    .seed
-                    .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                run_scheme_instrumented(
-                    &cfg,
-                    scheme,
-                    &trace,
-                    &TelemetryConfig::disabled(),
-                    Some(&fc.with_seed(seed)),
-                )
-                .stats
-            }
-        }
-    })
+    Arc::new(move |idx, workload, scheme| run_cell(&cfg, &opts, idx, workload, scheme))
 }
 
 /// Runs every `(workload, scheme)` pair in parallel and returns the full
@@ -696,6 +852,19 @@ pub fn run_matrix_cells(
     opts: &ExpOptions,
 ) -> Vec<CellOutcome> {
     run_matrix_engine(workloads, schemes, opts, standard_body(cfg, opts))
+}
+
+/// [`run_matrix_cells`] with a caller-supplied cell body — the hook the
+/// `ccraft-serve` daemon uses to wrap [`run_cell`] with a
+/// content-addressed cache lookup while keeping the engine's worker
+/// pool, `catch_unwind` isolation, retries and checkpoint integration.
+pub fn run_matrix_cells_with_body(
+    workloads: &[Workload],
+    schemes: &[SchemeKind],
+    opts: &ExpOptions,
+    body: Arc<CellBody>,
+) -> Vec<CellOutcome> {
+    run_matrix_engine(workloads, schemes, opts, body)
 }
 
 /// Runs every `(workload, scheme)` pair in parallel and returns the
@@ -784,7 +953,15 @@ fn start_metrics_server() -> Option<crate::metrics::MetricsServer> {
 /// Manifest- and checkpoint-write failures are reported on stderr but do
 /// not fail the run — the experiment's own artifacts are already on disk.
 pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Error>) {
-    let opts = ExpOptions::from_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, unknown_flags) = match ExpOptions::parse_with_unknown(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{OPTIONS_USAGE}");
+            std::process::exit(EXIT_FAILED);
+        }
+    };
+    warn_unknown_flags(&unknown_flags);
     let started = Instant::now();
     // I/O fault injection for chaos testing, off unless CCRAFT_CHAOS is
     // set (ccx chaos-soak sets it on the child it spawns).
@@ -826,8 +1003,16 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Err
     manifest.size = opts.size.to_string();
     manifest.seed = opts.seed;
     manifest.threads = opts.effective_workers();
+    // The global field records the *requested* shard count; the per-cell
+    // records below carry the effective values (fault-injection cells
+    // fall back to 1), which is what perf-diff's guard reads.
     manifest.sim_threads = opts.effective_sim_threads();
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
+    // Unrecognized flags are non-fatal but must not vanish: a typo like
+    // `--sim-thread 4` would otherwise silently change what ran.
+    for flag in &unknown_flags {
+        manifest.warn(format!("unrecognized flag: {flag}"));
+    }
     let mut failed_cells = 0usize;
     if let Some(sess) = &session {
         let sess = lock_clean(sess);
@@ -836,6 +1021,18 @@ pub fn run_experiment(id: &str, body: impl FnOnce(&ExpOptions) -> Result<(), Err
             "cell_attempts_total",
             sess.cells().iter().map(|c| f64::from(c.attempts)).sum(),
         );
+        for cell in sess.cells() {
+            manifest.record_cell(ccraft_telemetry::manifest::CellManifest {
+                cell: cell.key.clone(),
+                sim_threads: cell.sim_threads,
+                cache: if cell.cache.is_empty() {
+                    CacheDisposition::Uncached.as_str().to_string()
+                } else {
+                    cell.cache.clone()
+                },
+                status: cell.status.clone(),
+            });
+        }
         failed_cells = sess.failed_cells();
         // Loader warnings (quarantined corrupt checkpoint, schema
         // mismatch) reach the manifest, not just stderr.
@@ -1009,6 +1206,124 @@ mod tests {
     }
 
     #[test]
+    fn parse_with_unknown_reports_typos_but_not_harness_flags() {
+        // A typo like --sim-thread must be surfaced, not swallowed.
+        let (o, unknown) =
+            ExpOptions::parse_with_unknown(&argv(&["--sim-thread", "4", "--seed", "2"]))
+                .expect("unknown flags never fail the parse");
+        assert_eq!(o.seed, 2);
+        assert_eq!(o.sim_threads, 1, "the typo must not set sim_threads");
+        assert_eq!(unknown, vec!["--sim-thread".to_string()]);
+        // Flags the harness itself consumes (or hands to specific
+        // binaries) are allowlisted, not reported.
+        let (_, unknown) = ExpOptions::parse_with_unknown(&argv(&[
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--workload",
+            "spmv",
+        ]))
+        .expect("allowlisted flags parse");
+        assert!(unknown.is_empty(), "{unknown:?}");
+        // Bare positional values are not flags and are not reported.
+        let (_, unknown) =
+            ExpOptions::parse_with_unknown(&argv(&["spmv"])).expect("positional ignored");
+        assert!(unknown.is_empty(), "{unknown:?}");
+    }
+
+    #[test]
+    fn effective_cell_sim_threads_falls_back_under_injection() {
+        let sharded = ExpOptions {
+            sim_threads: 4,
+            ..tiny_opts(1)
+        };
+        assert_eq!(sharded.effective_cell_sim_threads(), 4);
+        let injected = ExpOptions {
+            sim_threads: 4,
+            inject: Some(FaultConfig::parse("symbol:1.0").expect("valid spec")),
+            ..tiny_opts(1)
+        };
+        assert_eq!(
+            injected.effective_cell_sim_threads(),
+            1,
+            "fault injection forces single-threaded simulation"
+        );
+    }
+
+    #[test]
+    fn outcomes_carry_effective_sim_threads_and_cache_disposition() {
+        let _guard = crate::checkpoint::test_guard();
+        let cfg = GpuConfig::tiny();
+        // Sharded run: cells report the requested shard count.
+        let sharded = ExpOptions {
+            sim_threads: 2,
+            ..tiny_opts(1)
+        };
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &sharded,
+            standard_body(&cfg, &sharded),
+        );
+        assert_eq!(outcomes[0].sim_threads, 2);
+        assert_eq!(outcomes[0].cache, CacheDisposition::Uncached);
+        // Injected run: the per-cell truth is 1 even though 2 was asked.
+        let injected = ExpOptions {
+            sim_threads: 2,
+            inject: Some(FaultConfig::parse("symbol:1.0").expect("valid spec")),
+            ..tiny_opts(1)
+        };
+        let outcomes = run_matrix_engine(
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &injected,
+            standard_body(&cfg, &injected),
+        );
+        assert_eq!(
+            outcomes[0].sim_threads, 1,
+            "injection cells record the effective value, not the request"
+        );
+    }
+
+    #[test]
+    fn resume_replays_recorded_cell_provenance() {
+        let _guard = crate::checkpoint::test_guard();
+        let dir =
+            std::env::temp_dir().join(format!("ccraft-runner-provenance-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(&path);
+        let cfg = GpuConfig::tiny();
+        let opts = ExpOptions {
+            sim_threads: 2,
+            ..tiny_opts(1)
+        };
+        checkpoint::install(checkpoint::Session::start("p", path.clone(), false));
+        let first = run_matrix_engine(
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+            standard_body(&cfg, &opts),
+        );
+        checkpoint::clear();
+        assert_eq!(first[0].sim_threads, 2);
+
+        checkpoint::install(checkpoint::Session::start("p", path.clone(), true));
+        let second = run_matrix_engine(
+            &[Workload::VecAdd],
+            &[SchemeKind::NoProtection],
+            &opts,
+            standard_body(&cfg, &opts),
+        );
+        checkpoint::clear();
+        assert_eq!(second[0].status, CellStatus::Resumed);
+        assert_eq!(
+            second[0].sim_threads, 2,
+            "resume must replay the provenance recorded at execution time"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn progress_line_extrapolates_eta() {
         let line = progress_line(2, 8, "spmv", "cachecraft", 4.0);
         assert!(line.contains("[2/8]"), "{line}");
@@ -1113,11 +1428,11 @@ mod tests {
             if workload == Workload::Saxpy && scheme.name() == "no-protection" {
                 panic!("deliberate test panic");
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         let outcomes = run_matrix_engine(
             &[Workload::VecAdd, Workload::Saxpy],
@@ -1158,11 +1473,11 @@ mod tests {
             if calls_in.fetch_add(1, Ordering::SeqCst) == 0 {
                 panic!("flaky once");
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         let opts = ExpOptions {
             retries: 1,
@@ -1190,11 +1505,11 @@ mod tests {
             if workload == Workload::Histogram && scheme.name() == "no-protection" {
                 panic!("fail-fast trigger");
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         let opts = ExpOptions {
             fail_fast: true,
@@ -1229,11 +1544,11 @@ mod tests {
             if workload == Workload::VecAdd {
                 panic!("quarantine me");
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         let registry = Arc::new(crate::metrics::MetricsRegistry::new());
         crate::metrics::install(Arc::clone(&registry));
@@ -1262,11 +1577,11 @@ mod tests {
             if calls_in.fetch_add(1, Ordering::SeqCst) < 2 {
                 panic!("flaky twice");
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         let opts = ExpOptions {
             retries: 2,
@@ -1297,11 +1612,11 @@ mod tests {
                 // A hung cell: far longer than the watchdog.
                 std::thread::sleep(Duration::from_secs(30));
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         let opts = ExpOptions {
             cell_timeout_secs: Some(1),
@@ -1383,11 +1698,11 @@ mod tests {
             if workload == Workload::Saxpy && scheme.name() == "inline-naive" {
                 panic!("first-run casualty");
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         checkpoint::install(checkpoint::Session::start("t", path.clone(), false));
         let first = run_matrix_engine(&workloads, &schemes, &tiny_opts(2), panicky);
@@ -1404,11 +1719,11 @@ mod tests {
         let executed_in = Arc::clone(&executed);
         let strict: Arc<CellBody> = Arc::new(move |_, workload, scheme| {
             lock_clean(&executed_in).push(format!("{}/{}", workload.name(), scheme.name()));
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         checkpoint::install(checkpoint::Session::start("t", path.clone(), true));
         let second = run_matrix_engine(&workloads, &schemes, &tiny_opts(2), strict);
@@ -1553,11 +1868,11 @@ mod tests {
             if workload == Workload::Saxpy {
                 panic!("metrics test casualty");
             }
-            run_scheme(
+            CellRun::plain(run_scheme(
                 &GpuConfig::tiny(),
                 scheme,
                 &workload.generate(SizeClass::Tiny, 1),
-            )
+            ))
         });
         let outcomes = run_matrix_engine(
             &[Workload::VecAdd, Workload::Saxpy],
@@ -1569,7 +1884,9 @@ mod tests {
         assert_eq!(outcomes.len(), 2);
         let text = registry.render();
         assert!(text.contains("ccraft_cells_planned 2"), "{text}");
-        assert!(text.contains("ccraft_cells_completed_total 2"), "{text}");
+        // The panicking saxpy cell is quarantined, not completed.
+        assert!(text.contains("ccraft_cells_completed_total 1"), "{text}");
+        assert!(text.contains("ccraft_cells_quarantined_total 1"), "{text}");
         assert!(text.contains("ccraft_cells_failed_total 1"), "{text}");
         assert!(text.contains("ccraft_workers 2"), "{text}");
         // All workers idle again after the scope joins.

@@ -35,9 +35,9 @@ fn metrics_endpoint_serves_prometheus_exposition() {
     let registry = Arc::new(MetricsRegistry::new());
     registry.add_planned(8);
     registry.set_workers(4);
-    registry.observe_cell(0.02, true, 1);
-    registry.observe_cell(2.5, true, 2);
-    registry.observe_cell(10.0, false, 1);
+    registry.observe_cell(0.02, true, 1, false);
+    registry.observe_cell(2.5, true, 2, false);
+    registry.observe_cell(10.0, false, 1, false);
     let server =
         MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind ephemeral port");
     let addr = server.addr();

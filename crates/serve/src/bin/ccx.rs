@@ -8,6 +8,8 @@
 //! ccx run --workload spmv --scheme cachecraft --size small
 //! ccx run --workload triad --scheme all --machine hbm2 --energy
 //! ccx reliability --codec rs36 --pattern symbol --trials 5000
+//! ccx serve --addr 127.0.0.1:8077 &
+//! ccx submit --workload all --scheme all --size tiny
 //! ```
 
 use ccraft_core::cachecraft::CacheCraftConfig;
@@ -42,6 +44,23 @@ USAGE:
   ccx chaos-soak <exp-name> [--size smoke|tiny|small|full] [--seed N] [--threads N]
                  [--sim-threads N] [--chaos <spec>] [--kills N] [--max-attempts N]
                  [--exe PATH]
+  ccx serve [--addr HOST:PORT] [--cache-dir DIR]
+  ccx submit [--addr HOST:PORT] [--workload <name,...|all>] [--scheme <name,...|all>]
+             [--size tiny|small|full] [--machine gddr6|hbm2] [--seed N]
+             [--inject <pattern>:<rate>] [--sim-threads N]
+             [--override-seed <workload>/<scheme>:<seed>]...
+             [--csv-out FILE] [--manifest-out FILE]
+
+EXPERIMENT SERVICE (ccx serve / ccx submit):
+  `ccx serve` starts a persistent daemon with a content-addressed result
+  cache (default results/cellcache): every cell result is keyed by scheme,
+  workload, machine, size, seed, inject spec, feature flags and code
+  version, and stored durably with a crc32 footer. `ccx submit` sends a
+  sweep to the daemon; cells already in the cache are served without
+  simulation, so resubmitting an identical sweep re-simulates nothing and
+  returns byte-identical data. --override-seed re-runs exactly one cell.
+  submit prints a greppable summary line: cells=N hits=N misses=N
+  simulated=N.
 
 SHARDED SIMULATION (--sim-threads):
   --sim-threads N    shard each simulation's cycle loop across N threads by
@@ -234,6 +253,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut last_percentiles: Option<(u64, u64, u64, u64)> = None;
     let mut fault_totals = ccraft_sim::faults::FaultStats::default();
     let mut cells = 0u64;
+    let mut cell_names: Vec<String> = Vec::new();
     let mut profile_report = ProfileReport::new();
     for w in workloads {
         let trace = w.generate(size, seed);
@@ -272,6 +292,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 run_scheme(&cfg, kind, &trace)
             };
             cells += 1;
+            cell_names.push(format!("{}/{}", w.name(), kind.name()));
             println!("{s}");
             if let Some(fs) = &s.faults {
                 println!(
@@ -327,6 +348,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
     manifest.threads = 1;
     manifest.sim_threads = sim_threads;
     manifest.wall_time_secs = started.elapsed().as_secs_f64();
+    // Per-cell provenance: telemetry and fault-injection cells fall back
+    // to the single-threaded loop, so their *effective* sim_threads is 1
+    // regardless of the flag; perf-diff compares on this truth.
+    let effective = if telemetry_on || fault_cfg.is_some() {
+        1
+    } else {
+        sim_threads
+    };
+    for name in &cell_names {
+        manifest.record_cell(ccraft_telemetry::manifest::CellManifest {
+            cell: name.clone(),
+            sim_threads: effective,
+            cache: "uncached".to_string(),
+            status: "ok".to_string(),
+        });
+    }
     manifest.note("cells", cells as f64);
     if fault_cfg.is_some() {
         manifest.note("faults_injected", fault_totals.injected as f64);
@@ -663,6 +700,171 @@ fn cmd_reliability(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `ccx serve`: runs the persistent experiment daemon until killed.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let addr = parse_flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".into());
+    let cache_dir = match parse_flag(args, "--cache-dir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => match results_dir() {
+            Ok(dir) => dir.join("cellcache"),
+            Err(e) => {
+                eprintln!("failed to resolve results dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let state = match ccraft_serve::ServeState::open(&cache_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to open cache {}: {e}", cache_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = state.cache().len();
+    let server = match ccraft_serve::Server::bind(&addr, state) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ccraft-serve listening on http://{} (cache: {} with {entries} entries)",
+        server.addr(),
+        cache_dir.display(),
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `ccx submit`: sends one sweep to a running daemon, waits for it, and
+/// prints a greppable summary (`cells=N hits=N misses=N simulated=N`).
+/// Exit codes: 0 done, 1 job failed, 2 transport or argument errors.
+fn cmd_submit(args: &[String]) -> ExitCode {
+    let addr = parse_flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8077".into());
+    let split_list = |v: Option<String>| -> Vec<String> {
+        v.unwrap_or_else(|| "all".into())
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    let mut spec = ccraft_serve::JobSpec {
+        workloads: split_list(parse_flag(args, "--workload")),
+        schemes: split_list(parse_flag(args, "--scheme")),
+        ..ccraft_serve::JobSpec::default()
+    };
+    if let Some(machine) = parse_flag(args, "--machine") {
+        spec.machine = machine;
+    }
+    if let Some(size) = parse_flag(args, "--size") {
+        spec.size = size;
+    }
+    match parse_flag(args, "--seed").map(|s| s.parse()) {
+        None => {}
+        Some(Ok(v)) => spec.seed = v,
+        Some(Err(_)) => {
+            eprintln!("--seed expects an integer\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    match parse_flag(args, "--sim-threads").map(|s| s.parse()) {
+        None => {}
+        Some(Ok(v)) if v >= 1 => spec.sim_threads = v,
+        Some(_) => {
+            eprintln!("--sim-threads expects an integer >= 1\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    spec.inject = parse_flag(args, "--inject");
+    // --override-seed is repeatable: every occurrence adds one override.
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--override-seed" {
+            i += 1;
+            let parsed = args.get(i).and_then(|v| {
+                let (cell, seed) = v.rsplit_once(':')?;
+                let (workload, scheme) = cell.split_once('/')?;
+                Some(ccraft_serve::SeedOverride {
+                    workload: workload.to_string(),
+                    scheme: scheme.to_string(),
+                    seed: seed.parse().ok()?,
+                })
+            });
+            match parsed {
+                Some(o) => spec.seed_overrides.push(o),
+                None => {
+                    eprintln!("--override-seed expects <workload>/<scheme>:<seed>\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    let id = match ccraft_serve::submit_job(&addr, &spec) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("submitted {id} to {addr}");
+    let view = match ccraft_serve::wait_for_job(&addr, &id, true) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("waiting for {id} failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = parse_flag(args, "--csv-out") {
+        match ccraft_serve::fetch_csv(&addr, &id) {
+            // The raw durable bytes (crc32 footer included) land on disk,
+            // so downstream readers can re-verify with the store layer.
+            Ok((_, raw)) => {
+                if let Err(e) = std::fs::write(&path, raw) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("csv: {path} (checksum verified)");
+            }
+            Err(e) => {
+                eprintln!("csv download failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = parse_flag(args, "--manifest-out") {
+        match ccraft_serve::http_request(&addr, "GET", &format!("/jobs/{id}/manifest"), None) {
+            Ok((200, body)) => {
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("manifest: {path}");
+            }
+            Ok((status, _)) => {
+                eprintln!("manifest download failed ({status})");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("manifest download failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    println!(
+        "job {} {}: cells={} hits={} misses={} simulated={}",
+        view.id, view.status, view.cells, view.hits, view.misses, view.simulated
+    );
+    if view.status == "done" {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("job failed: {}", view.error);
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -671,6 +873,8 @@ fn main() -> ExitCode {
         Some("reliability") => cmd_reliability(&args),
         Some("perf-diff") => cmd_perf_diff(&args),
         Some("chaos-soak") => cmd_chaos_soak(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("submit") => cmd_submit(&args),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE

@@ -89,6 +89,33 @@ fn default_sim_threads() -> u32 {
     1
 }
 
+/// Per-cell execution provenance: what actually happened to one matrix
+/// cell, as opposed to what was requested for the run.
+///
+/// The global [`RunManifest::sim_threads`] records the *requested* shard
+/// count, but telemetry and fault-injection cells silently fall back to
+/// the single-threaded loop, so tools that compare wall-clock (like
+/// `ccx perf-diff`) must read the per-cell *effective* values recorded
+/// here instead.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellManifest {
+    /// Cell identifier (`m<call>/<workload>/<scheme>` or
+    /// `<workload>/<scheme>`).
+    pub cell: String,
+    /// Threads the cell's cycle loop was *actually* sharded across —
+    /// 1 for telemetry/fault-injection cells regardless of the request.
+    #[serde(default = "default_sim_threads")]
+    pub sim_threads: u32,
+    /// Result-cache disposition: `"hit"` (served from the
+    /// content-addressed cache, no simulation), `"miss"` (simulated and
+    /// inserted), or `"uncached"` (no cache in play).
+    #[serde(default)]
+    pub cache: String,
+    /// Final cell status (`"ok"` / `"failed"` / `"timeout"`).
+    #[serde(default)]
+    pub status: String,
+}
+
 /// Description of one completed experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -124,6 +151,10 @@ pub struct RunManifest {
     /// cells (with their panic messages), skipped artifacts, and similar.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub warnings: Vec<String>,
+    /// Per-cell execution provenance (effective `sim_threads`, cache
+    /// disposition, status). Empty in manifests from before it existed.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub cells: Vec<CellManifest>,
     /// Build/host provenance; absent in manifests from before it existed.
     #[serde(default, skip_serializing_if = "Provenance::is_empty")]
     pub provenance: Provenance,
@@ -145,8 +176,28 @@ impl RunManifest {
             summary: Vec::new(),
             outputs: Vec::new(),
             warnings: Vec::new(),
+            cells: Vec::new(),
             provenance: Provenance::default(),
         }
+    }
+
+    /// Records one cell's execution provenance.
+    pub fn record_cell(&mut self, cell: CellManifest) {
+        self.cells.push(cell);
+    }
+
+    /// The sorted, distinct *effective* per-cell `sim_threads` values of
+    /// the run. Falls back to the global (requested) value for manifests
+    /// without per-cell records, so old manifests keep their previous
+    /// comparison semantics.
+    pub fn effective_sim_threads(&self) -> Vec<u32> {
+        if self.cells.is_empty() {
+            return vec![self.sim_threads];
+        }
+        let mut v: Vec<u32> = self.cells.iter().map(|c| c.sim_threads).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     /// Adds a named metric to the summary.
@@ -231,6 +282,41 @@ mod tests {
         m.stamp();
         assert_eq!(m.provenance.features, vec!["check-invariants"]);
         assert!(!m.provenance.rustc.is_empty());
+    }
+
+    #[test]
+    fn effective_sim_threads_reads_per_cell_truth() {
+        let mut m = RunManifest::new("x");
+        m.sim_threads = 4; // requested
+                           // No per-cell records: fall back to the global value.
+        assert_eq!(m.effective_sim_threads(), vec![4]);
+        // Fault-injection cells fell back to single-threaded: the
+        // effective set reflects that, not the request.
+        m.record_cell(CellManifest {
+            cell: "m0/vecadd/cachecraft".to_string(),
+            sim_threads: 1,
+            cache: "uncached".to_string(),
+            status: "ok".to_string(),
+        });
+        m.record_cell(CellManifest {
+            cell: "m0/saxpy/cachecraft".to_string(),
+            sim_threads: 1,
+            cache: "uncached".to_string(),
+            status: "ok".to_string(),
+        });
+        assert_eq!(m.effective_sim_threads(), vec![1]);
+        // A genuinely sharded cell widens the set (sorted, distinct).
+        m.record_cell(CellManifest {
+            cell: "m1/vecadd/cachecraft".to_string(),
+            sim_threads: 4,
+            cache: "miss".to_string(),
+            status: "ok".to_string(),
+        });
+        assert_eq!(m.effective_sim_threads(), vec![1, 4]);
+        // And the records round-trip through JSON.
+        let back: RunManifest = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(back.cells.len(), 3);
+        assert_eq!(back.effective_sim_threads(), vec![1, 4]);
     }
 
     #[test]
