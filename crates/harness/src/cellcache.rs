@@ -285,7 +285,13 @@ impl ResultCache {
             }
             _ => {
                 // Unparseable or aliased entry: quarantine and recompute.
-                let _ = store::quarantine(&path);
+                // A failed rename is not fatal — the entry is forgotten
+                // and counted corrupt either way, and the next read will
+                // retry — but it must not be silent: the cache directory
+                // needs operator attention.
+                if let Err(e) = store::quarantine(&path) {
+                    eprintln!("cellcache: quarantine of {} failed: {e}", path.display());
+                }
                 self.forget(&digest);
                 self.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);

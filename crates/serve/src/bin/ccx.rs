@@ -247,6 +247,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
     let model = EnergyModel::gddr6();
+    // lint: allow(wall-clock) reason=CLI elapsed-time readout for the operator; never feeds back into simulated state
     let started = std::time::Instant::now();
     let mut timeline_cells: Vec<Value> = Vec::new();
     let mut last_trace: Option<(String, ChromeTrace)> = None;

@@ -907,6 +907,7 @@ pub fn wait_for_job(addr: &str, id: &str, progress: bool) -> Result<JobView, Err
         if view.status != "queued" && view.status != "running" {
             return Ok(view);
         }
+        // lint: allow(wall-clock) reason=client-side poll interval while waiting on the daemon; host-side only, never inside simulated time
         std::thread::sleep(Duration::from_millis(50));
     }
 }

@@ -278,6 +278,7 @@ impl SectorCache {
             .unwrap_or_else(|| {
                 range
                     .min_by_key(|&i| self.lines[i].last_use)
+                    // lint: allow(panic-freedom) reason=set_range is never empty: ways >= 1 is enforced by GpuConfig::validate before the first cycle
                     .expect("ways > 0")
             });
         let evicted = if self.lines[victim].tag != INVALID {

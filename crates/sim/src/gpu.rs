@@ -430,6 +430,7 @@ pub fn simulate_with_exec(
     // The config is validated up front; running with a broken machine
     // description is a programming error, not a recoverable condition.
     #[allow(clippy::expect_used)]
+    // lint: allow(panic-freedom) reason=one-shot config validation before the first cycle; panicking on a broken machine description is the documented contract
     cfg.validate().expect("invalid GpuConfig");
     let sms_n = cfg.core.sms as usize;
     let slots = sms_n * cfg.core.warps_per_sm as usize;
@@ -711,7 +712,7 @@ pub fn simulate_with_exec(
                         cat: "dram".to_string(),
                         tid: CH_TID_BASE + ch as u32,
                         ts: ev.start,
-                        dur: ev.end - ev.start,
+                        dur: ev.end.saturating_sub(ev.start),
                         args: vec![
                             ("atom".to_string(), ev.atom as f64),
                             ("queued_cycles".to_string(), ev.queued as f64),
@@ -723,7 +724,7 @@ pub fn simulate_with_exec(
         if let Some(s) = &mut sampler {
             if s.due(now) {
                 let cur = Snap::take(&sms, &slices);
-                let epoch_len = now - epoch_start;
+                let epoch_len = now.saturating_sub(epoch_start);
                 s.sample(&epoch_values(prev_snap, cur, epoch_len, &slices));
                 if let Some(t) = &mut trace_out {
                     emit_epoch_events(t, &sms, &slices, epoch_start, now, prev_snap, cur);
@@ -803,7 +804,7 @@ pub fn simulate_with_exec(
                     wake = wake.min(s.next_due_cycle());
                 }
                 if wake > now {
-                    let span = wake - now;
+                    let span = wake.saturating_sub(now);
                     if let Some(p) = &mut prof {
                         p.idle_jumps += 1;
                         p.idle_cycles = p.idle_cycles.saturating_add(span);
@@ -833,7 +834,12 @@ pub fn simulate_with_exec(
     if let Some(s) = &mut sampler {
         if now > epoch_start {
             let cur = Snap::take(&sms, &slices);
-            s.sample(&epoch_values(prev_snap, cur, now - epoch_start, &slices));
+            s.sample(&epoch_values(
+                prev_snap,
+                cur,
+                now.saturating_sub(epoch_start),
+                &slices,
+            ));
             if let Some(t) = &mut trace_out {
                 emit_epoch_events(t, &sms, &slices, epoch_start, now, prev_snap, cur);
             }

@@ -114,6 +114,7 @@ impl L1Cache {
     pub fn accept_response(&mut self, resp: L2Response) {
         debug_assert_eq!(resp.dest, self.sm);
         let idx = resp.l1_mshr as usize;
+        // lint: allow(panic-freedom) reason=responses carry the MSHR index this L1 allocated; the slot stays occupied until its response arrives
         let m = self.mshrs[idx].take().expect("response for empty L1 MSHR");
         self.mshr_index.remove(&m.atom);
         self.free_mshrs.push(idx);
@@ -161,6 +162,7 @@ impl L1Cache {
                         if let Some(&idx) = self.mshr_index.get(&access.atom) {
                             self.mshrs[idx]
                                 .as_mut()
+                                // lint: allow(panic-freedom) reason=mshr_index only maps atoms to occupied slots; entries are removed before the slot is freed
                                 .expect("indexed mshr")
                                 .waiters
                                 .push(access.warp);

@@ -151,6 +151,7 @@ impl L2Slice {
     // Invariant: callers check MSHR availability before allocating.
     #[allow(clippy::expect_used)]
     fn alloc_mshr(&mut self, m: Mshr) -> usize {
+        // lint: allow(panic-freedom) reason=both call sites check free_mshrs availability in the same cycle before allocating
         let idx = self.free_mshrs.pop().expect("caller checked availability");
         self.mshr_index.insert(m.atom, idx);
         self.mshrs[idx] = Some(m);
@@ -188,6 +189,7 @@ impl L2Slice {
     // Invariant: the fill's MSHR slot stays occupied until installed.
     #[allow(clippy::expect_used)]
     fn install_fill(&mut self, mshr_idx: usize, scheme: &mut dyn ProtectionScheme, now: Cycle) {
+        // lint: allow(panic-freedom) reason=the fill's MSHR slot stays occupied until installed; fills are only generated for allocated slots
         let m = self.mshrs[mshr_idx].take().expect("mshr present");
         self.mshr_index.remove(&m.atom);
         self.free_mshrs.push(mshr_idx);
@@ -221,6 +223,7 @@ impl L2Slice {
         if self.mc.write_free() < writes_needed || self.mc.read_free() < reads_needed {
             return false;
         }
+        // lint: allow(panic-freedom) reason=the queue was peeked non-empty at the top of this function and nothing pops between
         let task = self.pending_wb.pop_front().expect("checked nonempty");
         if let Some(atom) = task.data_atom {
             self.mc.push(
@@ -281,6 +284,7 @@ impl L2Slice {
                     LookupResult::SectorMiss | LookupResult::LineMiss => {
                         if let Some(&idx) = self.mshr_index.get(&atom) {
                             // Merge into the in-flight miss.
+                            // lint: allow(panic-freedom) reason=mshr_index only maps atoms to occupied slots; entries are removed before the slot is freed
                             let m = self.mshrs[idx].as_mut().expect("indexed mshr");
                             m.waiters.push((req.src.0, req.l1_mshr));
                         } else {
@@ -330,6 +334,7 @@ impl L2Slice {
                         // Write-allocate without fetch: install dirty.
                         if let Some(&idx) = self.mshr_index.get(&atom) {
                             // A fetch is in flight; merge the write into it.
+                            // lint: allow(panic-freedom) reason=mshr_index only maps atoms to occupied slots; entries are removed before the slot is freed
                             let m = self.mshrs[idx].as_mut().expect("indexed mshr");
                             m.dirty_after_fill = true;
                         } else {
@@ -344,6 +349,7 @@ impl L2Slice {
                         // Partial write to a non-resident sector:
                         // fetch-on-write.
                         if let Some(&idx) = self.mshr_index.get(&atom) {
+                            // lint: allow(panic-freedom) reason=mshr_index only maps atoms to occupied slots; entries are removed before the slot is freed
                             let m = self.mshrs[idx].as_mut().expect("indexed mshr");
                             m.dirty_after_fill = true;
                         } else {

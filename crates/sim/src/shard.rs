@@ -248,10 +248,13 @@ impl Worker {
             {
                 if let Some(wake) = self.idle_until(t, end) {
                     if wake > t {
+                        // lint: allow(panic-freedom) reason=t >= start is the while-loop invariant; a panic beats a silently wrapped ring slot
                         let base_slot = (t - start) as usize;
+                        // lint: allow(panic-freedom) reason=guarded by wake > t on the line above
                         let n = (wake - t) as usize;
                         for li in 0..self.lanes.len() {
                             for s in 0..n {
+                                // lint: allow(panic-freedom) reason=idle_until clamps wake to end, so base_slot + s < stride; li < lanes by the loop bound
                                 shared.drains[li * self.stride + base_slot + s]
                                     .store(0, Ordering::Relaxed);
                             }
@@ -262,6 +265,7 @@ impl Worker {
                     }
                 }
             }
+            // lint: allow(panic-freedom) reason=t >= start is the while-loop invariant; a panic beats a silently wrapped ring slot
             let slot = (t - start) as usize;
             for (li, lane) in self.lanes.iter_mut().enumerate() {
                 // Same per-channel order as the plain loop: slice tick,
@@ -284,6 +288,7 @@ impl Worker {
                         drained += 1;
                     }
                 }
+                // lint: allow(panic-freedom) reason=slot < stride because t < end = start + stride; li < lanes by the iterator bound
                 shared.drains[li * self.stride + slot].store(drained, Ordering::Relaxed);
                 #[cfg(feature = "check-invariants")]
                 lane.slice.assert_coherent();
@@ -391,7 +396,9 @@ impl<'s> Gate<'s> {
         wait_progress(sh, through + 1);
         let base = (ch / self.workers) * self.stride;
         for c in self.drained_upto[ch]..=through {
+            // lint: allow(panic-freedom) reason=drained_upto never precedes epoch_start (both reset together at the epoch barrier)
             let slot = (c - self.epoch_start) as usize;
+            // lint: allow(panic-freedom) reason=slot < stride because through is capped at the epoch end; base partitions the ring by lane
             self.pops[ch] += u64::from(sh.drains[base + slot].load(Ordering::Relaxed));
         }
         self.drained_upto[ch] = through + 1;
@@ -461,7 +468,7 @@ fn sm_phase(
                     None => {}
                 }
                 if wake > t {
-                    let span = wake - t;
+                    let span = wake.saturating_sub(t);
                     for (i, sm) in sms.iter_mut().enumerate() {
                         if !sm_done[i] {
                             sm.account_stalled_span(span);
@@ -660,10 +667,12 @@ pub(crate) fn run_prologue(
                 };
                 report.sm_wait_ns = report.sm_wait_ns.saturating_add(barrier_timer.lap());
                 for (li, eg) in reply.egress.into_iter().enumerate() {
+                    // lint: allow(panic-freedom) reason=wi + li * workers is the inverse of the ch -> (worker, lane) partition; both factors are bounded by construction
                     egress_by_ch[wi + li * workers_n] = eg;
                 }
                 #[cfg(feature = "check-invariants")]
                 for (li, &len) in reply.pending_lens.iter().enumerate() {
+                    // lint: allow(panic-freedom) reason=wi + li * workers is the inverse of the ch -> (worker, lane) partition; both factors are bounded by construction
                     pending_lens[wi + li * workers_n] = len;
                 }
             }

@@ -225,7 +225,14 @@ fn skip_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A `\<newline>` line continuation still ends a source
+                // line; missing it would shift every later token's line.
+                if b.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 *line += 1;
                 i += 1;
@@ -414,5 +421,71 @@ mod tests {
             .find(|t| t.kind == TokKind::Ident("y".into()))
             .expect("y");
         assert_eq!(y.line, 4);
+    }
+
+    fn line_of(l: &Lexed, name: &str) -> usize {
+        l.tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident(name.into()))
+            .unwrap_or_else(|| panic!("ident {name}"))
+            .line
+    }
+
+    #[test]
+    fn string_line_continuation_tracks_lines() {
+        // A trailing `\` before a newline continues the string but still
+        // ends a source line; every token after it must not drift.
+        let l = lex("let s = \"first \\\n    second\";\nlet y = 0;");
+        assert_eq!(line_of(&l, "y"), 3);
+    }
+
+    #[test]
+    fn raw_string_hashes_and_lines() {
+        // `r##"..."##` may contain `"#` without closing; embedded
+        // newlines count toward line numbers.
+        let src = "let r = r##\"has \"# inside\nand a newline\"##;\nlet y = 0;";
+        let l = lex(src);
+        assert_eq!(line_of(&l, "y"), 3);
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident("inside".into())));
+    }
+
+    #[test]
+    fn byte_strings_are_single_literals() {
+        let l = lex("let b1 = b\"bytes\"; let b2 = br#\"raw bytes\"#; let y = 0;");
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident("bytes".into())));
+        assert_eq!(line_of(&l, "y"), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_track_lines() {
+        let l = lex("/* outer\n /* inner */\n still outer */\nlet y = 0;");
+        assert_eq!(line_of(&l, "y"), 4);
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident("outer".into())));
+    }
+
+    #[test]
+    fn lifetime_corner_cases() {
+        // `'_` and `'static` are lifetimes; an escaped `'\''` is a char
+        // literal; `b'x'` lexes as Ident(b) + char Lit (the `b` prefix is
+        // not glued, which is fine for rule purposes — no rule keys on a
+        // literal's value).
+        let l = lex("fn f<'a>(x: &'_ u8) -> &'static str { let c = '\\''; let b = b'x'; \"s\" }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3, "'a, '_, 'static");
+        let lits = l.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 3, "two char literals and one string; u8 is an ident");
     }
 }

@@ -1,19 +1,32 @@
-//! CLI entry point: `cargo xtask lint [--root <path>]`.
+//! CLI entry point:
+//! `cargo xtask analyze [--root <path>] [--format text|github] [--list-waivers]`.
+//!
+//! `lint` is a compatibility alias for `analyze` — both run the full
+//! suite (flat token rules + function-scoped families).
+//!
+//! Exit codes (see DESIGN.md §16): 0 = clean, 1 = rule violations,
+//! 2 = directive errors (malformed / unknown-rule / stale waiver) or
+//! invocation errors. Directive errors dominate violations.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: cargo xtask analyze [--root <workspace-root>] [--format text|github] [--list-waivers]";
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: cargo xtask lint [--root <workspace-root>]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if cmd != "lint" {
-        eprintln!("unknown xtask `{cmd}` (available: lint)");
+    if cmd != "analyze" && cmd != "lint" {
+        eprintln!("unknown xtask `{cmd}` (available: analyze, lint)");
         return ExitCode::from(2);
     }
     let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut list_waivers = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -23,31 +36,45 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some(f @ ("text" | "github")) => format = f.to_string(),
+                Some(other) => {
+                    eprintln!("unknown format `{other}` (available: text, github)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--format requires a value (text, github)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-waivers" => list_waivers = true,
             other => {
-                eprintln!("unknown argument `{other}`");
+                eprintln!("unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
     // Default to the workspace root this binary was built from, so the
-    // lint works no matter where `cargo xtask` is invoked.
+    // analysis works no matter where `cargo xtask` is invoked.
     let root = root.unwrap_or_else(|| {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .components()
             .collect()
     });
-    match xtask::lint_workspace(&root) {
+    match xtask::analyze_workspace(&root) {
         Ok(report) => {
-            print!("{}", xtask::render(&report));
-            if report.is_clean() {
-                ExitCode::SUCCESS
+            if list_waivers {
+                print!("{}", xtask::render_waivers(&report));
+            } else if format == "github" {
+                print!("{}", xtask::render_github(&report));
             } else {
-                ExitCode::FAILURE
+                print!("{}", xtask::render(&report));
             }
+            ExitCode::from(xtask::exit_code(&report) as u8)
         }
         Err(e) => {
-            eprintln!("xtask lint: {e}");
+            eprintln!("xtask analyze: {e}");
             ExitCode::from(2)
         }
     }

@@ -38,13 +38,18 @@
 
 use crate::lexer::{Directive, Lexed, TokKind, Token};
 
-/// Canonical rule names, as used in `allow(...)` directives.
-pub const RULE_NAMES: [&str; 5] = [
+/// Canonical rule names, as used in `allow(...)` directives. The first
+/// five are the flat token rules of this module; the last three are the
+/// function-scoped analysis rules of [`crate::analyze`].
+pub const RULE_NAMES: [&str; 8] = [
     "default-hash-state",
     "wall-clock",
     "float-stats",
     "next-event-pairing",
     "shard-shared-state",
+    "panic-freedom",
+    "atomic-discipline",
+    "fallible-result",
 ];
 
 /// Which rules apply to a file, derived from its workspace-relative path.
@@ -62,6 +67,13 @@ pub struct Scope {
     pub pairing: bool,
     /// L5: static items / shared-mutability primitives ban (sim only).
     pub shard_state: bool,
+    /// A1: panic vectors in the cycle-loop call graph (sim, minus the
+    /// invariants module whose whole purpose is to panic).
+    pub panic_freedom: bool,
+    /// A2: explicit/paired atomic orderings (sim only).
+    pub atomic_discipline: bool,
+    /// A3: no discarded persistence `Result`s (harness + serve).
+    pub fallible_result: bool,
 }
 
 /// Path of the `SimStats` declaration, the anchor for rule L3.
@@ -71,18 +83,30 @@ pub const SIMSTATS_PATH: &str = "crates/sim/src/stats.rs";
 pub fn scope_for(rel: &str) -> Scope {
     let in_any = |roots: &[&str]| roots.iter().any(|r| rel.starts_with(r));
     let deterministic_core = in_any(&["crates/sim/src/", "crates/core/src/", "crates/ecc/src/"]);
+    let host_side = in_any(&["crates/harness/src/", "crates/serve/src/"]);
+    let in_sim = rel.starts_with("crates/sim/src/");
     Scope {
-        hash_state: deterministic_core,
+        // Host-side code replays cached results and compares checksums;
+        // nondeterministic iteration order is as fatal there as in sim.
+        hash_state: deterministic_core || host_side,
         wall_clock: ((deterministic_core
             || in_any(&["crates/workloads/src/", "crates/telemetry/src/"]))
             && rel != "crates/telemetry/src/manifest.rs")
             // The durable store is host-side but must stay deterministic:
             // its single retry-backoff sleep carries an explicit waiver.
-            || rel == "crates/harness/src/store.rs",
+            || rel == "crates/harness/src/store.rs"
+            // The serve daemon hands out cached deterministic results;
+            // its two sanctioned wall-clock sites carry waivers.
+            || rel.starts_with("crates/serve/src/"),
         float_fields: rel == SIMSTATS_PATH,
         float_accum: in_any(&["crates/sim/src/", "crates/core/src/"]),
-        pairing: rel.starts_with("crates/sim/src/"),
-        shard_state: rel.starts_with("crates/sim/src/"),
+        pairing: in_sim,
+        shard_state: in_sim,
+        // invariants.rs exists to panic on contract breaches; exempting
+        // it keeps the rule about *accidental* panic vectors.
+        panic_freedom: in_sim && rel != "crates/sim/src/invariants.rs",
+        atomic_discipline: in_sim,
+        fallible_result: host_side,
     }
 }
 
@@ -112,13 +136,27 @@ pub struct Waived {
     pub reason: String,
 }
 
-/// Directive-level problems: malformed, unknown rule, or unused.
+/// What is wrong with a directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// Unparseable directive text (e.g. missing `reason=`).
+    Malformed,
+    /// `allow(<rule>)` names a rule that does not exist.
+    UnknownRule,
+    /// The directive no longer suppresses any violation.
+    Stale,
+}
+
+/// Directive-level problems: malformed, unknown rule, or stale.
 #[derive(Debug, Clone)]
 pub struct DirectiveError {
     /// Workspace-relative file path.
     pub file: String,
     /// 1-based line of the directive.
     pub line: usize,
+    /// Failure class (drives the exit-code contract: any of these is
+    /// exit code 2).
+    pub kind: DirectiveKind,
     /// What is wrong with it.
     pub msg: String,
 }
@@ -226,7 +264,23 @@ pub fn simstats_float_fields(lexed: &Lexed) -> Vec<(String, usize)> {
 }
 
 /// Lints one file's token stream under `scope`, resolving allow directives.
+/// Flat token rules only; `analyze::analyze_file` adds the
+/// function-scoped families on top and is what the CLI runs.
 pub fn lint_file(rel: &str, lexed: &Lexed, scope: Scope, ctx: &LintContext) -> FileReport {
+    let raw = collect_raw(rel, lexed, scope, ctx);
+    resolve_directives(rel, lexed, raw)
+}
+
+/// Runs the flat token rules and returns the unresolved violations, so
+/// callers can append function-scoped findings before directive
+/// resolution (directives must see the union, or waivers for the new
+/// rules would register as stale).
+pub(crate) fn collect_raw(
+    rel: &str,
+    lexed: &Lexed,
+    scope: Scope,
+    ctx: &LintContext,
+) -> Vec<Violation> {
     let mut raw: Vec<Violation> = Vec::new();
     if scope.hash_state {
         rule_default_hash_state(rel, lexed, &mut raw);
@@ -256,16 +310,17 @@ pub fn lint_file(rel: &str, lexed: &Lexed, scope: Scope, ctx: &LintContext) -> F
     if scope.shard_state {
         rule_shard_shared_state(rel, lexed, &mut raw);
     }
-    resolve_directives(rel, lexed, raw)
+    raw
 }
 
 /// Matches violations against directives; unused/unknown directives error.
-fn resolve_directives(rel: &str, lexed: &Lexed, raw: Vec<Violation>) -> FileReport {
+pub(crate) fn resolve_directives(rel: &str, lexed: &Lexed, raw: Vec<Violation>) -> FileReport {
     let mut report = FileReport::default();
     for (line, msg) in &lexed.malformed {
         report.directive_errors.push(DirectiveError {
             file: rel.to_string(),
             line: *line,
+            kind: DirectiveKind::Malformed,
             msg: msg.clone(),
         });
     }
@@ -307,6 +362,7 @@ fn resolve_directives(rel: &str, lexed: &Lexed, raw: Vec<Violation>) -> FileRepo
             report.directive_errors.push(DirectiveError {
                 file: rel.to_string(),
                 line: d.line,
+                kind: DirectiveKind::UnknownRule,
                 msg: format!(
                     "unknown rule `{}` in allow directive (known: {})",
                     d.rule,
@@ -317,9 +373,10 @@ fn resolve_directives(rel: &str, lexed: &Lexed, raw: Vec<Violation>) -> FileRepo
             report.directive_errors.push(DirectiveError {
                 file: rel.to_string(),
                 line: d.line,
+                kind: DirectiveKind::Stale,
                 msg: format!(
-                    "unused allow({}) directive — the waived violation no longer exists; \
-                     delete the directive",
+                    "stale/unused allow({}) directive — the waived violation no longer \
+                     exists; delete the directive",
                     d.rule
                 ),
             });

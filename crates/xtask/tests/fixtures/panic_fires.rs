@@ -1,0 +1,24 @@
+// Hot-path panic vectors: `tick` is a call-graph root, `helper` is
+// reachable from it; `cold` is not reachable and must not fire.
+pub fn tick(now: u64, start: u64, v: &[u32]) {
+    let x = v.first().unwrap();
+    let y = v[now as usize + 1];
+    let [a, b] = split(v);
+    let span = now - start;
+    helper(span, x, y, a, b);
+}
+
+fn helper(t: u64, _x: &u32, _y: u32, _a: u32, _b: u32) {
+    let _d = t.checked_sub(1).expect("positive");
+}
+
+fn cold(v: &[u32], base: usize, slot: usize) -> u32 {
+    v[base + slot]
+}
+
+fn split(v: &[u32]) -> [u32; 2] {
+    match v {
+        [a, b] => [*a, *b],
+        _ => [0, 0],
+    }
+}

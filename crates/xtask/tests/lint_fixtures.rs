@@ -57,10 +57,23 @@ fn hash_state_clean() {
 }
 
 #[test]
-fn hash_state_out_of_scope_in_harness() {
-    // The same bad source linted under a harness path is out of scope.
-    let r = run(
+fn hash_state_in_scope_in_harness_and_serve() {
+    // Host-side code replays cached results under checksum comparison,
+    // so the hasher ban extends to harness and serve.
+    for rel in [
         "crates/harness/src/fixture.rs",
+        "crates/serve/src/fixture.rs",
+    ] {
+        let r = run(rel, include_str!("fixtures/hash_fires.rs"));
+        assert!(!lines_of(&r, "default-hash-state").is_empty(), "{rel}");
+    }
+}
+
+#[test]
+fn hash_state_out_of_scope_in_bench() {
+    // The same bad source under an unscanned path is out of scope.
+    let r = run(
+        "crates/bench/src/fixture.rs",
         include_str!("fixtures/hash_fires.rs"),
     );
     assert!(r.violations.is_empty());
@@ -240,14 +253,18 @@ fn directive_errors_are_hard_errors() {
 
 #[test]
 fn whole_workspace_is_clean() {
-    // The real tree must satisfy its own determinism contract. This is
-    // the same check CI runs via `cargo xtask lint`.
+    // The real tree must satisfy its own determinism contract — all
+    // eight rule families, zero stale waivers. This is the same check
+    // CI runs via `cargo xtask analyze`.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let report = xtask::lint_workspace(&root).expect("lint runs");
+    let report = xtask::analyze_workspace(&root).expect("analyze runs");
     assert!(report.files_scanned > 20, "suspiciously few files scanned");
     assert!(
         report.is_clean(),
-        "workspace lint failed:\n{}",
+        "workspace analysis failed:\n{}",
         xtask::render(&report)
     );
+    assert_eq!(xtask::exit_code(&report), 0);
+    // Every honoured waiver must carry a non-empty reason.
+    assert!(report.waived.iter().all(|w| !w.reason.is_empty()));
 }
